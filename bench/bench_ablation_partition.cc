@@ -1,0 +1,63 @@
+// Ablation: setup-time costs that gate "zero configuration" in practice —
+// the fine-grained partition (Algorithm 1) and the global ECMP route
+// computation, across topology sizes.
+#include <benchmark/benchmark.h>
+
+#include "src/unison.h"
+
+namespace unison {
+namespace {
+
+TopoGraph FatTreeGraph(uint32_t k) {
+  SimConfig cfg;
+  Network net(cfg);
+  BuildFatTree(net, k, 10000000000ULL, Time::Microseconds(3));
+  TopoGraph g;
+  g.num_nodes = net.num_nodes();
+  for (const auto& l : net.links()) {
+    g.edges.push_back(TopoEdge{l.a, l.b, l.delay, true});
+  }
+  return g;
+}
+
+void BM_FineGrainedPartition(benchmark::State& state) {
+  const TopoGraph g = FatTreeGraph(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FineGrainedPartition(g));
+  }
+  state.SetLabel(std::to_string(g.num_nodes) + " nodes");
+}
+BENCHMARK(BM_FineGrainedPartition)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_EcmpRouteCompute(benchmark::State& state) {
+  SimConfig cfg;
+  Network net(cfg);
+  BuildFatTree(net, static_cast<uint32_t>(state.range(0)), 10000000000ULL,
+               Time::Microseconds(3));
+  GlobalRouting routing;
+  for (auto _ : state) {
+    routing.Compute(net);
+  }
+  state.SetLabel(std::to_string(net.num_nodes()) + " nodes");
+}
+BENCHMARK(BM_EcmpRouteCompute)->Arg(4)->Arg(8);
+
+void BM_LptSchedule(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Rng rng(5, 0);
+  std::vector<uint64_t> costs(n);
+  for (auto& c : costs) {
+    c = rng.NextU64Below(1000000);
+  }
+  for (auto _ : state) {
+    const auto order = SortByCostDescending(costs);
+    benchmark::DoNotOptimize(ListScheduleMakespan(costs, order, 16));
+  }
+  state.SetLabel(std::to_string(n) + " LPs");
+}
+BENCHMARK(BM_LptSchedule)->Arg(64)->Arg(1024)->Arg(65536);
+
+}  // namespace
+}  // namespace unison
+
+BENCHMARK_MAIN();

@@ -1,0 +1,178 @@
+// Figure 5: why existing PDES is slow — the P/S/M decomposition of the
+// barrier-synchronization (B) and null-message (N) baselines on a k=8
+// fat-tree with the symmetric pod partition.
+//
+//   --part=a  P and S versus incast traffic ratio (Obs. 1: S dominates as
+//             skew grows, >70% at ratio 1).
+//   --part=b  Per-round S/T of the barrier algorithm under balanced traffic
+//             (Obs. 2: transient imbalance keeps S/T high).
+//   --part=c  S/T versus link delay (Obs. 3: low latency -> high S).
+//   --part=d  S/T versus link bandwidth at fixed load (Obs. 3).
+//
+// Default runs every part on a scaled-down k=4 tree; --full uses k=8.
+#include "bench/bench_util.h"
+#include "src/unison.h"
+
+using namespace unison;
+using namespace unison::bench;
+
+namespace {
+
+struct Decomposition {
+  double p_s = 0;  // Mean per-executor processing seconds.
+  double s_s = 0;  // Mean per-executor synchronization seconds.
+  double total_s = 0;
+  double SRatio() const { return total_s == 0 ? 0 : s_s / total_s; }
+};
+
+Decomposition Decompose(const ModelResult& r) {
+  Decomposition d;
+  const size_t n = r.executor_p_ns.size();
+  for (size_t i = 0; i < n; ++i) {
+    d.p_s += static_cast<double>(r.executor_p_ns[i]) * 1e-9;
+    d.s_s += static_cast<double>(r.executor_s_ns[i]) * 1e-9;
+  }
+  d.p_s /= static_cast<double>(n);
+  d.s_s /= static_cast<double>(n);
+  d.total_s = static_cast<double>(r.makespan_ns) * 1e-9;
+  return d;
+}
+
+struct BaselineModels {
+  Decomposition barrier;
+  Decomposition nullmsg;
+  ModelResult barrier_raw;
+  ParallelCostModel model{{}, 0};
+};
+
+BaselineModels RunBaselines(const FatTreeScenario& sc) {
+  FatTreeScenario manual = sc;
+  manual.manual = true;
+  SimConfig cfg;
+  cfg.seed = 17;
+  ApplyDcnTcp(&cfg);
+  cfg.partition = PartitionMode::kManual;
+  const TraceResult trace = InstrumentedRun(cfg, FatTreeBuilder(manual), sc.duration);
+  BaselineModels out;
+  out.model = ParallelCostModel(trace.trace, trace.num_lps);
+  out.barrier_raw = out.model.Barrier(IdentityRanks(trace.num_lps), trace.num_lps,
+                                      kBarrierSyncOverheadNs);
+  out.barrier = Decompose(out.barrier_raw);
+  out.nullmsg = Decompose(out.model.NullMessage(trace.lp_neighbors, kNullMsgOverheadNs));
+  return out;
+}
+
+void PartA(const FatTreeScenario& base) {
+  std::printf("\n(a) P, S versus incast traffic ratio (per-LP means, seconds)\n\n");
+  Table t({"incast ratio", "P_B", "S_B", "S_B/T", "P_N", "S_N", "S_N/T"});
+  for (double ratio : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    FatTreeScenario sc = base;
+    sc.incast_ratio = ratio;
+    const BaselineModels m = RunBaselines(sc);
+    t.Row({Fmt("%.2f", ratio), Fmt("%.4f", m.barrier.p_s), Fmt("%.4f", m.barrier.s_s),
+           Fmt("%.0f%%", 100 * m.barrier.SRatio()), Fmt("%.4f", m.nullmsg.p_s),
+           Fmt("%.4f", m.nullmsg.s_s), Fmt("%.0f%%", 100 * m.nullmsg.SRatio())});
+  }
+  t.Print();
+  std::printf("\nShape check: S grows with skew and dominates (>70%%) at ratio 1.\n");
+}
+
+void PartB(const FatTreeScenario& base) {
+  std::printf("\n(b) per-round S/T of barrier sync under balanced traffic\n\n");
+  const BaselineModels m = RunBaselines(base);
+  const auto& costs = m.model.round_costs();
+  Table t({"round bucket", "mean S/T", "max S/T"});
+  const uint32_t rounds = std::min<uint32_t>(1000, m.model.rounds());
+  const uint32_t bucket = std::max(1u, rounds / 10);
+  for (uint32_t b = 0; b * bucket < rounds; ++b) {
+    double sum = 0;
+    double mx = 0;
+    uint32_t n = 0;
+    for (uint32_t r = b * bucket; r < std::min(rounds, (b + 1) * bucket); ++r) {
+      uint64_t total = 0;
+      uint64_t span = 0;
+      for (uint64_t c : costs[r]) {
+        total += c;
+        span = std::max(span, c);
+      }
+      if (span == 0) {
+        continue;
+      }
+      // Mean S/T across ranks for this round.
+      const double mean_p = static_cast<double>(total) / costs[r].size();
+      const double st = 1.0 - mean_p / static_cast<double>(span);
+      sum += st;
+      mx = std::max(mx, st);
+      ++n;
+    }
+    if (n > 0) {
+      t.Row({Fmt("%u-%u", b * bucket, (b + 1) * bucket - 1), Fmt("%.2f", sum / n),
+             Fmt("%.2f", mx)});
+    }
+  }
+  t.Print();
+  std::printf("\nShape check: S/T stays substantial (>~20%%) in every bucket even\n"
+              "though the macro traffic is balanced (transient imbalance).\n");
+}
+
+void PartC(const FatTreeScenario& base) {
+  std::printf("\n(c) S/T versus link delay (10Gbps links)\n\n");
+  Table t({"link delay", "S_B/T", "S_N/T"});
+  for (int64_t us : {3, 30, 300, 3000}) {
+    FatTreeScenario sc = base;
+    sc.bps = 10000000000ULL;
+    sc.delay = Time::Microseconds(us);
+    const BaselineModels m = RunBaselines(sc);
+    t.Row({Fmt("%ldus", us), Fmt("%.2f", m.barrier.SRatio()),
+           Fmt("%.2f", m.nullmsg.SRatio())});
+  }
+  t.Print();
+  std::printf("\nShape check: S/T falls as propagation delay (window size) grows.\n");
+}
+
+void PartD(const FatTreeScenario& base) {
+  std::printf("\n(d) S/T versus link bandwidth (30us links, fixed offered load)\n\n");
+  Table t({"bandwidth", "S_B/T", "S_N/T"});
+  for (uint64_t gbps : {2, 4, 6, 8, 10}) {
+    FatTreeScenario sc = base;
+    sc.bps = gbps * 1000000000ULL;
+    sc.delay = Time::Microseconds(30);
+    // Fixed absolute offered traffic: scale the load fraction inversely
+    // with bandwidth (the paper keeps per-host traffic constant).
+    sc.load = base.load * 10.0 / static_cast<double>(gbps);
+    const BaselineModels m = RunBaselines(sc);
+    t.Row({Fmt("%luG", (unsigned long)gbps), Fmt("%.2f", m.barrier.SRatio()),
+           Fmt("%.2f", m.nullmsg.SRatio())});
+  }
+  t.Print();
+  std::printf("\nShape check: S/T rises with bandwidth at fixed offered traffic.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = HasFlag(argc, argv, "--full");
+  const std::string part = GetOpt(argc, argv, "--part", "all");
+
+  FatTreeScenario base;
+  base.k = full ? 8 : 4;
+  base.load = 0.5;
+  base.duration = full ? Time::Milliseconds(10) : Time::Milliseconds(3);
+
+  std::printf("Figure 5 — time decomposition of existing PDES (k=%u fat-tree,\n"
+              "pod partition, modeled from instrumented traces)\n", base.k);
+
+  if (part == "a" || part == "all") {
+    PartA(base);
+  }
+  if (part == "b" || part == "all") {
+    PartB(base);
+  }
+  if (part == "c" || part == "all") {
+    PartC(base);
+  }
+  if (part == "d" || part == "all") {
+    PartD(base);
+  }
+  return 0;
+}

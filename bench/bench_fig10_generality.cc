@@ -1,0 +1,284 @@
+// Figure 10: Unison's generality across topologies and traffic patterns.
+//
+//   --part=torus   (a) 2D torus, simulation time vs #cores for barrier /
+//                  null message / Unison.
+//   --part=bcube   (b) BCube under web-search and gRPC (+incast) traffic:
+//                  speedups of the baselines vs Unison at 8 and 16 cores.
+//   --part=wan     (c) GEANT and ChinaNet with distance-vector routing and
+//                  web-search load: sequential vs Unison (8 threads).
+//   --part=reconf  (d) reconfigurable DCN: simulation time vs topology
+//                  change interval, sequential vs Unison.
+#include "bench/bench_util.h"
+#include "src/unison.h"
+
+using namespace unison;
+using namespace unison::bench;
+
+namespace {
+
+void PartTorus(bool full) {
+  const uint32_t dim = full ? 24 : 12;
+  const Time sim = full ? Time::Milliseconds(20) : Time::Milliseconds(10);
+  std::printf("\n(a) %ux%u torus, 10Gbps / 30us links, 30%% bisection load\n\n", dim, dim);
+
+  auto build = [dim, sim](bool manual, uint32_t lps) {
+    return [dim, sim, manual, lps](Network& net) {
+      TorusTopo topo = BuildTorus2D(net, dim, dim, 10000000000ULL, Time::Microseconds(30));
+      if (manual) {
+        // The paper's scheme: contiguous node-id ranges.
+        std::vector<LpId> lp(net.num_nodes());
+        const uint32_t per = (net.num_nodes() + lps - 1) / lps;
+        for (NodeId n = 0; n < net.num_nodes(); ++n) {
+          lp[n] = std::min(n / per, lps - 1);
+        }
+        net.SetManualPartition(lps, std::move(lp));
+      }
+      net.Finalize();
+      TrafficSpec traffic;
+      traffic.hosts = topo.nodes;
+      traffic.bisection_bps = topo.bisection_bps;
+      traffic.load = 0.3;
+      traffic.duration = sim;
+      GenerateTraffic(net, traffic);
+    };
+  };
+
+  SimConfig cfg;
+  cfg.seed = 31;
+  ApplyDcnTcp(&cfg);
+  uint64_t events = 0;
+  const double seq_s = SequentialWallSeconds(cfg, build(false, 0), sim, &events);
+
+  SimConfig fine_cfg = cfg;
+  const TraceResult fine = InstrumentedRun(fine_cfg, build(false, 0), sim);
+  ParallelCostModel fine_model(fine.trace, fine.num_lps);
+
+  Table t({"#cores", "barrier", "nullmsg", "Unison", "Unison vs best PDES"});
+  const std::vector<uint32_t> cores = full ? std::vector<uint32_t>{12, 24, 48}
+                                           : std::vector<uint32_t>{4, 8, 16};
+  for (uint32_t c : cores) {
+    SimConfig mcfg = cfg;
+    mcfg.partition = PartitionMode::kManual;
+    const TraceResult coarse = InstrumentedRun(mcfg, build(true, c), sim);
+    ParallelCostModel cm(coarse.trace, coarse.num_lps);
+    const double barrier_s =
+        static_cast<double>(
+            cm.Barrier(IdentityRanks(coarse.num_lps), coarse.num_lps, kBarrierSyncOverheadNs)
+                .makespan_ns) *
+        1e-9;
+    const double nullmsg_s =
+        static_cast<double>(
+            cm.NullMessage(coarse.lp_neighbors, kNullMsgOverheadNs).makespan_ns) *
+        1e-9;
+    const double unison_s =
+        static_cast<double>(fine_model
+                                .Unison(c, SchedulingMetric::kByLastRoundTime, 0,
+                                        kUnisonRoundOverheadNs)
+                                .makespan_ns) *
+        1e-9;
+    t.Row({Fmt("%u", c), Fmt("%.3f", barrier_s), Fmt("%.3f", nullmsg_s),
+           Fmt("%.3f", unison_s),
+           Fmt("%.1fx", std::min(barrier_s, nullmsg_s) / unison_s)});
+  }
+  t.Print();
+  std::printf("\n(sequential wall: %.3f s, %lu events)\n", seq_s,
+              static_cast<unsigned long>(events));
+  std::printf("Shape check: Unison leads the PDES baselines by several x at\n"
+              "every core count.\n");
+}
+
+void PartBCube(bool full) {
+  const uint32_t n = full ? 8 : 4;
+  const uint32_t levels = 2;
+  const Time sim = full ? Time::Milliseconds(10) : Time::Milliseconds(5);
+  std::printf("\n(b) BCube(%u,%u), 10Gbps / 3us, web-search & gRPC + incast, 30%% load\n\n",
+              n, levels - 1);
+
+  struct Workload {
+    const char* name;
+    const EmpiricalCdf* cdf;
+  };
+  const Workload workloads[] = {{"web-search", &EmpiricalCdf::WebSearch()},
+                                {"gRPC", &EmpiricalCdf::Grpc()}};
+
+  Table t({"traffic", "seq wall", "barrier(8)", "nullmsg(8)", "Unison(8)", "Unison(16)"});
+  for (const Workload& w : workloads) {
+    auto build = [n, sim, &w](bool manual) {
+      return [n, sim, &w, manual](Network& net) {
+        BCubeTopo topo = BuildBCube(net, n, 2, 10000000000ULL, Time::Microseconds(3));
+        if (manual) {
+          net.SetManualPartition(static_cast<uint32_t>(topo.switches[0].size()),
+                                 BCubePartition(topo, net.num_nodes()));
+        }
+        net.Finalize();
+        TrafficSpec traffic;
+        traffic.hosts = topo.hosts;
+        traffic.bisection_bps = topo.bisection_bps;
+        traffic.load = 0.3;
+        traffic.duration = sim;
+        traffic.sizes = w.cdf;
+        traffic.incast_ratio = 0.1;
+        GenerateTraffic(net, traffic);
+      };
+    };
+
+    SimConfig cfg;
+    cfg.seed = 33;
+    ApplyDcnTcp(&cfg);
+    const double seq_s = SequentialWallSeconds(cfg, build(false), sim);
+
+    SimConfig mcfg = cfg;
+    mcfg.partition = PartitionMode::kManual;
+    const TraceResult coarse = InstrumentedRun(mcfg, build(true), sim);
+    ParallelCostModel cm(coarse.trace, coarse.num_lps);
+    const double barrier_s =
+        static_cast<double>(
+            cm.Barrier(IdentityRanks(coarse.num_lps), coarse.num_lps, kBarrierSyncOverheadNs)
+                .makespan_ns) *
+        1e-9;
+    const double nullmsg_s =
+        static_cast<double>(
+            cm.NullMessage(coarse.lp_neighbors, kNullMsgOverheadNs).makespan_ns) *
+        1e-9;
+
+    const TraceResult fine = InstrumentedRun(cfg, build(false), sim);
+    ParallelCostModel fm(fine.trace, fine.num_lps);
+    const double u8 = static_cast<double>(
+                          fm.Unison(8, SchedulingMetric::kByLastRoundTime, 0,
+                                    kUnisonRoundOverheadNs)
+                              .makespan_ns) *
+                      1e-9;
+    const double u16 = static_cast<double>(
+                           fm.Unison(16, SchedulingMetric::kByLastRoundTime, 0,
+                                     kUnisonRoundOverheadNs)
+                               .makespan_ns) *
+                       1e-9;
+    t.Row({w.name, Fmt("%.3f", seq_s), Fmt("%.1fx", seq_s / barrier_s),
+           Fmt("%.1fx", seq_s / nullmsg_s), Fmt("%.1fx", seq_s / u8),
+           Fmt("%.1fx", seq_s / u16)});
+  }
+  t.Print();
+  std::printf("\nShape check: Unison posts the highest speedup for both traffic\n"
+              "patterns; 16 threads beat 8 (flexibility beyond the 8 BCube0 LPs).\n");
+}
+
+void PartWan(bool full) {
+  const Time sim = full ? Time::Seconds(2.0) : Time::Seconds(0.5);
+  std::printf("\n(c) WAN backbones, RIP-style routing, 50%% web-search load\n\n");
+  Table t({"network", "seq wall", "Unison(8, modeled)", "speedup"});
+  for (WanName which : {WanName::kGeant, WanName::kChinaNet}) {
+    auto build = [which, sim](Network& net) {
+      WanTopo wan = BuildWan(net, which, 1000000000ULL, Time::Microseconds(100));
+      net.EnableDistanceVector(Time::Milliseconds(100));
+      net.Finalize();
+      TrafficSpec traffic;
+      traffic.hosts = wan.hosts;
+      traffic.bisection_bps = wan.bisection_bps;
+      traffic.load = 0.5;
+      traffic.duration = sim;
+      GenerateTraffic(net, traffic);
+    };
+    SimConfig cfg;
+    cfg.seed = 35;
+    cfg.tcp.min_rto = Time::Milliseconds(200);
+    cfg.tcp.initial_rto = Time::Milliseconds(200);
+    const double seq_s = SequentialWallSeconds(cfg, build, sim);
+    const TraceResult fine = InstrumentedRun(cfg, build, sim);
+    ParallelCostModel fm(fine.trace, fine.num_lps);
+    const double u8 = static_cast<double>(
+                          fm.Unison(8, SchedulingMetric::kByLastRoundTime, 0,
+                                    kUnisonRoundOverheadNs)
+                              .makespan_ns) *
+                      1e-9;
+    t.Row({which == WanName::kGeant ? "GEANT" : "ChinaNet", Fmt("%.3f", seq_s),
+           Fmt("%.3f", u8), Fmt("%.1fx", seq_s / u8)});
+  }
+  t.Print();
+  std::printf("\nShape check: super-linear (>8x) speedup is possible thanks to the\n"
+              "cache boost; no manual partition exists for these irregular graphs.\n");
+}
+
+void PartReconf(bool full) {
+  const Time sim = full ? Time::Milliseconds(100) : Time::Milliseconds(30);
+  std::printf("\n(d) reconfigurable DCN (k=4 fat-tree, core layer swapped in/out)\n\n");
+  Table t({"change interval", "sequential wall", "Unison(4, modeled)"});
+  for (int64_t interval_ms : {1, 2, 5, 10}) {
+    auto build = [sim, interval_ms](Network& net) {
+      FatTreeTopo topo = BuildFatTree(net, 4, 10000000000ULL, Time::Microseconds(3));
+      net.Finalize();
+      std::vector<uint32_t> toggled;
+      for (uint32_t i = 0; i < net.links().size(); ++i) {
+        const auto& l = net.links()[i];
+        for (size_t c = 1; c < topo.core_switches.size(); ++c) {
+          if (l.a == topo.core_switches[c] || l.b == topo.core_switches[c]) {
+            toggled.push_back(i);
+          }
+        }
+      }
+      // Owned by a heap box the network keeps alive via the first event's
+      // capture chain; the bench's builder frame dies before Run, so a
+      // stack reference would dangle. A non-self-referencing shared_ptr
+      // chain (each event holds the box once) has no cycle.
+      Network* netp = &net;
+      const Time interval = Time::Milliseconds(interval_ms);
+      struct Flipper {
+        Network* net;
+        std::vector<uint32_t> links;
+        Time interval;
+        void Fire(std::shared_ptr<Flipper> self, bool up) {
+          for (uint32_t l : links) {
+            net->SetLinkUp(l, up);
+          }
+          net->sim().ScheduleGlobal(net->sim().Now() + interval,
+                                    [self, up] { self->Fire(self, !up); });
+        }
+      };
+      auto flipper = std::make_shared<Flipper>(Flipper{netp, toggled, interval});
+      net.sim().ScheduleGlobal(interval,
+                               [flipper] { flipper->Fire(flipper, false); });
+
+      TrafficSpec traffic;
+      traffic.hosts = topo.hosts;
+      traffic.bisection_bps = topo.bisection_bps;
+      traffic.load = 0.3;
+      traffic.duration = sim;
+      GenerateTraffic(net, traffic);
+    };
+    SimConfig cfg;
+    cfg.seed = 37;
+    ApplyDcnTcp(&cfg);
+    const double seq_s = SequentialWallSeconds(cfg, build, sim);
+    const TraceResult fine = InstrumentedRun(cfg, build, sim);
+    ParallelCostModel fm(fine.trace, fine.num_lps);
+    const double u4 = static_cast<double>(
+                          fm.Unison(4, SchedulingMetric::kByLastRoundTime, 0,
+                                    kUnisonRoundOverheadNs)
+                              .makespan_ns) *
+                      1e-9;
+    t.Row({Fmt("%ldms", interval_ms), Fmt("%.3f s", seq_s), Fmt("%.3f s", u4)});
+  }
+  t.Print();
+  std::printf("\nShape check: both rows grow only mildly as reconfiguration gets\n"
+              "more frequent — dynamic topology support costs Unison little.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = HasFlag(argc, argv, "--full");
+  const std::string part = GetOpt(argc, argv, "--part", "all");
+  std::printf("Figure 10 — generality across topologies and traffic patterns\n");
+  if (part == "torus" || part == "all") {
+    PartTorus(full);
+  }
+  if (part == "bcube" || part == "all") {
+    PartBCube(full);
+  }
+  if (part == "wan" || part == "all") {
+    PartWan(full);
+  }
+  if (part == "reconf" || part == "all") {
+    PartReconf(full);
+  }
+  return 0;
+}

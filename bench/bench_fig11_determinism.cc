@@ -1,0 +1,111 @@
+// Figure 11: determinism. A k=4 fat-tree simulated 10 times ("epochs") per
+// kernel; the paper shows the stock PDES kernels' event counts and measured
+// delays fluctuate between runs while Unison's are exactly constant, and
+// Unison's results are also identical for any thread count.
+//
+// The baselines here run with deterministic=false, which reproduces stock
+// ns-3 tie-breaking (simultaneous events in cross-LP arrival order). These
+// are real multi-threaded runs, not models: the indeterminism IS the race.
+#include <set>
+
+#include "bench/bench_util.h"
+#include "src/unison.h"
+
+using namespace unison;
+using namespace unison::bench;
+
+namespace {
+
+struct Epoch {
+  uint64_t events = 0;
+  uint64_t fingerprint = 0;
+  double mean_fct_ms = 0;
+};
+
+Epoch RunEpoch(KernelType type, uint32_t threads, bool deterministic) {
+  SimConfig cfg;
+  cfg.kernel.type = type;
+  cfg.kernel.threads = threads;
+  cfg.kernel.deterministic = deterministic;
+  cfg.seed = 77;
+  ApplyDcnTcp(&cfg);
+  cfg.partition = type == KernelType::kBarrier || type == KernelType::kNullMessage
+                      ? PartitionMode::kManual
+                      : PartitionMode::kAuto;
+  if (type == KernelType::kSequential) {
+    cfg.partition = PartitionMode::kSingle;
+  }
+  Network net(cfg);
+  FatTreeTopo topo = BuildFatTree(net, 4, 10000000000ULL, Time::Microseconds(3));
+  if (cfg.partition == PartitionMode::kManual) {
+    net.SetManualPartition(4, FatTreePodPartition(topo, net.num_nodes()));
+  }
+  net.Finalize();
+  TrafficSpec traffic;
+  traffic.hosts = topo.hosts;
+  traffic.bisection_bps = topo.bisection_bps;
+  traffic.load = 0.4;
+  traffic.duration = Time::Milliseconds(3);
+  traffic.incast_ratio = 0.2;
+  GenerateTraffic(net, traffic);
+  net.Run(Time::Milliseconds(3));
+  return Epoch{net.kernel().processed_events(), net.flow_monitor().Fingerprint(),
+               net.flow_monitor().Summarize().mean_fct_ms};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int epochs = HasFlag(argc, argv, "--full") ? 10 : 5;
+  std::printf("Figure 11 — determinism across %d epochs (k=4 fat-tree, real runs)\n\n",
+              epochs);
+
+  struct Config {
+    const char* name;
+    KernelType type;
+    uint32_t threads;
+    bool deterministic;
+  };
+  const Config configs[] = {
+      {"barrier (stock ties)", KernelType::kBarrier, 4, false},
+      {"nullmsg (stock ties)", KernelType::kNullMessage, 4, false},
+      {"Unison (tie-break)", KernelType::kUnison, 4, true},
+  };
+
+  Table t({"kernel", "distinct event counts", "distinct results", "mean FCT spread (ms)"});
+  for (const Config& c : configs) {
+    std::set<uint64_t> counts;
+    std::set<uint64_t> prints;
+    double fct_min = 1e300;
+    double fct_max = -1e300;
+    for (int e = 0; e < epochs; ++e) {
+      const Epoch ep = RunEpoch(c.type, c.threads, c.deterministic);
+      counts.insert(ep.events);
+      prints.insert(ep.fingerprint);
+      fct_min = std::min(fct_min, ep.mean_fct_ms);
+      fct_max = std::max(fct_max, ep.mean_fct_ms);
+    }
+    t.Row({c.name, Fmt("%zu/%d", counts.size(), epochs),
+           Fmt("%zu/%d", prints.size(), epochs), Fmt("%.6f", fct_max - fct_min)});
+  }
+  t.Print();
+
+  std::printf("\nUnison across thread counts (must be 1 distinct result):\n\n");
+  Table t2({"threads", "events", "fingerprint"});
+  std::set<uint64_t> cross_thread;
+  for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+    const Epoch ep = RunEpoch(KernelType::kUnison, threads, true);
+    cross_thread.insert(ep.fingerprint);
+    t2.Row({Fmt("%u", threads), Fmt("%lu", (unsigned long)ep.events),
+            Fmt("%016lx", (unsigned long)ep.fingerprint)});
+  }
+  t2.Print();
+  std::printf("\ndistinct results across thread counts: %zu (expected 1)\n",
+              cross_thread.size());
+  std::printf("\nShape check: Unison rows are constant; the stock-tie baselines may\n"
+              "fluctuate from run to run (arrival-order races). On a single-core\n"
+              "host races are rarer than on the paper's testbed but the mechanism\n"
+              "is identical; deterministic=true fixes the baselines too, because\n"
+              "the tie-breaking rule lives in this library's core.\n");
+  return 0;
+}

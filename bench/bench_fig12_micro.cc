@@ -1,0 +1,265 @@
+// Figure 12: micro benchmarks of fine-grained partition and load-adaptive
+// scheduling.
+//
+//   --part=a  cache misses and simulation time vs partition granularity
+//             (12x12 torus, 1 thread, manual LP counts; cache misses from
+//             the cache simulator — see DESIGN.md §2).
+//   --part=b  cache misses under different partition schemes around a
+//             bottleneck link (auto / avoid-bottleneck / coarse).
+//   --part=c  scheduler slowdown factor alpha for the three metrics.
+//   --part=d  simulation time vs scheduling period.
+#include "bench/bench_util.h"
+#include "src/unison.h"
+
+using namespace unison;
+using namespace unison::bench;
+
+namespace {
+
+struct GranularityResult {
+  uint64_t misses = 0;
+  double wall_s = 0;
+  uint64_t events = 0;
+};
+
+GranularityResult RunTorusWithLps(uint32_t lps, Time sim) {
+  SimConfig cfg;
+  cfg.seed = 51;
+  ApplyDcnTcp(&cfg);
+  cfg.kernel.type = KernelType::kUnison;
+  cfg.kernel.threads = 1;
+  cfg.partition = lps == 0 ? PartitionMode::kAuto : PartitionMode::kManual;
+
+  CacheConfig cache_cfg;
+  cache_cfg.size_bytes = 512 * 1024;
+  cache_cfg.node_state_bytes = 4096;
+  CacheSim cache(cache_cfg);
+
+  Network net(cfg);
+  TorusTopo topo = BuildTorus2D(net, 12, 12, 10000000000ULL, Time::Microseconds(30));
+  if (lps > 0) {
+    std::vector<LpId> lp(net.num_nodes());
+    const uint32_t per = (net.num_nodes() + lps - 1) / lps;
+    for (NodeId n = 0; n < net.num_nodes(); ++n) {
+      lp[n] = std::min(n / per, lps - 1);
+    }
+    net.SetManualPartition(lps, std::move(lp));
+  }
+  net.Finalize();
+  TrafficSpec traffic;
+  traffic.hosts = topo.nodes;
+  traffic.bisection_bps = topo.bisection_bps;
+  traffic.load = 0.3;
+  traffic.duration = sim;
+  GenerateTraffic(net, traffic);
+
+  cache.Install();
+  const uint64_t t0 = Profiler::NowNs();
+  net.Run(sim);
+  const uint64_t t1 = Profiler::NowNs();
+  CacheSim::Uninstall();
+
+  return GranularityResult{cache.misses(), static_cast<double>(t1 - t0) * 1e-9,
+                           net.kernel().processed_events()};
+}
+
+void PartA(bool full) {
+  const Time sim = full ? Time::Milliseconds(20) : Time::Milliseconds(8);
+  std::printf("\n(a) partition granularity on a 12x12 torus, 1 thread\n\n");
+  Table t({"#LP", "modeled cache misses", "wall time (s)", "events"});
+  for (uint32_t lps : {1u, 4u, 16u, 48u, 144u}) {
+    const GranularityResult r = RunTorusWithLps(lps, sim);
+    t.Row({Fmt("%u", lps), Fmt("%lu", (unsigned long)r.misses), Fmt("%.3f", r.wall_s),
+           Fmt("%lu", (unsigned long)r.events)});
+  }
+  t.Print();
+  std::printf("\nShape check: misses fall monotonically as the partition gets\n"
+              "finer (per-LP windows group each node's events); wall time follows.\n");
+}
+
+void PartB(bool full) {
+  const Time sim = full ? Time::Milliseconds(20) : Time::Milliseconds(8);
+  std::printf("\n(b) partition schemes around a bottleneck (DCTCP-style dumbbell\n"
+              "of clusters, 4 modeled threads)\n\n");
+
+  // Two sender clusters, two receiver clusters, one bottleneck link chain.
+  auto build = [sim](Network& net, int scheme) {
+    // scheme 0 = auto, 1 = avoid cutting the bottleneck, 2 = coarse.
+    const uint64_t bps = 10000000000ULL;
+    const Time d = Time::Microseconds(3);
+    std::vector<NodeId> left_hosts;
+    std::vector<NodeId> right_hosts;
+    const NodeId lsw = net.AddNode();
+    const NodeId rsw = net.AddNode();
+    for (int i = 0; i < 8; ++i) {
+      const NodeId h = net.AddNode();
+      net.AddLink(h, lsw, bps, d);
+      left_hosts.push_back(h);
+    }
+    for (int i = 0; i < 8; ++i) {
+      const NodeId h = net.AddNode();
+      net.AddLink(h, rsw, bps, d);
+      right_hosts.push_back(h);
+    }
+    net.AddLink(lsw, rsw, bps, d);  // The bottleneck carrying everything.
+    if (scheme == 1) {
+      // Fine everywhere except the two switches share one LP.
+      std::vector<LpId> lp(net.num_nodes());
+      lp[lsw] = 0;
+      lp[rsw] = 0;
+      for (uint32_t i = 0; i < 8; ++i) {
+        lp[left_hosts[i]] = 1 + i;
+        lp[right_hosts[i]] = 9 + i;
+      }
+      net.SetManualPartition(17, std::move(lp));
+    } else if (scheme == 2) {
+      // Coarse: left half vs right half.
+      std::vector<LpId> lp(net.num_nodes(), 0);
+      lp[rsw] = 1;
+      for (NodeId h : right_hosts) {
+        lp[h] = 1;
+      }
+      net.SetManualPartition(2, std::move(lp));
+    }
+    net.Finalize();
+    GeneratePermutation(net, left_hosts, 500000, Time::Zero());
+    // Cross traffic over the bottleneck.
+    for (int i = 0; i < 8; ++i) {
+      InstallFlow(net, FlowSpec{left_hosts[i], right_hosts[i],
+                                2000000, Time::Zero(), {}});
+    }
+    (void)sim;
+  };
+
+  Table t({"scheme", "#LP", "modeled cache misses", "Unison(4) modeled (s)"});
+  const char* names[] = {"auto (fine)", "keep bottleneck pair", "coarse halves"};
+  for (int scheme = 0; scheme < 3; ++scheme) {
+    SimConfig cfg;
+    cfg.seed = 53;
+    ApplyDcnTcp(&cfg);
+    cfg.kernel.type = KernelType::kUnison;
+    cfg.kernel.threads = 1;
+    cfg.partition = scheme == 0 ? PartitionMode::kAuto : PartitionMode::kManual;
+    cfg.profile = true;
+    cfg.profile_per_lp = true;
+
+    CacheConfig cache_cfg;
+    cache_cfg.size_bytes = 256 * 1024;
+    cache_cfg.node_state_bytes = 4096;
+    CacheSim cache(cache_cfg);
+
+    Network net(cfg);
+    build(net, scheme);
+    cache.Install();
+    net.Run(sim);
+    CacheSim::Uninstall();
+
+    ParallelCostModel model(net.profiler().MergedLpRounds(), net.kernel().num_lps());
+    const double modeled =
+        static_cast<double>(model
+                                .Unison(4, SchedulingMetric::kByLastRoundTime, 0,
+                                        kUnisonRoundOverheadNs)
+                                .makespan_ns) *
+        1e-9;
+    t.Row({names[scheme], Fmt("%u", net.kernel().num_lps()),
+           Fmt("%lu", (unsigned long)cache.misses()), Fmt("%.3f", modeled)});
+  }
+  t.Print();
+  std::printf("\nShape check: the coarse scheme is slowest (imbalance); the fine\n"
+              "scheme wins on parallel time despite cutting the hot link.\n");
+}
+
+void PartC(bool full) {
+  FatTreeScenario sc;
+  sc.k = full ? 8 : 4;
+  sc.load = 0.5;
+  sc.duration = full ? Time::Milliseconds(10) : Time::Milliseconds(4);
+  std::printf("\n(c) slowdown factor alpha by scheduling metric (k=%u fat-tree)\n\n", sc.k);
+
+  SimConfig cfg;
+  cfg.seed = 55;
+  ApplyDcnTcp(&cfg);
+  const TraceResult trace = InstrumentedRun(cfg, FatTreeBuilder(sc), sc.duration);
+  ParallelCostModel model(trace.trace, trace.num_lps);
+
+  Table t({"#threads", "by pending events", "by processing time", "none"});
+  for (uint32_t threads : {4u, 8u, 12u, 16u}) {
+    auto alpha = [&model, threads](SchedulingMetric m) {
+      return ParallelCostModel::SlowdownFactor(
+          model.Unison(threads, m, 1, kUnisonRoundOverheadNs));
+    };
+    t.Row({Fmt("%u", threads),
+           Fmt("%.3f", alpha(SchedulingMetric::kByPendingEventCount)),
+           Fmt("%.3f", alpha(SchedulingMetric::kByLastRoundTime)),
+           Fmt("%.3f", alpha(SchedulingMetric::kNone))});
+  }
+  t.Print();
+  std::printf("\nShape check: both adaptive metrics sit within ~1%% of the ideal\n"
+              "schedule and of each other (the paper's Fig. 12c shows the same\n"
+              "near-tie, with ByLastRoundTime ahead by a hair on their testbed);\n"
+              "no scheduling is clearly worst at every thread count.\n");
+}
+
+void PartD(bool full) {
+  FatTreeScenario sc;
+  sc.k = full ? 8 : 4;
+  sc.load = 0.5;
+  sc.duration = full ? Time::Milliseconds(10) : Time::Milliseconds(4);
+  std::printf("\n(d) scheduling period (k=%u fat-tree, 8 modeled threads)\n\n", sc.k);
+
+  SimConfig cfg;
+  cfg.seed = 57;
+  ApplyDcnTcp(&cfg);
+  const TraceResult trace = InstrumentedRun(cfg, FatTreeBuilder(sc), sc.duration);
+  ParallelCostModel model(trace.trace, trace.num_lps);
+
+  // Sort cost per re-sort, measured live on this machine for the actual LP
+  // count (the overhead the period amortizes).
+  std::vector<uint64_t> costs(trace.num_lps);
+  Rng rng(1, 2);
+  for (auto& c : costs) {
+    c = rng.NextU64Below(1000000);
+  }
+  const uint64_t t0 = Profiler::NowNs();
+  constexpr int kSortReps = 200;
+  for (int i = 0; i < kSortReps; ++i) {
+    (void)SortByCostDescending(costs);
+  }
+  const uint64_t sort_ns = (Profiler::NowNs() - t0) / kSortReps;
+
+  Table t({"period", "modeled time (s)", "of which sort overhead (ms)"});
+  for (uint32_t period : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    const ModelResult r =
+        model.Unison(8, SchedulingMetric::kByLastRoundTime, period, kUnisonRoundOverheadNs);
+    const uint64_t resorts = (model.rounds() + period - 1) / period;
+    const double total = static_cast<double>(r.makespan_ns + resorts * sort_ns) * 1e-9;
+    t.Row({Fmt("%u", period), Fmt("%.4f", total),
+           Fmt("%.3f", static_cast<double>(resorts * sort_ns) * 1e-6)});
+  }
+  t.Print();
+  std::printf("\nShape check: a U-shape — short periods pay sorting, long periods\n"
+              "pay stale estimates; the default ceil(log2(#LP)) sits near the\n"
+              "bottom.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = HasFlag(argc, argv, "--full");
+  const std::string part = GetOpt(argc, argv, "--part", "all");
+  std::printf("Figure 12 — fine-grained partition & load-adaptive scheduling micro\n"
+              "benchmarks\n");
+  if (part == "a" || part == "all") {
+    PartA(full);
+  }
+  if (part == "b" || part == "all") {
+    PartB(full);
+  }
+  if (part == "c" || part == "all") {
+    PartC(full);
+  }
+  if (part == "d" || part == "all") {
+    PartD(full);
+  }
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Figure 13 (appendix): processing time per LP (barrier baseline) and per
+// thread (Unison) in consecutive 100-round buckets — the heatmap showing
+// that per-LP load is skewed but temporally stable, and that Unison's
+// scheduler flattens it across threads.
+//
+// Rendered as text matrices of seconds per bucket.
+#include "bench/bench_util.h"
+#include "src/unison.h"
+
+using namespace unison;
+using namespace unison::bench;
+
+namespace {
+
+void PrintMatrix(const char* title, const std::vector<std::vector<double>>& rows,
+                 const char* row_label) {
+  std::printf("%s\n\n", title);
+  std::vector<std::string> header = {std::string(row_label)};
+  for (size_t b = 0; b < rows[0].size(); ++b) {
+    header.push_back(Fmt("b%zu", b));
+  }
+  Table t(header);
+  for (size_t r = 0; r < rows.size(); ++r) {
+    std::vector<std::string> cells = {Fmt("%zu", r)};
+    for (double v : rows[r]) {
+      cells.push_back(Fmt("%.3f", v));
+    }
+    t.Row(cells);
+  }
+  t.Print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = HasFlag(argc, argv, "--full");
+  FatTreeScenario sc;
+  sc.k = full ? 8 : 4;
+  sc.load = 0.5;
+  sc.incast_ratio = 0.3;  // Skew so per-LP imbalance is visible.
+  sc.duration = full ? Time::Milliseconds(10) : Time::Milliseconds(4);
+  const uint32_t buckets = 8;
+
+  std::printf("Figure 13 — per-LP vs per-thread processing time heatmap\n"
+              "(k=%u fat-tree, %u round-buckets; seconds per bucket)\n\n",
+              sc.k, buckets);
+
+  // (a) Barrier baseline: per-pod LP processing per bucket.
+  FatTreeScenario manual = sc;
+  manual.manual = true;
+  SimConfig cfg;
+  cfg.seed = 61;
+  ApplyDcnTcp(&cfg);
+  cfg.partition = PartitionMode::kManual;
+  const TraceResult coarse = InstrumentedRun(cfg, FatTreeBuilder(manual), sc.duration);
+  ParallelCostModel cm(coarse.trace, coarse.num_lps);
+  {
+    const auto& costs = cm.round_costs();
+    const uint32_t rounds = cm.rounds();
+    const uint32_t per = std::max(1u, rounds / buckets);
+    std::vector<std::vector<double>> matrix(coarse.num_lps,
+                                            std::vector<double>(buckets, 0));
+    for (uint32_t r = 0; r < rounds; ++r) {
+      const uint32_t b = std::min(buckets - 1, r / per);
+      for (uint32_t lp = 0; lp < coarse.num_lps; ++lp) {
+        matrix[lp][b] += static_cast<double>(costs[r][lp]) * 1e-9;
+      }
+    }
+    PrintMatrix("(a) barrier synchronization: P per LP (pods) per bucket", matrix, "LP");
+    std::printf("\nShape check: rows differ a lot (spatial skew) but each row is\n"
+                "smooth across buckets (temporal locality, §4.3).\n\n");
+  }
+
+  // (b) Unison: per-thread P per bucket from the modeled LPT assignment.
+  SimConfig fcfg;
+  fcfg.seed = 61;
+  ApplyDcnTcp(&fcfg);
+  const TraceResult fine = InstrumentedRun(fcfg, FatTreeBuilder(sc), sc.duration);
+  ParallelCostModel fm(fine.trace, fine.num_lps);
+  const uint32_t threads = sc.k;
+  {
+    // Re-run the schedule per round to attribute costs to threads.
+    const auto& costs = fm.round_costs();
+    const auto& events = fm.round_events();
+    (void)events;
+    const uint32_t rounds = fm.rounds();
+    const uint32_t per = std::max(1u, rounds / buckets);
+    std::vector<std::vector<double>> matrix(threads, std::vector<double>(buckets, 0));
+    std::vector<uint64_t> estimate(fine.num_lps, 0);
+    std::vector<uint32_t> order(fine.num_lps);
+    for (uint32_t i = 0; i < fine.num_lps; ++i) {
+      order[i] = i;
+    }
+    std::vector<uint32_t> assignment;
+    for (uint32_t r = 0; r < rounds; ++r) {
+      if (r > 0) {
+        estimate = costs[r - 1];
+        order = SortByCostDescending(estimate);
+      }
+      ListScheduleMakespan(costs[r], order, threads, &assignment);
+      const uint32_t b = std::min(buckets - 1, r / per);
+      for (uint32_t lp = 0; lp < fine.num_lps; ++lp) {
+        matrix[assignment[lp]][b] += static_cast<double>(costs[r][lp]) * 1e-9;
+      }
+    }
+    PrintMatrix("(b) Unison: P per thread per bucket (load-adaptive schedule)", matrix,
+                "thr");
+    std::printf("\nShape check: rows are nearly equal — the scheduler balanced the\n"
+                "skew of (a) across threads, and totals are lower (cache boost).\n");
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Distributed (hybrid) simulation: §5.2's design for scaling past one host.
+// The fabric is coarsely divided across simulated "hosts" (ranks); each rank
+// runs fine-grained Unison internally and the ranks synchronize through a
+// global all-reduce on the window bound. Model code is unchanged — only the
+// SimConfig grows a rank count.
+//
+//   $ ./examples/hybrid_cluster
+#include <cstdio>
+
+#include "src/unison.h"
+
+namespace {
+
+unison::RunDigest RunWith(unison::KernelType type, uint32_t ranks, uint32_t lanes) {
+  unison::SimConfig cfg;
+  cfg.kernel.type = type;
+  cfg.kernel.ranks = ranks;
+  cfg.kernel.threads = lanes;
+  cfg.seed = 13;
+  unison::Network net(cfg);
+  unison::FatTreeTopo topo =
+      unison::BuildFatTree(net, 4, 10'000'000'000ULL, unison::Time::Microseconds(3));
+  net.Finalize();
+  unison::TrafficSpec traffic;
+  traffic.hosts = topo.hosts;
+  traffic.bisection_bps = topo.bisection_bps;
+  traffic.load = 0.3;
+  traffic.duration = unison::Time::Milliseconds(10);
+  unison::GenerateTraffic(net, traffic);
+  net.Run(unison::Time::Milliseconds(10));
+  return unison::DigestOf(net);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Hybrid distributed simulation of a k=4 fat-tree\n\n");
+  const unison::RunDigest seq = RunWith(unison::KernelType::kSequential, 1, 1);
+  std::printf("  sequential             : %9lu events, fingerprint %016lx\n",
+              static_cast<unsigned long>(seq.event_count),
+              static_cast<unsigned long>(seq.flow_fingerprint));
+  for (uint32_t ranks : {2u, 4u}) {
+    const unison::RunDigest hy = RunWith(unison::KernelType::kHybrid, ranks, 2);
+    std::printf("  hybrid %u hosts x 2 thr : %9lu events, fingerprint %016lx  %s\n",
+                ranks, static_cast<unsigned long>(hy.event_count),
+                static_cast<unsigned long>(hy.flow_fingerprint),
+                hy == seq ? "== sequential" : "MISMATCH!");
+  }
+  std::printf("\nEach simulated host runs its own fine-grained partition and\n"
+              "load-adaptive scheduler; inter-host packets ride the same mailbox\n"
+              "fabric, and the deterministic tie-break keeps results identical\n"
+              "to the single-host kernels.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Quickstart: build a fat-tree, launch flows, run the same unmodified model
+// under the sequential kernel and under Unison, and confirm both produce
+// identical results — the user-transparency property in action.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "src/unison.h"
+
+namespace {
+
+unison::RunDigest RunOnce(unison::KernelType kernel, uint32_t threads) {
+  unison::SimConfig cfg;
+  cfg.kernel.type = kernel;
+  cfg.kernel.threads = threads;
+  cfg.seed = 7;
+
+  unison::Network net(cfg);
+
+  // A k=4 fat-tree: 16 hosts, 20 switches, 10Gbps links, 3us delay.
+  unison::FatTreeTopo topo =
+      unison::BuildFatTree(net, 4, 10'000'000'000ULL, unison::Time::Microseconds(3));
+  net.Finalize();
+
+  // One explicit flow...
+  unison::InstallFlow(net, unison::FlowSpec{.src = topo.hosts[0],
+                                            .dst = topo.hosts[15],
+                                            .bytes = 1 << 20,
+                                            .start = unison::Time::Zero()});
+  // ...plus web-search background traffic at 20% of bisection bandwidth.
+  unison::TrafficSpec traffic;
+  traffic.hosts = topo.hosts;
+  traffic.bisection_bps = topo.bisection_bps;
+  traffic.load = 0.2;
+  traffic.duration = unison::Time::Milliseconds(10);
+  unison::GenerateTraffic(net, traffic);
+
+  net.Run(unison::Time::Milliseconds(10));
+  return unison::DigestOf(net);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Running the same model under two kernels...\n\n");
+
+  const unison::RunDigest seq = RunOnce(unison::KernelType::kSequential, 1);
+  std::printf("  sequential DES : %10lu events, mean FCT %.3f ms, fingerprint %016lx\n",
+              static_cast<unsigned long>(seq.event_count), seq.mean_fct_ms,
+              static_cast<unsigned long>(seq.flow_fingerprint));
+
+  const unison::RunDigest uni = RunOnce(unison::KernelType::kUnison, 4);
+  std::printf("  Unison (4 thr) : %10lu events, mean FCT %.3f ms, fingerprint %016lx\n",
+              static_cast<unsigned long>(uni.event_count), uni.mean_fct_ms,
+              static_cast<unsigned long>(uni.flow_fingerprint));
+
+  if (seq == uni) {
+    std::printf("\nIdentical results with zero model changes — kernel choice is\n"
+                "just a SimConfig field (fine-grained partition, load-adaptive\n"
+                "scheduling and deterministic tie-breaking are automatic).\n");
+    return 0;
+  }
+  std::printf("\nERROR: kernels disagreed!\n");
+  return 1;
+}

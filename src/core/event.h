@@ -1,0 +1,69 @@
+// Discrete events and the deterministic total order over them.
+//
+// A discrete event is "when, where, what" (§2.1 of the paper): a timestamp,
+// the logical process it executes in, and a callback. To make parallel runs
+// reproducible, Unison extends the ordering key with the tie-breaking rule of
+// §5.2: events with equal timestamps are ordered by the sender's clock at
+// schedule time, then by the sender's identity, then by a per-sender
+// sequence number. The resulting key is a strict total order, so every
+// kernel — with any thread count — pops events in the same order.
+//
+// One strengthening over the paper: the sender identity here is the sending
+// *node*, not the sending LP. LP ids depend on the partition, so the paper's
+// rule makes simultaneous-event order differ between partitions (their
+// Table 2 notes the resulting "slight difference" against sequential DES).
+// Node ids are partition-independent, so with this key the sequential
+// kernel, both PDES baselines, Unison and the hybrid kernel produce
+// bit-identical results for the same seed.
+#ifndef UNISON_SRC_CORE_EVENT_H_
+#define UNISON_SRC_CORE_EVENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <tuple>
+
+#include "src/core/time.h"
+
+namespace unison {
+
+using EventFn = std::function<void()>;
+
+// Identifies a logical process. kPublicLp is the designated LP for global
+// events (§4.2): topology changes, simulation stop, progress reporting.
+using LpId = uint32_t;
+inline constexpr LpId kPublicLp = 0xffffffffu;
+
+// Identifies a simulated node (host or switch). kNoNode marks events with no
+// node attribution (global events).
+using NodeId = uint32_t;
+inline constexpr NodeId kNoNode = 0xffffffffu;
+
+struct EventKey {
+  Time ts;            // When the event executes.
+  Time sender_ts;     // Sender's clock when the event was scheduled.
+  NodeId sender_node; // Which node's event scheduled it (kNoNode: global).
+  uint64_t seq;       // Per-sender-LP schedule counter; within one sender
+                      // node it preserves that node's schedule order in
+                      // every partition.
+
+  friend bool operator<(const EventKey& a, const EventKey& b) {
+    return std::tie(a.ts, a.sender_ts, a.sender_node, a.seq) <
+           std::tie(b.ts, b.sender_ts, b.sender_node, b.seq);
+  }
+  friend bool operator==(const EventKey& a, const EventKey& b) {
+    return std::tie(a.ts, a.sender_ts, a.sender_node, a.seq) ==
+           std::tie(b.ts, b.sender_ts, b.sender_node, b.seq);
+  }
+};
+
+struct Event {
+  EventKey key;
+  // Node whose state this event touches; drives cache traces and lets events
+  // scheduled from inside a callback inherit attribution.
+  NodeId node = kNoNode;
+  EventFn fn;
+};
+
+}  // namespace unison
+
+#endif  // UNISON_SRC_CORE_EVENT_H_

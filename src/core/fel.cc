@@ -1,0 +1,65 @@
+#include "src/core/fel.h"
+
+namespace unison {
+
+void FutureEventList::Push(Event event) {
+  heap_.push_back(std::move(event));
+  SiftUp(heap_.size() - 1);
+}
+
+Event FutureEventList::Pop() {
+  Event top = std::move(heap_.front());
+  heap_.front() = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    SiftDown(0);
+  }
+  return top;
+}
+
+Time FutureEventList::NextTimestamp() const {
+  return heap_.empty() ? Time::Max() : heap_.front().key.ts;
+}
+
+size_t FutureEventList::CountBefore(Time bound) const {
+  size_t n = 0;
+  for (const Event& e : heap_) {
+    if (e.key.ts < bound) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void FutureEventList::SiftUp(size_t i) {
+  while (i > 0) {
+    size_t parent = (i - 1) / 2;
+    if (!(heap_[i].key < heap_[parent].key)) {
+      break;
+    }
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void FutureEventList::SiftDown(size_t i) {
+  const size_t n = heap_.size();
+  for (;;) {
+    size_t smallest = i;
+    const size_t l = 2 * i + 1;
+    const size_t r = 2 * i + 2;
+    if (l < n && heap_[l].key < heap_[smallest].key) {
+      smallest = l;
+    }
+    if (r < n && heap_[r].key < heap_[smallest].key) {
+      smallest = r;
+    }
+    if (smallest == i) {
+      return;
+    }
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+}
+
+}  // namespace unison

@@ -1,0 +1,51 @@
+// The future event list (FEL): a min-priority queue of events keyed by the
+// deterministic EventKey order. One FEL exists per logical process; only the
+// thread currently executing that LP touches it, so no synchronization is
+// needed here (phase barriers in the kernels provide the happens-before
+// edges for cross-round handoff).
+#ifndef UNISON_SRC_CORE_FEL_H_
+#define UNISON_SRC_CORE_FEL_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "src/core/event.h"
+
+namespace unison {
+
+class FutureEventList {
+ public:
+  void Push(Event event);
+
+  // Precondition: !Empty().
+  Event Pop();
+
+  // Timestamp of the earliest event, or Time::Max() when empty.
+  Time NextTimestamp() const;
+
+  // Full ordering key of the earliest event; only valid when !Empty().
+  const EventKey& PeekKey() const { return heap_.front().key; }
+
+  bool Empty() const { return heap_.empty(); }
+  size_t Size() const { return heap_.size(); }
+
+  // Number of queued events with timestamp strictly below `bound`; linear
+  // scan, used by the ByPendingEventCount scheduling metric where only the
+  // partial order of LP sizes matters.
+  size_t CountBefore(Time bound) const;
+
+  void Clear() { heap_.clear(); }
+
+ private:
+  // Manual binary heap rather than std::priority_queue so that Pop can move
+  // the callback out instead of copying it.
+  void SiftUp(size_t i);
+  void SiftDown(size_t i);
+
+  std::vector<Event> heap_;
+};
+
+}  // namespace unison
+
+#endif  // UNISON_SRC_CORE_FEL_H_

@@ -1,0 +1,68 @@
+#include "src/core/rng.h"
+
+#include <cmath>
+
+namespace unison {
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed, uint64_t stream) {
+  // Mix the stream id into the SplitMix64 state so that streams of the same
+  // seed do not overlap.
+  uint64_t state = seed ^ (stream * 0xda3e39cb94b95bdbULL + 0x853c49e6748fea9bULL);
+  for (auto& s : s_) {
+    s = SplitMix64(state);
+  }
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits → uniform double in [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+uint64_t Rng::NextU64Below(uint64_t n) {
+  if (n == 0) {
+    return 0;
+  }
+  // Rejection sampling over the largest multiple of n that fits in 64 bits.
+  const uint64_t threshold = -n % n;
+  for (;;) {
+    const uint64_t r = NextU64();
+    if (r >= threshold) {
+      return r % n;
+    }
+  }
+}
+
+double Rng::NextExponential(double mean) {
+  // Inverse transform; guard against log(0).
+  double u = NextDouble();
+  while (u <= 0.0) {
+    u = NextDouble();
+  }
+  return -mean * std::log(u);
+}
+
+}  // namespace unison

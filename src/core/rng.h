@@ -1,0 +1,40 @@
+// Deterministic random number generation.
+//
+// Every model component draws from its own named stream so that results are
+// bit-reproducible regardless of kernel choice, thread count, or the order in
+// which other components consume randomness. Streams are xoshiro256**
+// generators seeded through SplitMix64 from (global seed, stream id), the
+// initialization recommended by the xoshiro authors.
+#ifndef UNISON_SRC_CORE_RNG_H_
+#define UNISON_SRC_CORE_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace unison {
+
+class Rng {
+ public:
+  // Stream `stream` of the experiment identified by `seed`. Distinct
+  // (seed, stream) pairs yield statistically independent sequences.
+  explicit Rng(uint64_t seed, uint64_t stream = 0);
+
+  uint64_t NextU64();
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // Uniform integer in [0, n). Uses rejection sampling, so the result is
+  // unbiased for every n.
+  uint64_t NextU64Below(uint64_t n);
+
+  // Exponentially distributed with the given mean.
+  double NextExponential(double mean);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace unison
+
+#endif  // UNISON_SRC_CORE_RNG_H_

@@ -1,0 +1,154 @@
+#include "src/costmodel/cost_model.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/sched/lpt.h"
+
+namespace unison {
+
+ParallelCostModel::ParallelCostModel(const std::vector<LpRoundCost>& trace, uint32_t num_lps)
+    : num_lps_(num_lps) {
+  uint32_t rounds = 0;
+  for (const LpRoundCost& c : trace) {
+    rounds = std::max(rounds, c.round + 1);
+  }
+  cost_.assign(rounds, std::vector<uint64_t>(num_lps, 0));
+  events_.assign(rounds, std::vector<uint32_t>(num_lps, 0));
+  pending_.assign(rounds, std::vector<uint32_t>(num_lps, 0));
+  for (const LpRoundCost& c : trace) {
+    cost_[c.round][c.lp] += c.cpu_ns;
+    events_[c.round][c.lp] += c.events;
+    pending_[c.round][c.lp] += c.pending;
+  }
+}
+
+uint64_t ParallelCostModel::SequentialNs() const {
+  uint64_t sum = 0;
+  for (const auto& round : cost_) {
+    sum = std::accumulate(round.begin(), round.end(), sum);
+  }
+  return sum;
+}
+
+ModelResult ParallelCostModel::Barrier(const std::vector<uint32_t>& rank_of_lp,
+                                       uint32_t ranks, uint64_t sync_overhead_ns) const {
+  ModelResult out;
+  out.executor_p_ns.assign(ranks, 0);
+  out.executor_s_ns.assign(ranks, 0);
+  std::vector<uint64_t> rank_cost(ranks);
+  for (const auto& round : cost_) {
+    std::fill(rank_cost.begin(), rank_cost.end(), 0);
+    for (uint32_t lp = 0; lp < num_lps_; ++lp) {
+      rank_cost[rank_of_lp[lp]] += round[lp];
+    }
+    const uint64_t span = *std::max_element(rank_cost.begin(), rank_cost.end());
+    out.round_makespan_ns.push_back(span + sync_overhead_ns);
+    out.makespan_ns += span + sync_overhead_ns;
+    for (uint32_t r = 0; r < ranks; ++r) {
+      out.executor_p_ns[r] += rank_cost[r];
+      out.executor_s_ns[r] += span - rank_cost[r] + sync_overhead_ns;
+      out.processing_ns += rank_cost[r];
+    }
+  }
+  return out;
+}
+
+ModelResult ParallelCostModel::NullMessage(
+    const std::vector<std::vector<uint32_t>>& lp_neighbors,
+    uint64_t per_round_overhead_ns) const {
+  // finish[lp] after round r depends on the LP's own previous finish and its
+  // neighbours' previous finishes (their promises gate the next window).
+  ModelResult out;
+  out.executor_p_ns.assign(num_lps_, 0);
+  out.executor_s_ns.assign(num_lps_, 0);
+  std::vector<uint64_t> finish(num_lps_, 0);
+  std::vector<uint64_t> prev(num_lps_, 0);
+  for (const auto& round : cost_) {
+    prev = finish;
+    uint64_t span_end = 0;
+    for (uint32_t lp = 0; lp < num_lps_; ++lp) {
+      uint64_t ready = prev[lp];
+      for (uint32_t nbr : lp_neighbors[lp]) {
+        ready = std::max(ready, prev[nbr]);
+      }
+      finish[lp] = ready + round[lp] + per_round_overhead_ns;
+      out.executor_p_ns[lp] += round[lp];
+      out.executor_s_ns[lp] += ready - prev[lp] + per_round_overhead_ns;
+      out.processing_ns += round[lp];
+      span_end = std::max(span_end, finish[lp]);
+    }
+    out.round_makespan_ns.push_back(span_end);
+  }
+  out.makespan_ns = *std::max_element(finish.begin(), finish.end());
+  return out;
+}
+
+ModelResult ParallelCostModel::Unison(uint32_t workers, SchedulingMetric metric,
+                                      uint32_t sched_period,
+                                      uint64_t per_round_overhead_ns) const {
+  ModelResult out;
+  out.executor_p_ns.assign(workers, 0);
+  out.executor_s_ns.assign(workers, 0);
+  std::vector<uint64_t> estimate(num_lps_, 0);
+  std::vector<uint32_t> order(num_lps_);
+  std::iota(order.begin(), order.end(), 0);
+  const uint32_t period = std::max(1u, sched_period);
+
+  std::vector<uint32_t> assignment;
+  for (uint32_t r = 0; r < cost_.size(); ++r) {
+    const auto& actual = cost_[r];
+    // Refresh the claim order from the selected estimate source.
+    if (r % period == 0) {
+      switch (metric) {
+        case SchedulingMetric::kNone:
+          break;  // Keep id order.
+        case SchedulingMetric::kByPendingEventCount:
+          // What the metric can actually see: events already queued below
+          // the window at round start — not the events that will chain in.
+          for (uint32_t lp = 0; lp < num_lps_; ++lp) {
+            estimate[lp] = pending_[r][lp];
+          }
+          order = SortByCostDescending(estimate);
+          break;
+        case SchedulingMetric::kByLastRoundTime:
+          if (r > 0) {
+            for (uint32_t lp = 0; lp < num_lps_; ++lp) {
+              estimate[lp] = cost_[r - 1][lp];
+            }
+            order = SortByCostDescending(estimate);
+          }
+          break;
+      }
+    }
+    const uint64_t span = ListScheduleMakespan(actual, order, workers, &assignment);
+    const uint64_t ideal =
+        ListScheduleMakespan(actual, SortByCostDescending(actual), workers);
+    out.round_makespan_ns.push_back(span + per_round_overhead_ns);
+    out.round_ideal_ns.push_back(ideal + per_round_overhead_ns);
+    out.makespan_ns += span + per_round_overhead_ns;
+
+    std::vector<uint64_t> worker_load(workers, 0);
+    for (uint32_t lp = 0; lp < num_lps_; ++lp) {
+      worker_load[assignment[lp]] += actual[lp];
+      out.processing_ns += actual[lp];
+    }
+    for (uint32_t w = 0; w < workers; ++w) {
+      out.executor_p_ns[w] += worker_load[w];
+      out.executor_s_ns[w] += span - worker_load[w] + per_round_overhead_ns;
+    }
+  }
+  return out;
+}
+
+double ParallelCostModel::SlowdownFactor(const ModelResult& result) {
+  uint64_t actual = 0;
+  uint64_t ideal = 0;
+  for (size_t i = 0; i < result.round_makespan_ns.size(); ++i) {
+    actual += result.round_makespan_ns[i];
+    ideal += result.round_ideal_ns[i];
+  }
+  return ideal == 0 ? 1.0 : static_cast<double>(actual) / static_cast<double>(ideal);
+}
+
+}  // namespace unison

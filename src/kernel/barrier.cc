@@ -1,0 +1,141 @@
+#include "src/kernel/barrier.h"
+
+#include <algorithm>
+
+#include "src/sched/thread_pool.h"
+
+namespace unison {
+
+void BarrierKernel::Run(Time stop_time) {
+  stop_ = stop_time;
+  done_ = false;
+  profiling_ = profiler_ != nullptr && profiler_->enabled;
+  const uint32_t ranks = num_lps();
+  if (profiling_) {
+    profiler_->BeginRun(ranks);
+  }
+  barrier_ = std::make_unique<SpinBarrier>(ranks);
+  rank_events_.assign(ranks, 0);
+  next_min_.Reset();
+
+  WorkerTeam team(ranks);
+  team.Run([this](uint32_t rank) { RankLoop(rank); });
+
+  processed_events_ = 0;
+  for (uint64_t n : rank_events_) {
+    processed_events_ += n;
+  }
+}
+
+void BarrierKernel::RankLoop(uint32_t rank) {
+  Lp* const lp = lps_[rank].get();
+  uint64_t events = 0;
+  uint64_t rounds = 0;
+  ExecutorPhaseStats local{};
+  const bool timing = profiling_;
+
+  for (;;) {
+    // All-reduce the minimum next-event timestamp (MPI_Allreduce analogue).
+    next_min_.Update(lp->fel().NextTimestamp().ps());
+    uint64_t t = timing ? Profiler::NowNs() : 0;
+    barrier_->Arrive();
+    if (timing) {
+      const uint64_t now = Profiler::NowNs();
+      local.synchronization_ns += now - t;
+      t = now;
+    }
+    if (rank == 0) {
+      const int64_t raw = next_min_.Get();
+      const Time min_next = raw == INT64_MAX ? Time::Max() : Time::Picoseconds(raw);
+      const Time npub = public_lp_->fel().NextTimestamp();
+      if (stop_requested_ || std::min(min_next, npub) >= stop_ ||
+          (min_next.IsMax() && npub.IsMax())) {
+        done_ = true;
+      } else {
+        if (min_next.IsMax() || partition_.lookahead.IsMax()) {
+          lbts_ = npub;
+        } else {
+          lbts_ = std::min(npub, min_next + partition_.lookahead);
+        }
+        window_ = std::min(lbts_, stop_);
+        next_min_.Reset();
+        if (profiling_) {
+          profiler_->BeginRound();
+        }
+      }
+    }
+    barrier_->Arrive();
+    if (timing) {
+      const uint64_t now = Profiler::NowNs();
+      local.synchronization_ns += now - t;
+      t = now;
+    }
+    if (done_) {
+      break;
+    }
+    ++rounds;
+
+    // Process this rank's events inside the window.
+    const uint64_t n = lp->ProcessUntil(window_);
+    events += n;
+    if (timing) {
+      const uint64_t now = Profiler::NowNs();
+      local.processing_ns += now - t;
+      if (profiling_) {
+        profiler_->AddRoundProcessing(rank, now - t);
+        if (profiler_->per_lp) {
+          profiler_->AddLpRound(rank, LpRoundCost{static_cast<uint32_t>(rounds - 1),
+                                                  lp->id(), static_cast<uint32_t>(n),
+                                                  static_cast<uint32_t>(n), now - t});
+        }
+      }
+      t = now;
+    }
+
+    // Rank 0 additionally handles global events at the window edge so that
+    // simulation stop and progress reports work; stock ns-3 duplicates these
+    // per rank, with the same observable effect. The surrounding barriers
+    // keep the other ranks' FELs quiescent while rank 0 inserts into them.
+    barrier_->Arrive();
+    if (rank == 0) {
+      events += RunGlobalEvents(lbts_, stop_);
+    }
+
+    uint64_t s0 = timing ? Profiler::NowNs() : 0;
+    barrier_->Arrive();
+    if (timing) {
+      const uint64_t now = Profiler::NowNs();
+      local.synchronization_ns += now - s0;
+      if (profiling_) {
+        profiler_->AddRoundSync(rank, now - s0);
+      }
+      t = now;
+    }
+
+    // Receive cross-LP events (M).
+    lp->DrainInboxes();
+    if (timing) {
+      const uint64_t now = Profiler::NowNs();
+      local.messaging_ns += now - t;
+      t = now;
+    }
+    barrier_->Arrive();
+    if (timing) {
+      local.synchronization_ns += Profiler::NowNs() - t;
+    }
+  }
+
+  rank_events_[rank] = events;
+  if (rank == 0) {
+    rounds_ = rounds;
+  }
+  if (profiling_) {
+    auto& stats = profiler_->executor(rank);
+    stats.processing_ns = local.processing_ns;
+    stats.synchronization_ns = local.synchronization_ns;
+    stats.messaging_ns = local.messaging_ns;
+    stats.events = events;
+  }
+}
+
+}  // namespace unison

@@ -1,0 +1,49 @@
+// Barrier-synchronization PDES baseline (§2.3): the default parallel kernel
+// of ns-3, reproduced over threads instead of MPI ranks.
+//
+// The topology is statically partitioned by the user; each LP is pinned to
+// its own executor ("rank"). Every round, ranks all-reduce the minimum
+// next-event timestamp to obtain the LBTS (Eq. 1), process events below it,
+// and barrier. Cross-LP events go through a locked per-rank inbox, mimicking
+// MPI message receipt — including its arrival-order indeterminism when the
+// kernel runs with deterministic=false.
+#ifndef UNISON_SRC_KERNEL_BARRIER_H_
+#define UNISON_SRC_KERNEL_BARRIER_H_
+
+#include <memory>
+
+#include "src/kernel/kernel.h"
+#include "src/sched/barrier_sync.h"
+
+namespace unison {
+
+class BarrierKernel : public Kernel {
+ public:
+  using Kernel::Kernel;
+
+  void Run(Time stop_time) override;
+
+ protected:
+  // Cross-LP transfer via the target's locked inbox: arrival order depends
+  // on thread timing, exactly like MPI receive order.
+  void ScheduleRemote(Lp* from, LpId target, Event ev) override {
+    (void)from;
+    lps_[target]->overflow().Push(std::move(ev));
+  }
+
+ private:
+  void RankLoop(uint32_t rank);
+
+  Time stop_;
+  Time window_;
+  Time lbts_;
+  bool done_ = false;
+  std::unique_ptr<SpinBarrier> barrier_;
+  AtomicTimeMin next_min_;
+  std::vector<uint64_t> rank_events_;
+  bool profiling_ = false;
+};
+
+}  // namespace unison
+
+#endif  // UNISON_SRC_KERNEL_BARRIER_H_

@@ -1,0 +1,230 @@
+#include "src/kernel/hybrid.h"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+
+#include "src/sched/lpt.h"
+
+namespace unison {
+
+void HybridKernel::Setup(const TopoGraph& graph, const Partition& partition) {
+  Kernel::Setup(graph, partition);
+  ranks_ = std::max(1u, config_.ranks);
+  lanes_ = std::max(1u, config_.threads);
+
+  // Coarse host mapping: slice the node-id range into `ranks_` blocks (the
+  // static partition the barrier algorithm would use), then place each LP on
+  // the rank owning its first node. Fine-grained LPs never straddle hosts.
+  rank_of_lp_.assign(num_lps(), 0);
+  std::vector<NodeId> first_node(num_lps(), graph.num_nodes);
+  for (NodeId n = 0; n < graph.num_nodes; ++n) {
+    const LpId lp = partition_.lp_of_node[n];
+    first_node[lp] = std::min(first_node[lp], n);
+  }
+  rank_lps_.assign(ranks_, {});
+  for (LpId lp = 0; lp < num_lps(); ++lp) {
+    const uint32_t rank = static_cast<uint32_t>(
+        static_cast<uint64_t>(first_node[lp]) * ranks_ / std::max(1u, graph.num_nodes));
+    rank_of_lp_[lp] = rank;
+    rank_lps_[rank].push_back(lp);
+  }
+
+  rank_order_ = rank_lps_;
+  rank_claim_.clear();
+  rank_claim_recv_.clear();
+  for (uint32_t r = 0; r < ranks_; ++r) {
+    rank_claim_.push_back(std::make_unique<std::atomic<uint32_t>>(0));
+    rank_claim_recv_.push_back(std::make_unique<std::atomic<uint32_t>>(0));
+  }
+  const uint32_t n = std::max(2u, num_lps());
+  period_ = config_.sched_period > 0 ? config_.sched_period : std::bit_width(n - 1);
+  last_round_ns_.assign(num_lps(), 0);
+  round_index_ = 0;
+}
+
+void HybridKernel::Run(Time stop_time) {
+  stop_ = stop_time;
+  done_ = false;
+  profiling_ = profiler_ != nullptr && profiler_->enabled;
+  timing_ = profiling_ || config_.metric == SchedulingMetric::kByLastRoundTime;
+  const uint32_t workers = ranks_ * lanes_;
+  if (profiling_) {
+    profiler_->BeginRun(workers);
+  }
+  barrier_ = std::make_unique<SpinBarrier>(workers);
+  worker_events_.assign(workers, 0);
+
+  next_min_.Reset();
+  for (const auto& lp : lps_) {
+    next_min_.Update(lp->fel().NextTimestamp().ps());
+  }
+
+  WorkerTeam team(workers);
+  team.Run([this](uint32_t worker) { RoundLoop(worker); });
+
+  processed_events_ = 0;
+  for (uint64_t n : worker_events_) {
+    processed_events_ += n;
+  }
+  rounds_ = round_index_;
+}
+
+void HybridKernel::Prologue() {
+  const int64_t raw_min = next_min_.Get();
+  const Time min_next = raw_min == INT64_MAX ? Time::Max() : Time::Picoseconds(raw_min);
+  const Time npub = public_lp_->fel().NextTimestamp();
+  if (stop_requested_ || std::min(min_next, npub) >= stop_ ||
+      (min_next.IsMax() && npub.IsMax())) {
+    done_ = true;
+    return;
+  }
+  if (min_next.IsMax() || partition_.lookahead.IsMax()) {
+    lbts_ = npub;
+  } else {
+    lbts_ = std::min(npub, min_next + partition_.lookahead);
+  }
+  window_ = std::min(lbts_, stop_);
+
+  if (round_index_ % period_ == 0 && config_.metric != SchedulingMetric::kNone) {
+    // Per-rank re-sort. ByPendingEventCount degrades to ByLastRoundTime here:
+    // counting FEL events cross-rank from the coordinator would be a remote
+    // operation on a real deployment.
+    for (uint32_t r = 0; r < ranks_; ++r) {
+      auto& order = rank_order_[r];
+      std::stable_sort(order.begin(), order.end(), [this](uint32_t a, uint32_t b) {
+        return last_round_ns_[a] > last_round_ns_[b];
+      });
+    }
+  }
+  ++round_index_;
+  for (uint32_t r = 0; r < ranks_; ++r) {
+    rank_claim_[r]->store(0, std::memory_order_relaxed);
+  }
+  if (profiling_) {
+    profiler_->BeginRound();
+  }
+}
+
+void HybridKernel::RoundLoop(uint32_t worker) {
+  const uint32_t rank = worker / lanes_;
+  const uint32_t lane = worker % lanes_;
+  const auto& my_lps = rank_lps_[rank];
+  const auto& my_order = rank_order_[rank];
+  std::atomic<uint32_t>& claim = *rank_claim_[rank];
+  std::atomic<uint32_t>& claim_recv = *rank_claim_recv_[rank];
+  uint64_t events = 0;
+  ExecutorPhaseStats local{};
+
+  for (;;) {
+    if (worker == 0) {
+      Prologue();
+    }
+    uint64_t t = timing_ ? Profiler::NowNs() : 0;
+    barrier_->Arrive();
+    if (done_) {
+      break;
+    }
+    if (timing_) {
+      const uint64_t now = Profiler::NowNs();
+      local.synchronization_ns += now - t;
+      t = now;
+    }
+
+    // Phase 1: process this rank's LPs in scheduler order.
+    for (;;) {
+      const uint32_t i = claim.fetch_add(1, std::memory_order_relaxed);
+      if (i >= my_order.size()) {
+        break;
+      }
+      const LpId lp_id = my_order[i];
+      const uint64_t lp_t0 = timing_ ? Profiler::NowNs() : 0;
+      const uint64_t n = lps_[lp_id]->ProcessUntil(window_);
+      events += n;
+      if (timing_) {
+        last_round_ns_[lp_id] = Profiler::NowNs() - lp_t0;
+      }
+    }
+    if (timing_) {
+      const uint64_t now = Profiler::NowNs();
+      local.processing_ns += now - t;
+      if (profiling_) {
+        profiler_->AddRoundProcessing(worker, now - t);
+      }
+      t = now;
+    }
+    worker_events_[worker] = events;  // Published by the barrier for LiveEvents.
+    barrier_->Arrive();
+    if (timing_) {
+      const uint64_t now = Profiler::NowNs();
+      local.synchronization_ns += now - t;
+      if (profiling_) {
+        profiler_->AddRoundSync(worker, now - t);
+      }
+      t = now;
+    }
+
+    // Phase 2: globals on the rank-0 main worker.
+    if (worker == 0) {
+      events += RunGlobalEvents(lbts_, stop_);
+      for (uint32_t r = 0; r < ranks_; ++r) {
+        rank_claim_recv_[r]->store(0, std::memory_order_relaxed);
+      }
+      next_min_.Reset();
+    }
+    barrier_->Arrive();
+    if (timing_) {
+      const uint64_t now = Profiler::NowNs();
+      local.synchronization_ns += now - t;
+      t = now;
+    }
+
+    // Phase 3: receive — intra-rank and inter-rank mailboxes alike.
+    for (;;) {
+      const uint32_t i = claim_recv.fetch_add(1, std::memory_order_relaxed);
+      if (i >= my_lps.size()) {
+        break;
+      }
+      lps_[my_lps[i]]->DrainInboxes();
+    }
+    if (timing_) {
+      const uint64_t now = Profiler::NowNs();
+      local.messaging_ns += now - t;
+      t = now;
+    }
+    // Drains must complete (globally: inter-rank mailboxes too) before any
+    // lane reads FELs for the all-reduce.
+    barrier_->Arrive();
+    if (timing_) {
+      const uint64_t now = Profiler::NowNs();
+      local.synchronization_ns += now - t;
+      t = now;
+    }
+
+    // Phase 4: all-reduce — each lane folds a strided slice of its rank's
+    // LPs into the shared minimum.
+    for (uint32_t i = lane; i < my_lps.size(); i += lanes_) {
+      next_min_.Update(lps_[my_lps[i]]->fel().NextTimestamp().ps());
+    }
+    if (timing_) {
+      const uint64_t now = Profiler::NowNs();
+      local.messaging_ns += now - t;
+      t = now;
+    }
+    barrier_->Arrive();
+    if (timing_) {
+      local.synchronization_ns += Profiler::NowNs() - t;
+    }
+  }
+
+  worker_events_[worker] = events;
+  if (profiling_) {
+    auto& stats = profiler_->executor(worker);
+    stats.processing_ns = local.processing_ns;
+    stats.synchronization_ns = local.synchronization_ns;
+    stats.messaging_ns = local.messaging_ns;
+    stats.events = events;
+  }
+}
+
+}  // namespace unison

@@ -1,0 +1,77 @@
+// Hybrid simulation kernel (§5.2): Unison scaled across multiple hosts.
+//
+// The topology is first divided into `ranks` coarse partitions — one per
+// simulated host — exactly as the barrier-synchronization algorithm would
+// map MPI ranks. Within each rank, Unison applies its fine-grained partition
+// and load-adaptive scheduling; across ranks, the window update performs an
+// all-reduce over every rank's minimum next-event timestamp, and inter-rank
+// events travel through the same mailbox fabric (in-process here; the wire
+// serialization of the real deployment does not change the synchronization
+// structure).
+//
+// The semantic difference from plain Unison is that load balancing never
+// crosses a rank boundary: a rank's workers only ever claim that rank's LPs,
+// so skew between hosts shows up as synchronization time — which is what the
+// distributed experiments of the paper measure.
+#ifndef UNISON_SRC_KERNEL_HYBRID_H_
+#define UNISON_SRC_KERNEL_HYBRID_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "src/kernel/kernel.h"
+#include "src/sched/barrier_sync.h"
+#include "src/sched/thread_pool.h"
+
+namespace unison {
+
+class HybridKernel : public Kernel {
+ public:
+  using Kernel::Kernel;
+
+  void Setup(const TopoGraph& graph, const Partition& partition) override;
+  void Run(Time stop_time) override;
+
+  uint32_t ranks() const { return ranks_; }
+  const std::vector<uint32_t>& rank_of_lp() const { return rank_of_lp_; }
+
+  uint64_t LiveEvents() const override {
+    uint64_t sum = 0;
+    for (uint64_t n : worker_events_) {
+      sum += n;
+    }
+    return sum;
+  }
+
+ private:
+  void Prologue();
+  void RoundLoop(uint32_t worker);
+
+  uint32_t ranks_ = 2;
+  uint32_t lanes_ = 1;  // Workers per rank.
+  uint32_t period_ = 1;
+  Time stop_;
+
+  Time window_;
+  Time lbts_;
+  bool done_ = false;
+
+  std::unique_ptr<SpinBarrier> barrier_;
+  AtomicTimeMin next_min_;
+
+  std::vector<uint32_t> rank_of_lp_;
+  std::vector<std::vector<uint32_t>> rank_lps_;    // LP ids per rank.
+  std::vector<std::vector<uint32_t>> rank_order_;  // Scheduler order per rank.
+  std::vector<std::unique_ptr<std::atomic<uint32_t>>> rank_claim_;
+  std::vector<std::unique_ptr<std::atomic<uint32_t>>> rank_claim_recv_;
+  std::vector<uint64_t> last_round_ns_;
+  std::vector<uint64_t> worker_events_;
+  uint32_t round_index_ = 0;
+  bool timing_ = false;
+  bool profiling_ = false;
+};
+
+}  // namespace unison
+
+#endif  // UNISON_SRC_KERNEL_HYBRID_H_

@@ -1,0 +1,99 @@
+#include "src/kernel/kernel.h"
+
+#include <utility>
+
+namespace unison {
+
+void Kernel::Setup(const TopoGraph& graph, const Partition& partition) {
+  graph_ = &graph;
+  partition_ = partition;
+  lps_.clear();
+  lps_.reserve(partition_.num_lps);
+  for (LpId i = 0; i < partition_.num_lps; ++i) {
+    lps_.push_back(std::make_unique<Lp>(i, config_.deterministic));
+  }
+  public_lp_ = std::make_unique<Lp>(kPublicLp, config_.deterministic);
+  processed_events_ = 0;
+  rounds_ = 0;
+  stop_requested_ = false;
+  WireMailboxes();
+}
+
+void Kernel::ScheduleOnNode(NodeId node, Time abs, EventFn fn) {
+  const LpId target_id = partition_.lp_of_node[node];
+  Lp* const target = lps_[target_id].get();
+  Lp* const cur = Lp::Current();
+  if (cur == nullptr || cur == target) {
+    // Setup time (single-threaded) or intra-LP: direct FEL insert.
+    target->ScheduleLocal(abs, node, std::move(fn));
+  } else if (cur == public_lp_.get()) {
+    // Global-event phase: the main thread runs alone, so direct insertion
+    // into any LP is safe ("global events have to be handled just once").
+    target->Insert(Event{cur->MakeKey(abs), node, std::move(fn)});
+  } else {
+    ScheduleRemote(cur, target_id, Event{cur->MakeKey(abs), node, std::move(fn)});
+  }
+}
+
+void Kernel::ScheduleGlobal(Time abs, EventFn fn) {
+  Lp* const cur = Lp::Current();
+  // Global events are normally scheduled before the run or from another
+  // global event (§4.2), both single-threaded contexts. Scheduling from an
+  // LP event is tolerated but serialized: the public FEL is shared.
+  if (cur != nullptr && cur != public_lp_.get()) {
+    std::lock_guard<std::mutex> lock(public_mu_);
+    public_lp_->fel().Push(Event{cur->MakeKey(abs), kNoNode, std::move(fn)});
+    return;
+  }
+  Lp* const sender = cur != nullptr ? cur : public_lp_.get();
+  public_lp_->fel().Push(Event{sender->MakeKey(abs), kNoNode, std::move(fn)});
+}
+
+void Kernel::NotifyTopologyChanged() {
+  FinalizePartition(*graph_, &partition_);
+  WireMailboxes();
+}
+
+void Kernel::ScheduleRemote(Lp* from, LpId target, Event ev) {
+  Outbox* const box = from->FindOutbox(target);
+  if (box != nullptr) {
+    box->events.push_back(std::move(ev));
+  } else {
+    // No wired channel (possible after a dynamic topology change until the
+    // next rewire): fall back to the locked overflow box.
+    lps_[target]->overflow().Push(std::move(ev));
+  }
+}
+
+void Kernel::WireMailboxes() {
+  for (const CutEdge& edge : partition_.cut_edges) {
+    for (const auto& [src, dst] : {std::pair{edge.a, edge.b}, std::pair{edge.b, edge.a}}) {
+      Lp* const from = lps_[src].get();
+      if (from->FindOutbox(dst) == nullptr) {
+        lps_[dst]->AddInbox(from->AddOutbox(dst));
+      }
+    }
+  }
+}
+
+Time Kernel::ComputeLbts() const {
+  Time min_next = Time::Max();
+  for (const auto& lp : lps_) {
+    min_next = std::min(min_next, lp->fel().NextTimestamp());
+  }
+  const Time npub = public_lp_->fel().NextTimestamp();
+  if (min_next.IsMax() || partition_.lookahead.IsMax()) {
+    return npub;
+  }
+  return std::min(npub, min_next + partition_.lookahead);
+}
+
+uint64_t Kernel::RunGlobalEvents(Time upto, Time stop) {
+  if (upto.IsMax()) {
+    return public_lp_->ProcessUntil(stop);
+  }
+  const Time bound = std::min(stop, upto + Time::Picoseconds(1));
+  return public_lp_->ProcessUntil(bound);
+}
+
+}  // namespace unison

@@ -1,0 +1,147 @@
+// Kernel interface shared by the sequential DES kernel, the two PDES
+// baselines (barrier synchronization, null message), Unison, and the hybrid
+// distributed kernel.
+//
+// A kernel owns the logical processes produced by a partition, the public LP
+// for global events (§4.2), and the run loop. Network models never talk to a
+// kernel directly; they go through the Simulator facade, which is what makes
+// kernel choice transparent to model code.
+#ifndef UNISON_SRC_KERNEL_KERNEL_H_
+#define UNISON_SRC_KERNEL_KERNEL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/core/event.h"
+#include "src/core/time.h"
+#include "src/kernel/lp.h"
+#include "src/partition/graph.h"
+#include "src/stats/profiler.h"
+
+namespace unison {
+
+enum class KernelType {
+  kSequential,
+  kBarrier,
+  kNullMessage,
+  kUnison,
+  kHybrid,
+};
+
+enum class SchedulingMetric {
+  kNone,                 // No scheduling: LPs claimed in id order.
+  kByPendingEventCount,  // Estimate = events already scheduled in the window.
+  kByLastRoundTime,      // Estimate = measured processing time of last round.
+};
+
+struct KernelConfig {
+  KernelType type = KernelType::kSequential;
+  uint32_t threads = 1;
+  SchedulingMetric metric = SchedulingMetric::kByLastRoundTime;
+  // Rounds between scheduler re-sorts; 0 selects ceil(log2(#LP)) (§4.3).
+  uint32_t sched_period = 0;
+  // When false, event tie-breaking degrades to insertion order, replicating
+  // the indeterminism of stock ns-3 PDES kernels (used by Fig. 11).
+  bool deterministic = true;
+  // Hybrid kernel only: number of simulated hosts ("ranks").
+  uint32_t ranks = 2;
+};
+
+class Kernel {
+ public:
+  explicit Kernel(const KernelConfig& config) : config_(config) {}
+  virtual ~Kernel() = default;
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  // Builds LPs and mailbox wiring. `graph` must outlive the kernel; it is
+  // re-read when a global event reports a topology change.
+  virtual void Setup(const TopoGraph& graph, const Partition& partition);
+
+  // Runs the simulation until `stop_time` (events with ts < stop_time are
+  // executed) or until every FEL is empty.
+  virtual void Run(Time stop_time) = 0;
+
+  // --- Scheduling API used by the Simulator facade ---
+
+  // Simulated time of the executing context: the current LP's clock, or zero
+  // during setup.
+  Time Now() const {
+    const Lp* cur = Lp::Current();
+    return cur != nullptr ? cur->now() : Time::Zero();
+  }
+
+  // Schedules `fn` at absolute time `abs` on the LP owning `node`.
+  void ScheduleOnNode(NodeId node, Time abs, EventFn fn);
+
+  // Schedules a global event on the public LP (topology change, stop, ...).
+  void ScheduleGlobal(Time abs, EventFn fn);
+
+  // Called from a global event after the topology changed: recomputes
+  // lookahead values and adds mailbox wiring for new cut edges.
+  void NotifyTopologyChanged();
+
+  // Requests an early stop; takes effect at the next window boundary.
+  void RequestStop() { stop_requested_ = true; }
+
+  // --- Introspection ---
+
+  uint32_t num_lps() const { return static_cast<uint32_t>(lps_.size()); }
+  Lp* lp(LpId id) { return lps_[id].get(); }
+  Lp* public_lp() { return public_lp_.get(); }
+  LpId LpOfNode(NodeId node) const { return partition_.lp_of_node[node]; }
+  const Partition& partition() const { return partition_; }
+  const KernelConfig& config() const { return config_; }
+
+  uint64_t processed_events() const { return processed_events_; }
+  uint64_t rounds() const { return rounds_; }
+
+  // Events executed so far; safe to call from a global event mid-run (the
+  // worker counters are quiescent during the global-event phase).
+  virtual uint64_t LiveEvents() const { return processed_events_; }
+
+  void set_profiler(Profiler* profiler) { profiler_ = profiler; }
+  Profiler* profiler() { return profiler_; }
+
+ protected:
+  // Routes an event from `from` to a different LP. The base implementation
+  // uses the wired outbox, falling back to the target's overflow box.
+  // Overridden by kernels with their own transport (barrier ranks, null
+  // message channels).
+  virtual void ScheduleRemote(Lp* from, LpId target, Event ev);
+
+  // Creates outboxes/inboxes for every cut edge of the partition.
+  void WireMailboxes();
+
+  // LBTS per Eq. 2: min(N_pub, min_i N_i + lookahead). Returns Time::Max()
+  // when no events remain anywhere.
+  Time ComputeLbts() const;
+
+  // Executes public-LP events with ts <= `upto` (but < `stop`). Returns the
+  // number of global events run.
+  uint64_t RunGlobalEvents(Time upto, Time stop);
+
+  friend class Simulator;
+
+  KernelConfig config_;
+  const TopoGraph* graph_ = nullptr;
+  Partition partition_;
+  std::vector<std::unique_ptr<Lp>> lps_;
+  std::unique_ptr<Lp> public_lp_;
+  Profiler* profiler_ = nullptr;
+  uint64_t processed_events_ = 0;
+  uint64_t rounds_ = 0;
+  std::atomic<bool> stop_requested_{false};
+  std::mutex public_mu_;
+};
+
+// Constructs the kernel named by `config.type`.
+std::unique_ptr<Kernel> MakeKernel(const KernelConfig& config);
+
+}  // namespace unison
+
+#endif  // UNISON_SRC_KERNEL_KERNEL_H_

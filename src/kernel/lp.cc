@@ -1,0 +1,47 @@
+#include "src/kernel/lp.h"
+
+namespace unison {
+
+thread_local Lp* Lp::current_ = nullptr;
+thread_local NodeId Lp::current_node_ = kNoNode;
+EventTraceFn Lp::trace_hook_ = nullptr;
+void* Lp::trace_ctx_ = nullptr;
+
+uint64_t Lp::ProcessUntil(Time bound) {
+  uint64_t processed = 0;
+  Lp* const prev = current_;
+  current_ = this;
+  while (!fel_.Empty() && fel_.PeekKey().ts < bound) {
+    Event ev = fel_.Pop();
+    now_ = ev.key.ts;
+    current_node_ = ev.node;
+    if (trace_hook_ != nullptr) {
+      trace_hook_(trace_ctx_, id_, ev.node);
+    }
+    ev.fn();
+    ++processed;
+  }
+  current_ = prev;
+  current_node_ = kNoNode;
+  return processed;
+}
+
+uint64_t Lp::DrainInboxes() {
+  uint64_t received = 0;
+  for (Outbox* box : inboxes_) {
+    for (Event& ev : box->events) {
+      Insert(std::move(ev));
+      ++received;
+    }
+    box->events.clear();
+  }
+  if (!overflow_.EmptyUnlocked()) {
+    for (Event& ev : overflow_.Drain()) {
+      Insert(std::move(ev));
+      ++received;
+    }
+  }
+  return received;
+}
+
+}  // namespace unison

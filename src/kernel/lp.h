@@ -1,0 +1,134 @@
+// A logical process: one spatial partition of the simulated network, with its
+// own future event list, clock, outboxes, and deterministic sequence counters.
+//
+// Exactly one thread executes a given LP at a time (each LP is processed once
+// per round); the kernels guarantee this, which lets all LP state be plain
+// non-atomic data.
+#ifndef UNISON_SRC_KERNEL_LP_H_
+#define UNISON_SRC_KERNEL_LP_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/core/event.h"
+#include "src/core/fel.h"
+#include "src/core/time.h"
+#include "src/kernel/mailbox.h"
+
+namespace unison {
+
+// Optional per-event trace hook, used by the cache simulator and the cost
+// model during single-threaded instrumented runs. Not thread-safe by design.
+using EventTraceFn = void (*)(void* ctx, LpId lp, NodeId node);
+
+class Lp {
+ public:
+  Lp(LpId id, bool deterministic) : id_(id), deterministic_(deterministic) {}
+
+  Lp(const Lp&) = delete;
+  Lp& operator=(const Lp&) = delete;
+
+  LpId id() const { return id_; }
+  Time now() const { return now_; }
+  void set_now(Time t) { now_ = t; }
+
+  FutureEventList& fel() { return fel_; }
+  const FutureEventList& fel() const { return fel_; }
+
+  // Builds the ordering key for an event scheduled at absolute time `abs`
+  // from this LP's execution context (deterministic tie-breaking rule,
+  // §5.2, strengthened to partition-independent node identity). During
+  // setup, when no event is executing, `fallback_node` names the sender.
+  EventKey MakeKey(Time abs, NodeId fallback_node = kNoNode) {
+    const NodeId ctx = CurrentNode();
+    return EventKey{abs, now_, ctx != kNoNode ? ctx : fallback_node, seq_++};
+  }
+
+  // Inserts an event into this LP's FEL. In non-deterministic mode (stock
+  // ns-3 behaviour, used by the baseline kernels for the Fig. 11 experiment)
+  // the key is rewritten to insertion order, so cross-LP arrival races leak
+  // into the processing order exactly as they do in ns-3's PDES kernels.
+  void Insert(Event ev) {
+    if (!deterministic_) {
+      ev.key.sender_ts = Time::Zero();
+      ev.key.sender_node = id_;
+      ev.key.seq = arrival_seq_++;
+    }
+    fel_.Push(std::move(ev));
+  }
+
+  // Schedules a callback on this LP at absolute time `abs`, attributed to
+  // `node`.
+  void ScheduleLocal(Time abs, NodeId node, EventFn fn) {
+    Insert(Event{MakeKey(abs, node), node, std::move(fn)});
+  }
+
+  // Pops and executes events with timestamp strictly below `bound`.
+  // Returns the number of events executed. Updates the LP clock as it goes.
+  uint64_t ProcessUntil(Time bound);
+
+  // --- Mailbox wiring (set up by the kernels) ---
+
+  // Returns the outbox from this LP to `target`, or nullptr if none wired.
+  Outbox* FindOutbox(LpId target) {
+    for (auto& box : outboxes_) {
+      if (box->target == target) {
+        return box.get();
+      }
+    }
+    return nullptr;
+  }
+  // Heap-allocated so inbox registrations on the target stay valid when more
+  // outboxes are wired later (dynamic topology changes add channels).
+  Outbox* AddOutbox(LpId target) {
+    outboxes_.push_back(std::make_unique<Outbox>(Outbox{target, {}}));
+    return outboxes_.back().get();
+  }
+  std::vector<std::unique_ptr<Outbox>>& outboxes() { return outboxes_; }
+
+  // Inboxes: outboxes of other LPs that target this LP.
+  void AddInbox(Outbox* box) { inboxes_.push_back(box); }
+  void ClearInboxes() { inboxes_.clear(); }
+
+  // Receiving phase: moves all mailbox events into the FEL.
+  // Returns the number of events received.
+  uint64_t DrainInboxes();
+
+  OverflowBox& overflow() { return overflow_; }
+
+  // The LP currently executing on this thread (nullptr during setup and in
+  // the global-event phase when attributed to the public LP).
+  static Lp* Current() { return current_; }
+  static void SetCurrent(Lp* lp) { current_ = lp; }
+
+  // Node attribution of the event currently executing; inherited by events
+  // scheduled with Simulator::Schedule so that cache traces stay accurate.
+  static NodeId CurrentNode() { return current_node_; }
+  static void SetCurrentNode(NodeId n) { current_node_ = n; }
+
+  static void SetTraceHook(EventTraceFn fn, void* ctx) {
+    trace_hook_ = fn;
+    trace_ctx_ = ctx;
+  }
+
+ private:
+  const LpId id_;
+  const bool deterministic_;
+  Time now_;
+  uint64_t seq_ = 0;
+  uint64_t arrival_seq_ = 0;
+  FutureEventList fel_;
+  std::vector<std::unique_ptr<Outbox>> outboxes_;
+  std::vector<Outbox*> inboxes_;
+  OverflowBox overflow_;
+
+  static thread_local Lp* current_;
+  static thread_local NodeId current_node_;
+  static EventTraceFn trace_hook_;
+  static void* trace_ctx_;
+};
+
+}  // namespace unison
+
+#endif  // UNISON_SRC_KERNEL_LP_H_

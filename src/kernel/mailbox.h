@@ -1,0 +1,54 @@
+// Mailboxes: lock-free inter-LP event transfer (§5.1).
+//
+// Before the simulation starts, each LP creates an outbox for every LP it has
+// a cut link to. During the processing phase, only the thread currently
+// executing the sender LP appends to an outbox; during the receiving phase,
+// only the thread currently executing the target LP drains it. The phase
+// barrier between the two provides the happens-before edge, so no atomics or
+// locks are needed on the fast path.
+//
+// Cross-LP events between LPs with no pre-wired channel (possible only after
+// dynamic topology changes) fall back to a mutex-protected overflow box; the
+// slow path is exercised rarely and re-wired at the next topology change.
+#ifndef UNISON_SRC_KERNEL_MAILBOX_H_
+#define UNISON_SRC_KERNEL_MAILBOX_H_
+
+#include <mutex>
+#include <vector>
+
+#include "src/core/event.h"
+
+namespace unison {
+
+struct Outbox {
+  LpId target = 0;
+  std::vector<Event> events;
+};
+
+// Overflow channel for un-wired sender→target pairs. One per target LP.
+class OverflowBox {
+ public:
+  void Push(Event ev) {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.push_back(std::move(ev));
+  }
+
+  // Moves out all pending events. Called by the target LP's thread in the
+  // receiving phase.
+  std::vector<Event> Drain() {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<Event> out;
+    out.swap(events_);
+    return out;
+  }
+
+  bool EmptyUnlocked() const { return events_.empty(); }
+
+ private:
+  std::mutex mu_;
+  std::vector<Event> events_;
+};
+
+}  // namespace unison
+
+#endif  // UNISON_SRC_KERNEL_MAILBOX_H_

@@ -1,0 +1,219 @@
+#include "src/kernel/nullmsg.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/sched/thread_pool.h"
+
+namespace unison {
+
+void NullMessageKernel::Setup(const TopoGraph& graph, const Partition& partition) {
+  Kernel::Setup(graph, partition);
+  channels_.clear();
+  ctl_.clear();
+  for (uint32_t i = 0; i < num_lps(); ++i) {
+    ctl_.push_back(std::make_unique<LpCtl>());
+  }
+  // One channel per directed cut pair; its lookahead is the minimum delay of
+  // the cut links between the pair.
+  auto find = [this](LpId from, LpId to) -> Channel* {
+    for (auto& c : channels_) {
+      if (c->from == from && c->to == to) {
+        return c.get();
+      }
+    }
+    return nullptr;
+  };
+  for (const CutEdge& edge : partition_.cut_edges) {
+    for (const auto& [src, dst] : {std::pair{edge.a, edge.b}, std::pair{edge.b, edge.a}}) {
+      Channel* c = find(src, dst);
+      if (c == nullptr) {
+        channels_.push_back(std::make_unique<Channel>());
+        c = channels_.back().get();
+        c->from = src;
+        c->to = dst;
+        c->lookahead = edge.delay;
+        ctl_[src]->out.push_back(c);
+        ctl_[dst]->in.push_back(c);
+      } else {
+        c->lookahead = std::min(c->lookahead, edge.delay);
+      }
+    }
+  }
+  for (const auto& c : channels_) {
+    if (c->lookahead.IsZero()) {
+      std::fprintf(stderr,
+                   "NullMessageKernel: zero-lookahead channel %u->%u; the "
+                   "partition must not cut zero-delay links\n",
+                   c->from, c->to);
+      std::abort();
+    }
+  }
+}
+
+void NullMessageKernel::ScheduleRemote(Lp* from, LpId target, Event ev) {
+  Channel* chan = nullptr;
+  for (Channel* c : ctl_[from->id()]->out) {
+    if (c->to == target) {
+      chan = c;
+      break;
+    }
+  }
+  if (chan == nullptr) {
+    std::fprintf(stderr, "NullMessageKernel: no channel %u->%u\n", from->id(), target);
+    std::abort();
+  }
+  // Piggy-backed promise: sender send-times are nondecreasing, so no future
+  // message on this channel can carry a timestamp below now + lookahead.
+  // (The message's own ts is not a valid promise — with several links pooled
+  // into one channel, arrival timestamps are not monotone.)
+  const int64_t promise = (from->now() + chan->lookahead).ps();
+  {
+    std::lock_guard<std::mutex> lock(chan->mu);
+    chan->events.push_back(std::move(ev));
+    chan->clock_ps = std::max(chan->clock_ps, promise);
+  }
+  Signal(target);
+}
+
+void NullMessageKernel::Signal(LpId target) {
+  LpCtl& ctl = *ctl_[target];
+  {
+    std::lock_guard<std::mutex> lock(ctl.mu);
+    ++ctl.signal;
+  }
+  ctl.cv.notify_one();
+}
+
+void NullMessageKernel::Run(Time stop_time) {
+  stop_ = stop_time;
+  // Runtime global events are unsupported; drain setup-time (t = 0) globals
+  // up front so initializers still work.
+  if (!public_lp_->fel().Empty()) {
+    public_lp_->ProcessUntil(Time::Picoseconds(1));
+    if (!public_lp_->fel().Empty()) {
+      std::fprintf(stderr,
+                   "NullMessageKernel: global events at t > 0 are not "
+                   "supported by this baseline\n");
+      std::abort();
+    }
+  }
+  const bool profiling = profiler_ != nullptr && profiler_->enabled;
+  if (profiling) {
+    profiler_->BeginRun(num_lps());
+  }
+  lp_events_.assign(num_lps(), 0);
+
+  WorkerTeam team(num_lps());
+  team.Run([this](uint32_t id) { LpLoop(id); });
+
+  processed_events_ = 0;
+  for (uint64_t n : lp_events_) {
+    processed_events_ += n;
+  }
+  null_messages_ = 0;
+  for (const auto& c : channels_) {
+    null_messages_ += c->nulls;
+  }
+}
+
+void NullMessageKernel::LpLoop(LpId id) {
+  Lp* const lp = lps_[id].get();
+  LpCtl& ctl = *ctl_[id];
+  const bool profiling = profiler_ != nullptr && profiler_->enabled;
+  ExecutorPhaseStats local{};
+  uint64_t events = 0;
+  uint64_t rounds = 0;
+
+  for (;;) {
+    uint64_t sig;
+    {
+      std::lock_guard<std::mutex> lock(ctl.mu);
+      sig = ctl.signal;
+    }
+    uint64_t t = profiling ? Profiler::NowNs() : 0;
+
+    // Receive: drain input channels, note their clocks.
+    Time safe_in = Time::Max();
+    for (Channel* c : ctl.in) {
+      std::vector<Event> got;
+      {
+        std::lock_guard<std::mutex> lock(c->mu);
+        got.swap(c->events);
+        safe_in = std::min(safe_in, Time::Picoseconds(c->clock_ps));
+      }
+      for (Event& ev : got) {
+        lp->Insert(std::move(ev));
+      }
+    }
+    if (profiling) {
+      const uint64_t now = Profiler::NowNs();
+      local.messaging_ns += now - t;
+      t = now;
+    }
+
+    // Process below the conservative bound.
+    const Time bound = std::min(safe_in, stop_);
+    const uint64_t n = lp->ProcessUntil(bound);
+    events += n;
+    ++rounds;
+    if (profiling) {
+      const uint64_t now = Profiler::NowNs();
+      local.processing_ns += now - t;
+      t = now;
+    }
+
+    // Refresh output promises (eager null messages).
+    const Time horizon = std::min(lp->fel().NextTimestamp(), safe_in);
+    for (Channel* c : ctl.out) {
+      const int64_t promise =
+          horizon.IsMax() ? INT64_MAX
+                          : (horizon + c->lookahead).ps();
+      bool raised = false;
+      {
+        std::lock_guard<std::mutex> lock(c->mu);
+        if (promise > c->clock_ps) {
+          c->clock_ps = promise;
+          ++c->nulls;
+          raised = true;
+        }
+      }
+      if (raised) {
+        Signal(c->to);
+      }
+    }
+    if (profiling) {
+      const uint64_t now = Profiler::NowNs();
+      local.messaging_ns += now - t;
+      t = now;
+    }
+
+    if (stop_requested_.load(std::memory_order_relaxed) || bound >= stop_) {
+      break;  // Everything below stop_ is done; final promises already sent.
+    }
+
+    // Block until some input channel changes.
+    {
+      std::unique_lock<std::mutex> lock(ctl.mu);
+      ctl.cv.wait(lock, [&ctl, sig] { return ctl.signal != sig; });
+    }
+    if (profiling) {
+      local.synchronization_ns += Profiler::NowNs() - t;
+    }
+  }
+
+  lp_events_[id] = events;
+  if (id == 0) {
+    rounds_ = rounds;
+  }
+  if (profiling) {
+    auto& stats = profiler_->executor(id);
+    stats.processing_ns = local.processing_ns;
+    stats.synchronization_ns = local.synchronization_ns;
+    stats.messaging_ns = local.messaging_ns;
+    stats.events = events;
+  }
+}
+
+}  // namespace unison

@@ -1,0 +1,69 @@
+// Null-message PDES baseline (Chandy–Misra–Bryant, §2.3).
+//
+// LPs synchronize pairwise instead of via global barriers: each directed
+// cut-edge pair (i → j) is a channel carrying real events and null messages.
+// A channel clock is a promise that no future message on it will carry a
+// smaller timestamp; an LP may safely process events below the minimum of
+// its input channel clocks. After every processing attempt an LP refreshes
+// its output promises to min(N_i, safe_in) + channel lookahead — the eager
+// null-message rule that guarantees deadlock freedom for positive lookahead.
+//
+// One executor per LP, as with the MPI-based implementations the paper
+// profiles; runtime global events are not supported (the paper's §4.2 makes
+// the same observation about existing PDES).
+#ifndef UNISON_SRC_KERNEL_NULLMSG_H_
+#define UNISON_SRC_KERNEL_NULLMSG_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+#include "src/kernel/kernel.h"
+
+namespace unison {
+
+class NullMessageKernel : public Kernel {
+ public:
+  using Kernel::Kernel;
+
+  void Setup(const TopoGraph& graph, const Partition& partition) override;
+  void Run(Time stop_time) override;
+
+  // Total null messages exchanged; exposed for the overhead benches.
+  uint64_t null_messages() const { return null_messages_; }
+
+ protected:
+  void ScheduleRemote(Lp* from, LpId target, Event ev) override;
+
+ private:
+  struct Channel {
+    LpId from = 0;
+    LpId to = 0;
+    Time lookahead;  // Minimum link delay between the pair in this direction.
+    std::mutex mu;
+    std::vector<Event> events;
+    int64_t clock_ps = 0;  // Promise: no future message with ts below this.
+    uint64_t nulls = 0;
+  };
+
+  struct LpCtl {
+    std::vector<Channel*> in;
+    std::vector<Channel*> out;
+    std::mutex mu;
+    std::condition_variable cv;
+    uint64_t signal = 0;  // Bumped under mu whenever an in-channel changes.
+  };
+
+  void Signal(LpId target);
+  void LpLoop(LpId id);
+
+  std::vector<std::unique_ptr<Channel>> channels_;
+  std::vector<std::unique_ptr<LpCtl>> ctl_;
+  std::vector<uint64_t> lp_events_;
+  Time stop_;
+  uint64_t null_messages_ = 0;
+};
+
+}  // namespace unison
+
+#endif  // UNISON_SRC_KERNEL_NULLMSG_H_

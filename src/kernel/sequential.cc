@@ -1,0 +1,43 @@
+#include "src/kernel/sequential.h"
+
+#include <algorithm>
+
+namespace unison {
+
+void SequentialKernel::Run(Time stop_time) {
+  // The sequential kernel is always set up with the single-LP partition; a
+  // larger partition would still execute correctly but pay mailbox overhead
+  // for nothing.
+  Lp* const lp = lps_[0].get();
+  const bool profiling = profiler_ != nullptr && profiler_->enabled;
+  if (profiling) {
+    profiler_->BeginRun(1);
+  }
+  const uint64_t t0 = profiling ? Profiler::NowNs() : 0;
+
+  processed_events_ = 0;
+  while (!stop_requested_) {
+    const Time npub = public_lp_->fel().NextTimestamp();
+    const Time nloc = lp->fel().NextTimestamp();
+    const Time next = std::min(npub, nloc);
+    if (next >= stop_time || next.IsMax()) {
+      break;
+    }
+    if (npub <= nloc) {
+      // Global events run before node events with the same timestamp, the
+      // same order the parallel kernels' phase structure produces.
+      processed_events_ += RunGlobalEvents(npub, stop_time);
+    } else {
+      processed_events_ += lp->ProcessUntil(std::min(npub, stop_time));
+    }
+  }
+  const uint64_t count = processed_events_;
+
+  if (profiling) {
+    auto& stats = profiler_->executor(0);
+    stats.processing_ns = Profiler::NowNs() - t0;
+    stats.events = count;
+  }
+}
+
+}  // namespace unison

@@ -1,0 +1,229 @@
+#include "src/kernel/unison.h"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+
+#include "src/sched/lpt.h"
+#include "src/sched/metrics.h"
+
+namespace unison {
+
+void UnisonKernel::Setup(const TopoGraph& graph, const Partition& partition) {
+  Kernel::Setup(graph, partition);
+  num_workers_ = std::max(1u, config_.threads);
+  // Schedule period: ceil(log2(n)) rounds between re-sorts (§4.3), unless
+  // the user pinned a period explicitly.
+  if (config_.sched_period > 0) {
+    period_ = config_.sched_period;
+  } else {
+    const uint32_t n = std::max(2u, num_lps());
+    period_ = std::bit_width(n - 1);  // == ceil(log2(n))
+  }
+  order_.resize(num_lps());
+  std::iota(order_.begin(), order_.end(), 0);
+  last_round_ns_.assign(num_lps(), 0);
+  worker_events_.assign(num_workers_, 0);
+  round_index_ = 0;
+}
+
+void UnisonKernel::Run(Time stop_time) {
+  stop_ = stop_time;
+  done_ = false;
+  profiling_ = profiler_ != nullptr && profiler_->enabled;
+  timing_ = profiling_ || config_.metric == SchedulingMetric::kByLastRoundTime;
+  if (profiling_) {
+    profiler_->BeginRun(num_workers_);
+  }
+  barrier_ = std::make_unique<SpinBarrier>(num_workers_);
+
+  // Seed the min-reduction for the first prologue.
+  next_min_.Reset();
+  for (const auto& lp : lps_) {
+    next_min_.Update(lp->fel().NextTimestamp().ps());
+  }
+
+  WorkerTeam team(num_workers_);
+  team.Run([this](uint32_t worker) { RoundLoop(worker); });
+
+  processed_events_ = 0;
+  for (uint64_t n : worker_events_) {
+    processed_events_ += n;
+  }
+  rounds_ = round_index_;
+}
+
+void UnisonKernel::Prologue() {
+  const int64_t raw_min = next_min_.Get();
+  const Time min_next =
+      raw_min == INT64_MAX ? Time::Max() : Time::Picoseconds(raw_min);
+  const Time npub = public_lp_->fel().NextTimestamp();
+  if (stop_requested_ || std::min(min_next, npub) >= stop_ ||
+      (min_next.IsMax() && npub.IsMax())) {
+    done_ = true;
+    return;
+  }
+  if (min_next.IsMax() || partition_.lookahead.IsMax()) {
+    lbts_ = npub;
+  } else {
+    lbts_ = std::min(npub, min_next + partition_.lookahead);
+  }
+  window_ = std::min(lbts_, stop_);
+
+  // Load-adaptive scheduling: re-sort the claim order every `period_` rounds.
+  if (round_index_ % period_ == 0) {
+    switch (config_.metric) {
+      case SchedulingMetric::kNone:
+        break;  // Keep id order: no scheduling.
+      case SchedulingMetric::kByPendingEventCount:
+        EstimateByPendingEvents(lps_, window_, &cost_buf_);
+        order_ = SortByCostDescending(cost_buf_);
+        break;
+      case SchedulingMetric::kByLastRoundTime:
+        order_ = SortByCostDescending(last_round_ns_);
+        break;
+    }
+  }
+  ++round_index_;
+  claim_.store(0, std::memory_order_relaxed);
+  if (profiling_) {
+    profiler_->BeginRound();
+  }
+}
+
+void UnisonKernel::RoundLoop(uint32_t worker) {
+  const uint32_t num = num_lps();
+  uint64_t events = 0;
+  ExecutorPhaseStats local{};
+
+  for (;;) {
+    if (worker == 0) {
+      Prologue();
+    }
+    uint64_t t = timing_ ? Profiler::NowNs() : 0;
+    barrier_->Arrive();
+    if (done_) {
+      break;
+    }
+    if (timing_) {
+      const uint64_t now = Profiler::NowNs();
+      local.synchronization_ns += now - t;
+      t = now;
+    }
+
+    // Phase 1: process events. Claim LPs in scheduler priority order.
+    uint64_t phase_p_ns = 0;
+    for (;;) {
+      const uint32_t i = claim_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= num) {
+        break;
+      }
+      const LpId lp_id = order_[i];
+      const bool record = profiling_ && profiler_->per_lp;
+      const uint32_t pending =
+          record ? static_cast<uint32_t>(lps_[lp_id]->fel().CountBefore(window_)) : 0;
+      const uint64_t lp_t0 = timing_ ? Profiler::NowNs() : 0;
+      const uint64_t n = lps_[lp_id]->ProcessUntil(window_);
+      events += n;
+      if (timing_) {
+        const uint64_t lp_ns = Profiler::NowNs() - lp_t0;
+        last_round_ns_[lp_id] = lp_ns;
+        phase_p_ns += lp_ns;
+        if (record) {
+          profiler_->AddLpRound(worker,
+                                LpRoundCost{round_index_ - 1, lp_id,
+                                            static_cast<uint32_t>(n), pending, lp_ns});
+        }
+      }
+    }
+    if (timing_) {
+      local.processing_ns += phase_p_ns;
+      if (profiling_) {
+        profiler_->AddRoundProcessing(worker, phase_p_ns);
+      }
+      t = Profiler::NowNs();
+    }
+    worker_events_[worker] = events;  // Published by the barrier for LiveEvents.
+    barrier_->Arrive();
+    if (timing_) {
+      const uint64_t now = Profiler::NowNs();
+      local.synchronization_ns += now - t;
+      if (profiling_) {
+        profiler_->AddRoundSync(worker, now - t);
+      }
+      t = now;
+    }
+
+    // Phase 2: global events, worker 0 only; everyone else is parked at the
+    // next barrier, so direct cross-LP insertion is safe.
+    if (worker == 0) {
+      events += RunGlobalEvents(lbts_, stop_);
+      claim_recv_.store(0, std::memory_order_relaxed);
+      next_min_.Reset();
+      if (timing_) {
+        const uint64_t now = Profiler::NowNs();
+        local.processing_ns += now - t;
+        t = now;
+      }
+    }
+    barrier_->Arrive();
+    if (timing_) {
+      const uint64_t now = Profiler::NowNs();
+      local.synchronization_ns += now - t;
+      if (profiling_ && worker != 0) {
+        profiler_->AddRoundSync(worker, now - t);
+      }
+      t = now;
+    }
+
+    // Phase 3: receive events from mailboxes.
+    for (;;) {
+      const uint32_t i = claim_recv_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= num) {
+        break;
+      }
+      lps_[i]->DrainInboxes();
+    }
+    if (timing_) {
+      const uint64_t now = Profiler::NowNs();
+      local.messaging_ns += now - t;
+      t = now;
+    }
+    // Every drain must land before anyone reads FELs for the window update:
+    // a min computed on a half-drained FEL could overshoot the next LBTS.
+    barrier_->Arrive();
+    if (timing_) {
+      const uint64_t now = Profiler::NowNs();
+      local.synchronization_ns += now - t;
+      t = now;
+    }
+
+    // Phase 4: update the window — per-worker partial min over a strided
+    // slice of LPs, folded into one atomic.
+    for (uint32_t i = worker; i < num; i += num_workers_) {
+      next_min_.Update(lps_[i]->fel().NextTimestamp().ps());
+    }
+    if (timing_) {
+      const uint64_t now = Profiler::NowNs();
+      local.messaging_ns += now - t;
+      t = now;
+    }
+    // End-of-round barrier: all phase 4 min-updates must be visible before
+    // worker 0 reads next_min_ in the prologue.
+    barrier_->Arrive();
+    if (timing_) {
+      local.synchronization_ns += Profiler::NowNs() - t;
+    }
+  }
+
+  worker_events_[worker] = events;
+  if (profiling_) {
+    auto& stats = profiler_->executor(worker);
+    stats.processing_ns = local.processing_ns;
+    stats.synchronization_ns = local.synchronization_ns;
+    stats.messaging_ns = local.messaging_ns;
+    stats.events = events;
+  }
+}
+
+}  // namespace unison

@@ -1,0 +1,78 @@
+// The Unison kernel (§4, §5): fine-grained partition consumed through
+// load-adaptive scheduling, executed by a thread pool in lock-free rounds.
+//
+// Each round has four phases separated by barriers (Fig. 7):
+//   1. Process events  — workers claim LPs from the scheduler's sorted order
+//                        via an atomic cursor (LPT list scheduling) and run
+//                        each claimed LP up to the window bound.
+//   2. Global events   — worker 0 alone runs public-LP events that fall on
+//                        the window edge; topology changes recompute the
+//                        lookahead here.
+//   3. Receive events  — workers claim LPs again and drain their mailboxes
+//                        into the FELs.
+//   4. Update window   — workers min-reduce the per-LP next-event timestamps
+//                        into an atomic; worker 0 derives the next LBTS from
+//                        Eq. 2.
+//
+// The only shared-state mutations on the fast path are the claim cursors and
+// the time min-reduction, all single atomics.
+#ifndef UNISON_SRC_KERNEL_UNISON_H_
+#define UNISON_SRC_KERNEL_UNISON_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "src/kernel/kernel.h"
+#include "src/sched/barrier_sync.h"
+#include "src/sched/thread_pool.h"
+
+namespace unison {
+
+class UnisonKernel : public Kernel {
+ public:
+  using Kernel::Kernel;
+
+  void Setup(const TopoGraph& graph, const Partition& partition) override;
+  void Run(Time stop_time) override;
+
+  uint64_t LiveEvents() const override {
+    uint64_t sum = 0;
+    for (uint64_t n : worker_events_) {
+      sum += n;
+    }
+    return sum;
+  }
+
+ private:
+  // Worker 0's start-of-round bookkeeping: window computation, termination
+  // check, periodic scheduler re-sort.
+  void Prologue();
+  void RoundLoop(uint32_t worker);
+
+  uint32_t num_workers_ = 1;
+  uint32_t period_ = 1;
+  Time stop_;
+
+  // Round state published by worker 0 before the prologue barrier.
+  Time window_;  // Exclusive processing bound for phase 1.
+  Time lbts_;
+  bool done_ = false;
+
+  std::unique_ptr<SpinBarrier> barrier_;
+  std::atomic<uint32_t> claim_{0};
+  std::atomic<uint32_t> claim_recv_{0};
+  AtomicTimeMin next_min_;
+
+  std::vector<uint32_t> order_;          // LP ids, scheduler priority order.
+  std::vector<uint64_t> last_round_ns_;  // Per-LP ByLastRoundTime estimates.
+  std::vector<uint64_t> cost_buf_;
+  std::vector<uint64_t> worker_events_;
+  uint32_t round_index_ = 0;
+  bool timing_ = false;     // Collect per-LP wall time this run.
+  bool profiling_ = false;  // Profiler attached and enabled.
+};
+
+}  // namespace unison
+
+#endif  // UNISON_SRC_KERNEL_UNISON_H_

@@ -1,0 +1,37 @@
+// Application layer: flow installation.
+//
+// A flow is registered with the FlowMonitor at setup time and started by an
+// event on its source node's LP, which instantiates the TCP sender there.
+// All randomness (arrival times, sizes, destinations) is drawn during
+// single-threaded setup from named RNG streams, so the whole workload is
+// identical for every kernel and thread count.
+#ifndef UNISON_SRC_NET_APP_H_
+#define UNISON_SRC_NET_APP_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "src/core/time.h"
+#include "src/net/tcp.h"
+
+namespace unison {
+
+class Network;
+
+struct FlowSpec {
+  NodeId src = 0;
+  NodeId dst = 0;
+  uint64_t bytes = 0;
+  Time start;
+  // Per-flow TCP override; the network default applies when unset.
+  std::optional<TcpConfig> tcp;
+};
+
+// Registers the flow and schedules its start. Returns the flow id.
+// The network must be finalized (Run finalizes implicitly, so typical setup
+// order is: topology → Finalize → InstallFlow* → Run).
+uint32_t InstallFlow(Network& net, const FlowSpec& spec);
+
+}  // namespace unison
+
+#endif  // UNISON_SRC_NET_APP_H_

@@ -1,0 +1,73 @@
+// Network devices (ports) and the point-to-point links between them.
+//
+// A link is full duplex: each direction is an independent transmitter owned
+// by the sending node's device, so two LPs never share link state — the
+// property that makes point-to-point links "stateless" and safe to cut in
+// the partition (§4.2).
+#ifndef UNISON_SRC_NET_LINK_H_
+#define UNISON_SRC_NET_LINK_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/core/time.h"
+#include "src/net/packet.h"
+#include "src/net/queue.h"
+
+namespace unison {
+
+class Network;
+class Node;
+
+struct DeviceStats {
+  uint64_t tx_packets = 0;
+  uint64_t tx_bytes = 0;
+  uint64_t dropped_down = 0;  // Sent while the link was administratively down.
+};
+
+class Device {
+ public:
+  Device(Network* net, NodeId self, uint32_t port, NodeId peer, uint64_t bps, Time delay,
+         std::unique_ptr<Queue> queue)
+      : net_(net),
+        self_(self),
+        port_(port),
+        peer_(peer),
+        bps_(bps),
+        delay_(delay),
+        queue_(std::move(queue)) {}
+
+  // Queues or transmits `pkt` toward the peer.
+  void Send(Packet pkt);
+
+  NodeId peer() const { return peer_; }
+  uint32_t port() const { return port_; }
+  uint64_t bps() const { return bps_; }
+  Time delay() const { return delay_; }
+  bool up() const { return up_; }
+
+  void set_delay(Time delay) { delay_ = delay; }
+  void set_up(bool up) { up_ = up; }
+
+  Queue& queue() { return *queue_; }
+  const DeviceStats& stats() const { return stats_; }
+
+ private:
+  void StartTransmit(Packet pkt);
+  void TransmitComplete();
+
+  Network* const net_;
+  const NodeId self_;
+  const uint32_t port_;
+  const NodeId peer_;
+  uint64_t bps_;
+  Time delay_;
+  bool up_ = true;
+  bool transmitting_ = false;
+  std::unique_ptr<Queue> queue_;
+  DeviceStats stats_;
+};
+
+}  // namespace unison
+
+#endif  // UNISON_SRC_NET_LINK_H_

@@ -1,0 +1,209 @@
+#include "src/net/network.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "src/partition/fine_grained.h"
+#include "src/partition/manual.h"
+
+namespace unison {
+
+Network::Network(SimConfig config) : config_(std::move(config)) {
+  profiler_.enabled = config_.profile;
+  profiler_.per_round = config_.profile_per_round;
+  profiler_.per_lp = config_.profile_per_lp;
+}
+
+Network::~Network() = default;
+
+NodeId Network::AddNode() {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::make_unique<Node>(this, id));
+  return id;
+}
+
+void Network::AddNodes(uint32_t count) {
+  for (uint32_t i = 0; i < count; ++i) {
+    AddNode();
+  }
+}
+
+std::unique_ptr<Queue> Network::MakeQueue(const QueueConfig& config, uint64_t stream) const {
+  switch (config.kind) {
+    case QueueConfig::Kind::kDropTail:
+      return std::make_unique<DropTailQueue>(config.capacity_bytes);
+    case QueueConfig::Kind::kRed: {
+      RedConfig red;
+      red.capacity_bytes = config.capacity_bytes;
+      red.min_th = config.red_min_th;
+      red.max_th = config.red_max_th;
+      red.max_p = config.red_max_p;
+      red.weight = config.red_weight;
+      red.ecn = config_.tcp.ecn || config_.tcp.dctcp;
+      red.seed = config_.seed * 0x9e3779b97f4a7c15ULL + stream;
+      return std::make_unique<RedQueue>(red);
+    }
+    case QueueConfig::Kind::kDctcp:
+      return RedQueue::MakeDctcp(static_cast<uint32_t>(config.red_min_th),
+                                 config.capacity_bytes);
+  }
+  return nullptr;
+}
+
+uint32_t Network::AddLink(NodeId a, NodeId b, uint64_t bps, Time delay) {
+  return AddLink(a, b, bps, delay, config_.queue);
+}
+
+uint32_t Network::AddLink(NodeId a, NodeId b, uint64_t bps, Time delay,
+                          const QueueConfig& queue, bool stateless) {
+  if (finalized()) {
+    std::fprintf(stderr, "Network: AddLink after Finalize is not supported; "
+                         "use SetLinkUp from a global event for dynamics\n");
+    std::abort();
+  }
+  const uint32_t id = static_cast<uint32_t>(links_.size());
+  Device* da = nodes_[a]->AddDevice(b, bps, delay, MakeQueue(queue, 2 * id));
+  Device* db = nodes_[b]->AddDevice(a, bps, delay, MakeQueue(queue, 2 * id + 1));
+  links_.push_back(LinkInfo{a, b, da->port(), db->port(), bps, delay, true, stateless});
+  return id;
+}
+
+void Network::SetManualPartition(uint32_t num_lps, std::vector<LpId> lp_of_node) {
+  manual_partition_.num_lps = num_lps;
+  manual_partition_.lp_of_node = std::move(lp_of_node);
+  has_manual_partition_ = true;
+}
+
+void Network::EnableDistanceVector(Time period) {
+  use_dv_ = true;
+  dv_period_ = period;
+}
+
+void Network::EnableProgressReport(Time interval,
+                                   std::function<void(Time, uint64_t)> callback) {
+  Finalize();
+  if (!callback) {
+    callback = [](Time now, uint64_t events) {
+      std::fprintf(stderr, "[unison] t=%.6fs, %llu events so far\n", now.ToSeconds(),
+                   static_cast<unsigned long long>(events));
+    };
+  }
+  // Self-rescheduling global event; the chain ends when the next occurrence
+  // falls beyond the stop time. The closure is owned by the network (not by
+  // itself — a self-capturing shared_ptr would be a reference cycle) and
+  // events capture a raw pointer into that stable storage.
+  struct Ticker {
+    Network* self;
+    Time interval;
+    std::function<void(Time, uint64_t)> cb;
+    void Fire() {
+      const Time now = self->sim().Now();
+      cb(now, self->kernel().LiveEvents());
+      self->sim().ScheduleGlobal(now + interval, [t = this] { t->Fire(); });
+    }
+  };
+  auto ticker = std::make_shared<Ticker>(Ticker{this, interval, std::move(callback)});
+  keepalive_.push_back(ticker);
+  sim().ScheduleGlobal(interval, [t = ticker.get()] { t->Fire(); });
+}
+
+void Network::BuildGraph() {
+  graph_.num_nodes = num_nodes();
+  graph_.edges.clear();
+  graph_.edges.reserve(links_.size());
+  for (const LinkInfo& link : links_) {
+    graph_.edges.push_back(TopoEdge{link.a, link.b, link.delay, link.stateless});
+  }
+}
+
+void Network::Finalize() {
+  if (finalized()) {
+    return;
+  }
+  BuildGraph();
+
+  Partition partition;
+  PartitionMode mode = config_.partition;
+  if (config_.kernel.type == KernelType::kSequential) {
+    mode = PartitionMode::kSingle;  // One FEL; anything else is pure overhead.
+  }
+  switch (mode) {
+    case PartitionMode::kAuto:
+      partition = FineGrainedPartition(graph_);
+      break;
+    case PartitionMode::kManual:
+      if (!has_manual_partition_) {
+        std::fprintf(stderr, "Network: manual partition requested but none set\n");
+        std::abort();
+      }
+      partition = manual_partition_;
+      FinalizePartition(graph_, &partition);
+      break;
+    case PartitionMode::kSingle:
+      partition = SingleLpPartition(graph_);
+      break;
+  }
+
+  kernel_ = MakeKernel(config_.kernel);
+  kernel_->set_profiler(&profiler_);
+  kernel_->Setup(graph_, partition);
+  sim_.set_kernel(kernel_.get());
+
+  if (use_dv_) {
+    dv_routing_ = std::make_unique<DistanceVectorRouting>(this, dv_period_);
+    dv_routing_->Install();
+  } else {
+    routing_.Compute(*this);
+  }
+}
+
+void Network::Run(Time stop) {
+  Finalize();
+  kernel_->Run(stop);
+}
+
+void Network::SetLinkUp(uint32_t link, bool up) {
+  LinkInfo& info = links_[link];
+  info.up = up;
+  nodes_[info.a]->device(info.port_a)->set_up(up);
+  nodes_[info.b]->device(info.port_b)->set_up(up);
+  if (dv_routing_ != nullptr) {
+    dv_routing_->OnLinkChange(info.a, info.b);
+  }
+  OnTopologyChanged();
+}
+
+void Network::SetLinkDelay(uint32_t link, Time delay) {
+  LinkInfo& info = links_[link];
+  info.delay = delay;
+  nodes_[info.a]->device(info.port_a)->set_delay(delay);
+  nodes_[info.b]->device(info.port_b)->set_delay(delay);
+  graph_.edges[link].delay = delay;
+  OnTopologyChanged();
+}
+
+void Network::OnTopologyChanged() {
+  if (dv_routing_ == nullptr) {
+    routing_.Compute(*this);
+  }
+  sim_.NotifyTopologyChanged();
+}
+
+Network::QueueTotals Network::AggregateQueueStats() const {
+  QueueTotals totals;
+  for (const auto& node : nodes_) {
+    for (uint32_t p = 0; p < node->num_ports(); ++p) {
+      // AggregateQueueStats is const but device() is not; nodes are owned.
+      const QueueStats& qs =
+          const_cast<Node&>(*node).device(p)->queue().stats();
+      totals.dropped += qs.dropped;
+      totals.ecn_marked += qs.ecn_marked;
+      totals.dequeued += qs.dequeued;
+      totals.total_delay += qs.total_delay;
+    }
+  }
+  return totals;
+}
+
+}  // namespace unison

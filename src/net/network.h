@@ -1,0 +1,184 @@
+// The public entry point of the library.
+//
+// A Network owns the topology (nodes, links, queues), the kernel, routing,
+// traffic bookkeeping and statistics. The user builds a topology, installs
+// flows, and calls Run — which kernel executes the model, and with how many
+// threads, is purely a SimConfig choice. No model code changes between the
+// sequential kernel and any parallel kernel: that is the paper's
+// user-transparency property.
+//
+//   unison::SimConfig cfg;
+//   cfg.kernel.type = unison::KernelType::kUnison;
+//   cfg.kernel.threads = 8;
+//   unison::Network net(cfg);
+//   auto ft = unison::BuildFatTree(net, /*k=*/4, ...);
+//   unison::InstallFlow(net, {.src = ft.hosts[0], .dst = ft.hosts[8],
+//                             .bytes = 1 << 20, .start = unison::Time::Zero()});
+//   net.Run(unison::Time::Seconds(0.1));
+//   auto summary = net.flow_monitor().Summarize();
+#ifndef UNISON_SRC_NET_NETWORK_H_
+#define UNISON_SRC_NET_NETWORK_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/core/rng.h"
+#include "src/core/time.h"
+#include "src/kernel/kernel.h"
+#include "src/kernel/simulator.h"
+#include "src/net/node.h"
+#include "src/net/routing.h"
+#include "src/net/tcp.h"
+#include "src/partition/graph.h"
+#include "src/stats/flow_monitor.h"
+#include "src/stats/profiler.h"
+
+namespace unison {
+
+enum class PartitionMode {
+  kAuto,    // Fine-grained partition (Algorithm 1). Unison's default.
+  kManual,  // User-provided node→LP map (the baselines' required workflow).
+  kSingle,  // Everything in one LP (forced for the sequential kernel).
+};
+
+struct QueueConfig {
+  enum class Kind { kDropTail, kRed, kDctcp } kind = Kind::kDropTail;
+  uint32_t capacity_bytes = 1000 * 1500;
+  // RED parameters (bytes); also reused as the DCTCP K threshold (min_th).
+  double red_min_th = 50 * 1500;
+  double red_max_th = 150 * 1500;
+  double red_max_p = 0.1;
+  double red_weight = 0.002;
+};
+
+struct SimConfig {
+  KernelConfig kernel;
+  PartitionMode partition = PartitionMode::kAuto;
+  uint64_t seed = 1;
+  bool profile = false;
+  bool profile_per_round = false;
+  bool profile_per_lp = false;
+  TcpConfig tcp;
+  QueueConfig queue;
+};
+
+class Network {
+ public:
+  explicit Network(SimConfig config);
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // --- Topology construction (before Finalize) ---
+
+  NodeId AddNode();
+  void AddNodes(uint32_t count);
+
+  struct LinkInfo {
+    NodeId a = 0;
+    NodeId b = 0;
+    uint32_t port_a = 0;
+    uint32_t port_b = 0;
+    uint64_t bps = 0;
+    Time delay;
+    bool up = true;
+    // Stateless links (plain point-to-point) may be cut by the partitioner;
+    // stateful links (shared-medium segments) never are (§4.2).
+    bool stateless = true;
+  };
+
+  // Adds a full-duplex link; returns its index. Uses the default QueueConfig
+  // unless an override is given.
+  uint32_t AddLink(NodeId a, NodeId b, uint64_t bps, Time delay);
+  uint32_t AddLink(NodeId a, NodeId b, uint64_t bps, Time delay, const QueueConfig& queue,
+                   bool stateless = true);
+
+  void SetManualPartition(uint32_t num_lps, std::vector<LpId> lp_of_node);
+
+  // Enables RIP-like distance-vector routing (otherwise: global ECMP).
+  void EnableDistanceVector(Time period);
+
+  // Periodic progress report via a self-rescheduling global event (§4.2's
+  // "printing the simulation progress"). The callback runs on the public LP
+  // every `interval` of simulated time; the default prints to stderr. Call
+  // after Finalize, before Run.
+  void EnableProgressReport(Time interval,
+                            std::function<void(Time now, uint64_t events)> callback = {});
+
+  // Builds the partition, kernel and routing tables. Implicit in Run; after
+  // this point flows may be installed and events scheduled.
+  void Finalize();
+  bool finalized() const { return kernel_ != nullptr; }
+
+  // Runs the simulation until `stop` (events with ts < stop execute).
+  void Run(Time stop);
+
+  // --- Runtime topology operations (call from global events only) ---
+
+  void SetLinkUp(uint32_t link, bool up);
+  void SetLinkDelay(uint32_t link, Time delay);
+  // Recomputes ECMP routes and the kernel's lookahead; called automatically
+  // by SetLinkUp/SetLinkDelay.
+  void OnTopologyChanged();
+
+  // --- Accessors ---
+
+  Node& node(NodeId id) { return *nodes_[id]; }
+  uint32_t num_nodes() const { return static_cast<uint32_t>(nodes_.size()); }
+  const std::vector<LinkInfo>& links() const { return links_; }
+
+  Simulator& sim() { return sim_; }
+  Kernel& kernel() { return *kernel_; }
+  FlowMonitor& flow_monitor() { return flow_monitor_; }
+  Profiler& profiler() { return profiler_; }
+  GlobalRouting& routing() { return routing_; }
+  DistanceVectorRouting* dv_routing() { return dv_routing_.get(); }
+  const SimConfig& config() const { return config_; }
+  const TopoGraph& graph() const { return graph_; }
+  const Partition& partition() const { return kernel_->partition(); }
+
+  // Independent RNG stream derived from the config seed.
+  Rng MakeRng(uint64_t stream) const { return Rng(config_.seed, stream); }
+
+  std::unique_ptr<Queue> MakeQueue(const QueueConfig& config, uint64_t stream) const;
+
+  // Aggregate queue statistics over every device (paper-style queue-delay
+  // reporting for the DCTCP reproduction).
+  struct QueueTotals {
+    uint64_t dropped = 0;
+    uint64_t ecn_marked = 0;
+    uint64_t dequeued = 0;
+    Time total_delay;
+    double mean_delay_us() const {
+      return dequeued == 0 ? 0.0 : total_delay.ToMicroseconds() / static_cast<double>(dequeued);
+    }
+  };
+  QueueTotals AggregateQueueStats() const;
+
+ private:
+  void BuildGraph();
+
+  SimConfig config_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<LinkInfo> links_;
+  TopoGraph graph_;
+  Partition manual_partition_;
+  bool has_manual_partition_ = false;
+
+  std::unique_ptr<Kernel> kernel_;
+  Simulator sim_;
+  FlowMonitor flow_monitor_;
+  Profiler profiler_;
+  GlobalRouting routing_;
+  std::unique_ptr<DistanceVectorRouting> dv_routing_;
+  Time dv_period_;
+  bool use_dv_ = false;
+  // Closures that must outlive the run (progress tickers etc.).
+  std::vector<std::shared_ptr<void>> keepalive_;
+};
+
+}  // namespace unison
+
+#endif  // UNISON_SRC_NET_NETWORK_H_

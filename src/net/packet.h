@@ -1,0 +1,62 @@
+// Packets. Modeled as small value types copied into event closures: at the
+// simulation's packet rates, value semantics are cheaper than shared-pointer
+// reference counting and are trivially thread-safe across LPs — the design
+// the paper's lock-free workflow needs (ns-3 required atomic refcounts and
+// disabled buffer recycling to get the same safety, §5.1).
+#ifndef UNISON_SRC_NET_PACKET_H_
+#define UNISON_SRC_NET_PACKET_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/core/event.h"
+#include "src/core/time.h"
+
+namespace unison {
+
+// Wire framing constants. kMss is the TCP payload per full segment; a full
+// data segment occupies kMss + kHeaderBytes on the wire.
+inline constexpr uint32_t kMss = 1400;
+inline constexpr uint32_t kHeaderBytes = 60;  // Eth + IPv4 + TCP + framing.
+inline constexpr uint32_t kAckBytes = kHeaderBytes;
+
+enum class PacketKind : uint8_t {
+  kTcpData,
+  kTcpAck,
+  kUdp,      // Datagram traffic (On-Off application).
+  kControl,  // Routing-protocol traffic (distance vector updates).
+};
+
+struct Packet {
+  PacketKind kind = PacketKind::kTcpData;
+  uint32_t flow_id = 0;
+  NodeId src = 0;
+  NodeId dst = 0;
+  uint32_t size_bytes = 0;  // Total on-wire size.
+  uint8_t ttl = 64;
+
+  // ECN (RFC 3168 / DCTCP): capable transport, congestion-experienced mark.
+  bool ecn_capable = false;
+  bool ecn_ce = false;
+
+  // TCP data fields.
+  uint64_t seq = 0;       // Offset of the first payload byte.
+  uint32_t payload = 0;   // Payload bytes carried.
+  bool fin = false;       // Last segment of the flow.
+
+  // TCP ack fields.
+  uint64_t ack = 0;   // Cumulative ack: next byte expected.
+  bool ece = false;   // Echo of a CE mark (per-packet echo, DCTCP style).
+
+  // Timestamp option: sender stamp, echoed by the receiver for RTT sampling.
+  Time ts;
+  Time ts_echo;
+
+  // Control payload (type depends on the protocol; kind tells the handler).
+  uint16_t control_kind = 0;
+  std::shared_ptr<const void> control_data;
+};
+
+}  // namespace unison
+
+#endif  // UNISON_SRC_NET_PACKET_H_

@@ -1,0 +1,108 @@
+#include "src/net/queue.h"
+
+#include <algorithm>
+
+namespace unison {
+
+bool DropTailQueue::Enqueue(Packet pkt, Time now) {
+  if (bytes_ + pkt.size_bytes > capacity_) {
+    ++stats_.dropped;
+    return false;
+  }
+  bytes_ += pkt.size_bytes;
+  ++stats_.enqueued;
+  stats_.max_bytes = std::max<uint64_t>(stats_.max_bytes, bytes_);
+  q_.push_back(Entry{std::move(pkt), now});
+  return true;
+}
+
+bool DropTailQueue::Dequeue(Packet* out, Time now) {
+  if (q_.empty()) {
+    return false;
+  }
+  Entry& e = q_.front();
+  bytes_ -= e.pkt.size_bytes;
+  stats_.total_delay += now - e.enqueue_time;
+  ++stats_.dequeued;
+  *out = std::move(e.pkt);
+  q_.pop_front();
+  return true;
+}
+
+RedQueue::RedQueue(const RedConfig& config) : cfg_(config), rng_state_(config.seed | 1) {}
+
+std::unique_ptr<RedQueue> RedQueue::MakeDctcp(uint32_t k_bytes, uint32_t capacity_bytes) {
+  RedConfig cfg;
+  cfg.capacity_bytes = capacity_bytes;
+  cfg.min_th = k_bytes;
+  cfg.max_th = k_bytes;
+  cfg.max_p = 1.0;
+  cfg.weight = 1.0;  // Instantaneous queue, per the DCTCP marking rule.
+  cfg.ecn = true;
+  cfg.hard_mark = true;
+  return std::make_unique<RedQueue>(cfg);
+}
+
+double RedQueue::NextUniform() {
+  // SplitMix64 step; queues need only light-weight marking noise.
+  uint64_t z = (rng_state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+bool RedQueue::Enqueue(Packet pkt, Time now) {
+  if (bytes_ + pkt.size_bytes > cfg_.capacity_bytes) {
+    ++stats_.dropped;
+    return false;
+  }
+  // EWMA average queue estimate (computed on the pre-enqueue occupancy).
+  avg_ = (1.0 - cfg_.weight) * avg_ + cfg_.weight * bytes_;
+
+  bool mark = false;
+  if (cfg_.hard_mark) {
+    mark = bytes_ + pkt.size_bytes > cfg_.min_th;
+  } else if (avg_ >= cfg_.max_th) {
+    mark = true;
+  } else if (avg_ > cfg_.min_th) {
+    const double p = cfg_.max_p * (avg_ - cfg_.min_th) / (cfg_.max_th - cfg_.min_th);
+    // Gentle spacing: probability grows with packets since the last mark.
+    const double pa = std::min(1.0, p / std::max(1e-9, 1.0 - count_since_mark_ * p));
+    mark = NextUniform() < pa;
+  }
+
+  if (mark) {
+    count_since_mark_ = 0;
+    if (cfg_.ecn && pkt.ecn_capable) {
+      pkt.ecn_ce = true;
+      ++stats_.ecn_marked;
+    } else {
+      ++stats_.dropped;
+      return false;  // Early drop for non-ECN traffic.
+    }
+  } else {
+    ++count_since_mark_;
+  }
+
+  bytes_ += pkt.size_bytes;
+  ++stats_.enqueued;
+  stats_.max_bytes = std::max<uint64_t>(stats_.max_bytes, bytes_);
+  q_.push_back(Entry{std::move(pkt), now});
+  return true;
+}
+
+bool RedQueue::Dequeue(Packet* out, Time now) {
+  if (q_.empty()) {
+    return false;
+  }
+  Entry& e = q_.front();
+  bytes_ -= e.pkt.size_bytes;
+  stats_.total_delay += now - e.enqueue_time;
+  ++stats_.dequeued;
+  *out = std::move(e.pkt);
+  q_.pop_front();
+  return true;
+}
+
+}  // namespace unison

@@ -1,0 +1,111 @@
+// Egress queue disciplines: DropTail FIFO, RED (with ECN marking), and the
+// DCTCP step-marking threshold queue (RED with min == max == K and mark-only
+// behaviour). Queues are owned by a device and touched only by the owning
+// node's LP, so they keep plain counters.
+#ifndef UNISON_SRC_NET_QUEUE_H_
+#define UNISON_SRC_NET_QUEUE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "src/core/time.h"
+#include "src/net/packet.h"
+
+namespace unison {
+
+struct QueueStats {
+  uint64_t enqueued = 0;
+  uint64_t dropped = 0;
+  uint64_t ecn_marked = 0;
+  uint64_t max_bytes = 0;
+  // Accumulated queueing delay (time between enqueue and dequeue).
+  Time total_delay;
+  uint64_t dequeued = 0;
+};
+
+class Queue {
+ public:
+  virtual ~Queue() = default;
+
+  // Attempts to accept `pkt` at time `now`; may set its CE mark. Returns
+  // false when the packet is dropped.
+  virtual bool Enqueue(Packet pkt, Time now) = 0;
+
+  // Pops the head packet; returns false when empty.
+  virtual bool Dequeue(Packet* out, Time now) = 0;
+
+  virtual uint32_t bytes() const = 0;
+  virtual uint32_t packets() const = 0;
+  bool Empty() const { return packets() == 0; }
+
+  const QueueStats& stats() const { return stats_; }
+
+ protected:
+  QueueStats stats_;
+};
+
+class DropTailQueue : public Queue {
+ public:
+  explicit DropTailQueue(uint32_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  bool Enqueue(Packet pkt, Time now) override;
+  bool Dequeue(Packet* out, Time now) override;
+  uint32_t bytes() const override { return bytes_; }
+  uint32_t packets() const override { return static_cast<uint32_t>(q_.size()); }
+
+ private:
+  struct Entry {
+    Packet pkt;
+    Time enqueue_time;
+  };
+  const uint32_t capacity_;
+  uint32_t bytes_ = 0;
+  std::deque<Entry> q_;
+};
+
+struct RedConfig {
+  uint32_t capacity_bytes = 400 * 1500;
+  // Thresholds in bytes of *average* queue length.
+  double min_th = 50 * 1500;
+  double max_th = 150 * 1500;
+  double max_p = 0.1;     // Marking probability at max_th.
+  double weight = 0.002;  // EWMA weight for the average queue estimate.
+  bool ecn = true;        // Mark instead of drop for ECN-capable packets.
+  bool hard_mark = false;  // DCTCP step marking: mark all above min_th.
+  uint64_t seed = 1;       // Stream for the marking coin flips.
+};
+
+class RedQueue : public Queue {
+ public:
+  explicit RedQueue(const RedConfig& config);
+
+  bool Enqueue(Packet pkt, Time now) override;
+  bool Dequeue(Packet* out, Time now) override;
+  uint32_t bytes() const override { return bytes_; }
+  uint32_t packets() const override { return static_cast<uint32_t>(q_.size()); }
+
+  double average_bytes() const { return avg_; }
+
+  // DCTCP threshold queue: step-mark every packet once the instantaneous
+  // queue exceeds K bytes.
+  static std::unique_ptr<RedQueue> MakeDctcp(uint32_t k_bytes, uint32_t capacity_bytes);
+
+ private:
+  struct Entry {
+    Packet pkt;
+    Time enqueue_time;
+  };
+  RedConfig cfg_;
+  uint32_t bytes_ = 0;
+  double avg_ = 0;
+  uint64_t count_since_mark_ = 0;
+  uint64_t rng_state_;
+  std::deque<Entry> q_;
+
+  double NextUniform();
+};
+
+}  // namespace unison
+
+#endif  // UNISON_SRC_NET_QUEUE_H_

@@ -1,0 +1,71 @@
+#include "src/net/udp.h"
+
+#include <memory>
+
+#include "src/net/network.h"
+#include "src/net/node.h"
+
+namespace unison {
+namespace {
+
+// Self-scheduling sender; owned by the shared_ptr captured in its own
+// events, so it dies with its last scheduled event.
+struct OnOffSender : std::enable_shared_from_this<OnOffSender> {
+  Network* net = nullptr;
+  OnOffSpec spec;
+  uint32_t flow_id = 0;
+  Time gap;  // Inter-packet gap at rate_bps (wire size).
+  Time phase_end;
+  uint64_t tx_packets = 0;
+
+  void StartOnPhase() {
+    phase_end = net->sim().Now() + spec.on;
+    Tick();
+  }
+
+  void Tick() {
+    const Time now = net->sim().Now();
+    if (now >= spec.stop) {
+      return;
+    }
+    if (now >= phase_end) {
+      if (spec.off.IsZero()) {
+        phase_end = now + spec.on;  // Pure CBR: back-to-back ON phases.
+      } else {
+        auto self = shared_from_this();
+        net->sim().Schedule(spec.off, [self] { self->StartOnPhase(); });
+        return;
+      }
+    }
+    Packet pkt;
+    pkt.kind = PacketKind::kUdp;
+    pkt.flow_id = flow_id;
+    pkt.src = spec.src;
+    pkt.dst = spec.dst;
+    pkt.payload = spec.packet_bytes;
+    pkt.size_bytes = spec.packet_bytes + kHeaderBytes;
+    ++tx_packets;
+    net->node(spec.src).SendFromLocal(std::move(pkt));
+    auto self = shared_from_this();
+    net->sim().Schedule(gap, [self] { self->Tick(); });
+  }
+};
+
+}  // namespace
+
+uint32_t InstallOnOffFlow(Network& net, const OnOffSpec& spec) {
+  net.Finalize();
+  const uint32_t flow_id = net.flow_monitor().Register(spec.src, spec.dst,
+                                                       /*bytes=*/0, spec.start);
+  auto sender = std::make_shared<OnOffSender>();
+  sender->net = &net;
+  sender->spec = spec;
+  sender->flow_id = flow_id;
+  const uint64_t wire_bits = (spec.packet_bytes + kHeaderBytes) * 8ULL;
+  sender->gap = Time::Picoseconds(static_cast<int64_t>(
+      static_cast<double>(wire_bits) * 1e12 / static_cast<double>(spec.rate_bps)));
+  net.sim().ScheduleOnNode(spec.src, spec.start, [sender] { sender->StartOnPhase(); });
+  return flow_id;
+}
+
+}  // namespace unison

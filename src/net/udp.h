@@ -1,0 +1,37 @@
+// UDP datagram traffic: the On-Off (CBR burst) application and its sink.
+//
+// Exercises the non-TCP forwarding path: no acknowledgements, no congestion
+// control — datagrams are paced at a constant bit rate during ON periods and
+// silently dropped by full queues. The receiver side is just flow-monitor
+// accounting; losses show up as the gap between offered and received bytes.
+#ifndef UNISON_SRC_NET_UDP_H_
+#define UNISON_SRC_NET_UDP_H_
+
+#include <cstdint>
+
+#include "src/core/time.h"
+#include "src/net/packet.h"
+
+namespace unison {
+
+class Network;
+
+struct OnOffSpec {
+  NodeId src = 0;
+  NodeId dst = 0;
+  uint64_t rate_bps = 0;      // Sending rate during ON periods.
+  uint32_t packet_bytes = 1000;  // UDP payload per datagram.
+  Time on;                    // ON period length (constant).
+  Time off;                   // OFF period length (constant; zero = CBR).
+  Time start;
+  Time stop;
+};
+
+// Installs an On-Off UDP application; returns its flow id (rx bytes and
+// packet counts accumulate in the FlowMonitor record). The network must be
+// finalized.
+uint32_t InstallOnOffFlow(Network& net, const OnOffSpec& spec);
+
+}  // namespace unison
+
+#endif  // UNISON_SRC_NET_UDP_H_

@@ -1,0 +1,71 @@
+#include "src/partition/fine_grained.h"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+namespace unison {
+
+Time MedianDelay(const TopoGraph& graph) {
+  std::vector<Time> delays;
+  delays.reserve(graph.edges.size());
+  for (const TopoEdge& e : graph.edges) {
+    if (e.stateless) {
+      delays.push_back(e.delay);
+    }
+  }
+  if (delays.empty()) {
+    return Time::Zero();
+  }
+  // Lower median: with an even count this picks the smaller middle element,
+  // ensuring "at least half of the links will be cut off".
+  const size_t mid = (delays.size() - 1) / 2;
+  std::nth_element(delays.begin(), delays.begin() + mid, delays.end());
+  return delays[mid];
+}
+
+Partition FineGrainedPartition(const TopoGraph& graph) {
+  const Time lookahead_lowerbound = MedianDelay(graph);
+
+  // Adjacency over edges that must NOT be cut: stateful edges, stateless
+  // edges with delay below the lower bound, and zero-delay links — cutting a
+  // zero-delay link would force the lookahead (and thus every window) to
+  // zero, so such links always merge their endpoints into one LP.
+  std::vector<std::vector<NodeId>> adj(graph.num_nodes);
+  for (const TopoEdge& e : graph.edges) {
+    if (!e.stateless || e.delay < lookahead_lowerbound || e.delay.IsZero()) {
+      adj[e.u].push_back(e.v);
+      adj[e.v].push_back(e.u);
+    }
+  }
+
+  Partition partition;
+  partition.lp_of_node.assign(graph.num_nodes, 0);
+  std::vector<bool> visited(graph.num_nodes, false);
+  uint32_t lp_count = 0;
+  std::queue<NodeId> q;
+  for (NodeId v = 0; v < graph.num_nodes; ++v) {
+    if (visited[v]) {
+      continue;
+    }
+    const LpId lp = lp_count++;
+    visited[v] = true;
+    q.push(v);
+    while (!q.empty()) {
+      const NodeId n = q.front();
+      q.pop();
+      partition.lp_of_node[n] = lp;
+      for (NodeId m : adj[n]) {
+        if (!visited[m]) {
+          visited[m] = true;
+          q.push(m);
+        }
+      }
+    }
+  }
+  partition.num_lps = lp_count;
+  FinalizePartition(graph, &partition);
+  return partition;
+}
+
+}  // namespace unison

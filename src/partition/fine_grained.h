@@ -1,0 +1,24 @@
+// Algorithm 1 of the paper: automatic fine-grained spatial partition.
+//
+// The lookahead lower bound is the median of all stateless link delays; every
+// stateless link whose delay is >= the bound is logically cut, and each
+// connected component of the remaining graph becomes one LP. Cutting at the
+// median (rather than the mean) guarantees at least half of the links are cut,
+// which yields the fine granularity the scheduler depends on, while refusing
+// to cut very short links that would collapse the window size.
+#ifndef UNISON_SRC_PARTITION_FINE_GRAINED_H_
+#define UNISON_SRC_PARTITION_FINE_GRAINED_H_
+
+#include "src/partition/graph.h"
+
+namespace unison {
+
+// Computes the median-delay cut threshold used by FineGrainedPartition;
+// exposed for tests and for the Table 1 configuration-complexity bench.
+Time MedianDelay(const TopoGraph& graph);
+
+Partition FineGrainedPartition(const TopoGraph& graph);
+
+}  // namespace unison
+
+#endif  // UNISON_SRC_PARTITION_FINE_GRAINED_H_

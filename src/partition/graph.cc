@@ -1,0 +1,78 @@
+#include "src/partition/graph.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace unison {
+
+void FinalizePartition(const TopoGraph& graph, Partition* partition) {
+  partition->cut_edges.clear();
+  partition->lookahead = Time::Max();
+  partition->lp_lookahead.assign(partition->num_lps, Time::Max());
+  for (const TopoEdge& e : graph.edges) {
+    const LpId a = partition->lp_of_node[e.u];
+    const LpId b = partition->lp_of_node[e.v];
+    if (a == b) {
+      continue;
+    }
+    partition->cut_edges.push_back(CutEdge{a, b, e.delay});
+    partition->lookahead = std::min(partition->lookahead, e.delay);
+    partition->lp_lookahead[a] = std::min(partition->lp_lookahead[a], e.delay);
+    partition->lp_lookahead[b] = std::min(partition->lp_lookahead[b], e.delay);
+  }
+}
+
+bool ValidatePartition(const TopoGraph& graph, const Partition& partition) {
+  if (partition.lp_of_node.size() != graph.num_nodes) {
+    return false;
+  }
+  for (LpId lp : partition.lp_of_node) {
+    if (lp >= partition.num_lps) {
+      return false;
+    }
+  }
+  // Check intra-LP connectivity: within each LP, nodes must form one
+  // connected component over the un-cut edges. Build adjacency restricted to
+  // same-LP edges and BFS from the first node of each LP.
+  std::vector<std::vector<NodeId>> adj(graph.num_nodes);
+  for (const TopoEdge& e : graph.edges) {
+    if (partition.lp_of_node[e.u] == partition.lp_of_node[e.v]) {
+      adj[e.u].push_back(e.v);
+      adj[e.v].push_back(e.u);
+    }
+  }
+  std::vector<NodeId> first(partition.num_lps, graph.num_nodes);
+  std::vector<uint32_t> lp_size(partition.num_lps, 0);
+  for (NodeId n = 0; n < graph.num_nodes; ++n) {
+    const LpId lp = partition.lp_of_node[n];
+    ++lp_size[lp];
+    first[lp] = std::min(first[lp], n);
+  }
+  std::vector<bool> visited(graph.num_nodes, false);
+  for (LpId lp = 0; lp < partition.num_lps; ++lp) {
+    if (lp_size[lp] == 0) {
+      continue;  // Empty LPs are legal (they simply never have events).
+    }
+    uint32_t reached = 0;
+    std::queue<NodeId> q;
+    q.push(first[lp]);
+    visited[first[lp]] = true;
+    while (!q.empty()) {
+      const NodeId n = q.front();
+      q.pop();
+      ++reached;
+      for (NodeId m : adj[n]) {
+        if (!visited[m] && partition.lp_of_node[m] == lp) {
+          visited[m] = true;
+          q.push(m);
+        }
+      }
+    }
+    if (reached != lp_size[lp]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace unison

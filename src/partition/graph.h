@@ -1,0 +1,65 @@
+// Topology view consumed by the partitioners, and the partition result shared
+// by every kernel.
+//
+// A partition assigns each node a logical-process id, records which edges
+// were logically cut (these become inter-LP channels backed by mailboxes),
+// and carries the lookahead values derived from the cut-edge delays.
+#ifndef UNISON_SRC_PARTITION_GRAPH_H_
+#define UNISON_SRC_PARTITION_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/event.h"
+#include "src/core/time.h"
+
+namespace unison {
+
+struct TopoEdge {
+  NodeId u = 0;
+  NodeId v = 0;
+  Time delay;
+  // Stateless links (point-to-point, full-duplex Ethernet) may be cut;
+  // stateful links (e.g. shared wireless channels) may not (§4.2).
+  bool stateless = true;
+};
+
+struct TopoGraph {
+  uint32_t num_nodes = 0;
+  std::vector<TopoEdge> edges;
+};
+
+struct CutEdge {
+  LpId a = 0;
+  LpId b = 0;
+  Time delay;
+};
+
+struct Partition {
+  uint32_t num_lps = 0;
+  std::vector<LpId> lp_of_node;
+
+  // Edges whose endpoints landed in different LPs.
+  std::vector<CutEdge> cut_edges;
+
+  // min over cut edges of their delay; Time::Max() when there are no cut
+  // edges (single LP). This is the scalar lookahead used in the LBTS window
+  // (Eq. 1 / Eq. 2).
+  Time lookahead = Time::Max();
+
+  // Per-LP lookahead: the shortest delay among this LP's own cut edges; used
+  // by the null-message kernel's per-channel guarantees.
+  std::vector<Time> lp_lookahead;
+};
+
+// Recomputes cut_edges / lookahead / lp_lookahead from lp_of_node and the
+// graph. Used after manual assignment and after dynamic topology changes.
+void FinalizePartition(const TopoGraph& graph, Partition* partition);
+
+// True when every LP is internally connected and every node has an LP id in
+// range; used by tests and by the kernels' setup assertions.
+bool ValidatePartition(const TopoGraph& graph, const Partition& partition);
+
+}  // namespace unison
+
+#endif  // UNISON_SRC_PARTITION_GRAPH_H_

@@ -1,0 +1,36 @@
+#include "src/partition/manual.h"
+
+#include <utility>
+
+namespace unison {
+
+Partition SingleLpPartition(const TopoGraph& graph) {
+  Partition partition;
+  partition.num_lps = 1;
+  partition.lp_of_node.assign(graph.num_nodes, 0);
+  FinalizePartition(graph, &partition);
+  return partition;
+}
+
+Partition ManualPartition(const TopoGraph& graph, uint32_t num_lps,
+                          std::vector<LpId> lp_of_node) {
+  Partition partition;
+  partition.num_lps = num_lps;
+  partition.lp_of_node = std::move(lp_of_node);
+  FinalizePartition(graph, &partition);
+  return partition;
+}
+
+Partition RangePartition(const TopoGraph& graph, uint32_t num_lps) {
+  Partition partition;
+  partition.num_lps = num_lps;
+  partition.lp_of_node.resize(graph.num_nodes);
+  const uint32_t per_lp = (graph.num_nodes + num_lps - 1) / num_lps;
+  for (NodeId n = 0; n < graph.num_nodes; ++n) {
+    partition.lp_of_node[n] = std::min(n / per_lp, num_lps - 1);
+  }
+  FinalizePartition(graph, &partition);
+  return partition;
+}
+
+}  // namespace unison

@@ -1,0 +1,31 @@
+// Static manual partitioners used by the PDES baselines (§2.3, Figure 3).
+//
+// These reproduce the configuration work a user must do by hand for the
+// barrier-synchronization and null-message kernels: choose a number of LPs,
+// assign every node, and hope the workload stays balanced. The Table 1 bench
+// counts the per-topology configuration statements these imply.
+#ifndef UNISON_SRC_PARTITION_MANUAL_H_
+#define UNISON_SRC_PARTITION_MANUAL_H_
+
+#include <vector>
+
+#include "src/partition/graph.h"
+
+namespace unison {
+
+// One LP for everything — the degenerate partition used by the sequential
+// kernel.
+Partition SingleLpPartition(const TopoGraph& graph);
+
+// Partition from an explicit node→LP assignment (the "manual" path).
+Partition ManualPartition(const TopoGraph& graph, uint32_t num_lps,
+                          std::vector<LpId> lp_of_node);
+
+// Evenly slices the node-id range [0, num_nodes) into num_lps contiguous
+// blocks — the scheme the paper uses for the 2D-torus baseline, and the
+// generic fallback when no symmetric division exists.
+Partition RangePartition(const TopoGraph& graph, uint32_t num_lps);
+
+}  // namespace unison
+
+#endif  // UNISON_SRC_PARTITION_MANUAL_H_

@@ -1,0 +1,13 @@
+#include "src/sched/metrics.h"
+
+namespace unison {
+
+void EstimateByPendingEvents(const std::vector<std::unique_ptr<Lp>>& lps, Time window,
+                             std::vector<uint64_t>* cost) {
+  cost->resize(lps.size());
+  for (size_t i = 0; i < lps.size(); ++i) {
+    (*cost)[i] = lps[i]->fel().CountBefore(window);
+  }
+}
+
+}  // namespace unison

@@ -1,0 +1,32 @@
+// Scheduling metrics (§4.3): cheap estimates of each LP's processing time in
+// the upcoming round. The LPT policy only needs the partial order of job
+// sizes, so both heuristics work despite being approximate:
+//
+//  - ByPendingEventCount: events already queued inside the next window. Most
+//    packet events are scheduled exactly one lookahead ahead, so they land in
+//    the next round. Linear in FEL size.
+//  - ByLastRoundTime: measured processing time of the previous round.
+//    Constant time, and more accurate thanks to the temporal locality of
+//    network simulation (Fig. 13a); the default when a high-resolution clock
+//    is available.
+#ifndef UNISON_SRC_SCHED_METRICS_H_
+#define UNISON_SRC_SCHED_METRICS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/core/time.h"
+#include "src/kernel/lp.h"
+
+namespace unison {
+
+// Fills `cost[i]` with the estimate for LP i.
+//  - metric_is_pending: use FEL counts below `window`.
+//  - otherwise: copy `last_round_ns`.
+void EstimateByPendingEvents(const std::vector<std::unique_ptr<Lp>>& lps, Time window,
+                             std::vector<uint64_t>* cost);
+
+}  // namespace unison
+
+#endif  // UNISON_SRC_SCHED_METRICS_H_

@@ -1,0 +1,55 @@
+#include "src/sched/thread_pool.h"
+
+#include <utility>
+
+namespace unison {
+
+WorkerTeam::WorkerTeam(uint32_t parties) : parties_(parties) {
+  threads_.reserve(parties_ - 1);
+  for (uint32_t id = 1; id < parties_; ++id) {
+    threads_.emplace_back([this, id] { Loop(id); });
+  }
+}
+
+WorkerTeam::~WorkerTeam() {
+  shutdown_.store(true, std::memory_order_release);
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  epoch_.notify_all();
+  for (auto& t : threads_) {
+    t.join();
+  }
+}
+
+void WorkerTeam::Run(std::function<void(uint32_t)> body) {
+  body_ = std::move(body);
+  done_.store(0, std::memory_order_release);
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  epoch_.notify_all();
+  body_(0);
+  // Wait for the other workers.
+  uint32_t done = done_.load(std::memory_order_acquire);
+  while (done != parties_ - 1) {
+    done_.wait(done, std::memory_order_acquire);
+    done = done_.load(std::memory_order_acquire);
+  }
+}
+
+void WorkerTeam::Loop(uint32_t id) {
+  uint64_t seen = 0;
+  for (;;) {
+    uint64_t e = epoch_.load(std::memory_order_acquire);
+    while (e == seen) {
+      epoch_.wait(e, std::memory_order_acquire);
+      e = epoch_.load(std::memory_order_acquire);
+    }
+    seen = e;
+    if (shutdown_.load(std::memory_order_acquire)) {
+      return;
+    }
+    body_(id);
+    done_.fetch_add(1, std::memory_order_acq_rel);
+    done_.notify_all();
+  }
+}
+
+}  // namespace unison

@@ -1,0 +1,44 @@
+// A team of persistent workers that execute one body function in lockstep.
+//
+// The calling thread participates as worker 0, so a team of N uses N-1 OS
+// threads. Kernels hand the team their whole round loop once; phase
+// synchronization inside the loop is the kernel's job (SpinBarrier).
+#ifndef UNISON_SRC_SCHED_THREAD_POOL_H_
+#define UNISON_SRC_SCHED_THREAD_POOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace unison {
+
+class WorkerTeam {
+ public:
+  explicit WorkerTeam(uint32_t parties);
+  ~WorkerTeam();
+
+  WorkerTeam(const WorkerTeam&) = delete;
+  WorkerTeam& operator=(const WorkerTeam&) = delete;
+
+  uint32_t parties() const { return parties_; }
+
+  // Runs body(worker_id) on all workers, the caller included as id 0.
+  // Returns when every worker has finished. Not reentrant.
+  void Run(std::function<void(uint32_t)> body);
+
+ private:
+  void Loop(uint32_t id);
+
+  const uint32_t parties_;
+  std::function<void(uint32_t)> body_;
+  std::atomic<uint64_t> epoch_{0};
+  std::atomic<uint32_t> done_{0};
+  std::atomic<bool> shutdown_{false};
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace unison
+
+#endif  // UNISON_SRC_SCHED_THREAD_POOL_H_

@@ -1,0 +1,16 @@
+#include "src/stats/digest.h"
+
+#include "src/net/network.h"
+
+namespace unison {
+
+RunDigest DigestOf(Network& net) {
+  RunDigest d;
+  d.event_count = net.kernel().processed_events();
+  d.flow_fingerprint = net.flow_monitor().Fingerprint();
+  d.mean_fct_ms = net.flow_monitor().Summarize().mean_fct_ms;
+  d.mean_delay_us = net.AggregateQueueStats().mean_delay_us();
+  return d;
+}
+
+}  // namespace unison

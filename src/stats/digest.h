@@ -1,0 +1,31 @@
+// Run digests: compact, comparable fingerprints of a completed simulation,
+// used by the determinism experiments (Fig. 11) and the cross-kernel
+// equivalence tests.
+#ifndef UNISON_SRC_STATS_DIGEST_H_
+#define UNISON_SRC_STATS_DIGEST_H_
+
+#include <cstdint>
+
+#include "src/stats/flow_monitor.h"
+
+namespace unison {
+
+class Network;
+
+struct RunDigest {
+  uint64_t event_count = 0;
+  uint64_t flow_fingerprint = 0;
+  double mean_fct_ms = 0;
+  double mean_delay_us = 0;  // Mean end-to-end queueing delay.
+
+  friend bool operator==(const RunDigest& a, const RunDigest& b) {
+    return a.event_count == b.event_count && a.flow_fingerprint == b.flow_fingerprint;
+  }
+};
+
+// Collects the digest of a finished run.
+RunDigest DigestOf(Network& net);
+
+}  // namespace unison
+
+#endif  // UNISON_SRC_STATS_DIGEST_H_

@@ -1,0 +1,94 @@
+#include "src/stats/flow_monitor.h"
+
+#include <algorithm>
+
+namespace unison {
+
+uint32_t FlowMonitor::Register(NodeId src, NodeId dst, uint64_t bytes, Time start) {
+  FlowRecord rec;
+  rec.id = static_cast<uint32_t>(flows_.size());
+  rec.src = src;
+  rec.dst = dst;
+  rec.bytes = bytes;
+  rec.start = start;
+  flows_.push_back(rec);
+  return rec.id;
+}
+
+void FlowMonitor::Complete(uint32_t id, Time now) {
+  FlowRecord& rec = flows_[id];
+  rec.completed = true;
+  rec.fct = now - rec.start;
+}
+
+void FlowMonitor::AddRtt(uint32_t id, Time sample) {
+  FlowRecord& rec = flows_[id];
+  ++rec.rtt_samples;
+  rec.rtt_sum += sample;
+}
+
+void FlowMonitor::AddRxBytes(uint32_t id, uint64_t n, Time now) {
+  FlowRecord& rec = flows_[id];
+  rec.rx_bytes += n;
+  rec.last_rx = now;
+}
+
+FlowSummary FlowMonitor::Summarize() const {
+  FlowSummary s;
+  s.flows = flows_.size();
+  double fct_ms_sum = 0;
+  double thr_sum = 0;
+  double rtt_ms_sum = 0;
+  uint64_t rtt_count = 0;
+  std::vector<double> fcts;
+  for (const FlowRecord& rec : flows_) {
+    s.total_rx_bytes += rec.rx_bytes;
+    s.total_retransmits += rec.retransmits;
+    if (rec.rtt_samples > 0) {
+      rtt_ms_sum += rec.rtt_sum.ToMilliseconds();
+      rtt_count += rec.rtt_samples;
+    }
+    if (!rec.completed) {
+      continue;
+    }
+    ++s.completed;
+    const double fct_ms = rec.fct.ToMilliseconds();
+    fct_ms_sum += fct_ms;
+    fcts.push_back(fct_ms);
+    if (rec.fct.ps() > 0) {
+      thr_sum += static_cast<double>(rec.bytes) * 8.0 / rec.fct.ToSeconds() / 1e6;
+    }
+  }
+  if (s.completed > 0) {
+    s.mean_fct_ms = fct_ms_sum / static_cast<double>(s.completed);
+    s.mean_throughput_mbps = thr_sum / static_cast<double>(s.completed);
+    std::sort(fcts.begin(), fcts.end());
+    s.p99_fct_ms = fcts[static_cast<size_t>(0.99 * static_cast<double>(fcts.size() - 1))];
+  }
+  if (rtt_count > 0) {
+    s.mean_rtt_ms = rtt_ms_sum / static_cast<double>(rtt_count);
+  }
+  return s;
+}
+
+uint64_t FlowMonitor::Fingerprint() const {
+  // FNV-1a over per-flow outcomes; addition keeps it order-independent with
+  // respect to flow id (ids are stable anyway, but cheap insurance).
+  uint64_t h = 0;
+  for (const FlowRecord& rec : flows_) {
+    uint64_t x = 0xcbf29ce484222325ULL;
+    auto mix = [&x](uint64_t v) {
+      x ^= v;
+      x *= 0x100000001b3ULL;
+    };
+    mix(rec.id);
+    mix(rec.completed ? static_cast<uint64_t>(rec.fct.ps()) : 0);
+    mix(rec.rx_bytes);
+    mix(rec.retransmits);
+    mix(static_cast<uint64_t>(rec.rtt_sum.ps()));
+    h += x;
+  }
+  return h;
+}
+
+}  // namespace unison

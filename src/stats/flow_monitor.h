@@ -1,0 +1,80 @@
+// Global flow statistics, the FlowMonitor analogue (§5.1).
+//
+// Because Unison shares memory across LPs, a single monitor sees every flow
+// end to end — the capability the paper contrasts with MPI-based PDES, where
+// per-LP tracing must be stitched together by hand. Thread safety comes from
+// ownership discipline rather than locks: each record is registered during
+// single-threaded setup, sender-side fields are written only by the source
+// node's LP and receiver-side fields only by the destination node's LP.
+#ifndef UNISON_SRC_STATS_FLOW_MONITOR_H_
+#define UNISON_SRC_STATS_FLOW_MONITOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/event.h"
+#include "src/core/time.h"
+
+namespace unison {
+
+struct FlowRecord {
+  uint32_t id = 0;
+  NodeId src = 0;
+  NodeId dst = 0;
+  uint64_t bytes = 0;
+  Time start;
+
+  // Sender-side results.
+  bool completed = false;
+  Time fct;  // Completion - start; valid when completed.
+  uint64_t retransmits = 0;
+  uint64_t rtt_samples = 0;
+  Time rtt_sum;
+
+  // Receiver-side results.
+  uint64_t rx_bytes = 0;
+  Time last_rx;
+};
+
+struct FlowSummary {
+  uint64_t flows = 0;
+  uint64_t completed = 0;
+  double mean_fct_ms = 0;
+  double p99_fct_ms = 0;
+  double mean_rtt_ms = 0;
+  double mean_throughput_mbps = 0;  // Per completed flow: bytes*8 / fct.
+  uint64_t total_rx_bytes = 0;
+  uint64_t total_retransmits = 0;
+};
+
+class FlowMonitor {
+ public:
+  // Registers a flow; must be called during setup (single-threaded).
+  uint32_t Register(NodeId src, NodeId dst, uint64_t bytes, Time start);
+
+  FlowRecord& flow(uint32_t id) { return flows_[id]; }
+  const FlowRecord& flow(uint32_t id) const { return flows_[id]; }
+  const std::vector<FlowRecord>& flows() const { return flows_; }
+  size_t size() const { return flows_.size(); }
+
+  // Sender-side hooks.
+  void Complete(uint32_t id, Time now);
+  void AddRtt(uint32_t id, Time sample);
+  void AddRetransmit(uint32_t id) { ++flows_[id].retransmits; }
+
+  // Receiver-side hooks.
+  void AddRxBytes(uint32_t id, uint64_t n, Time now);
+
+  FlowSummary Summarize() const;
+
+  // Order-independent fingerprint of all flow outcomes; equal fingerprints
+  // across runs demonstrate deterministic simulation (Fig. 11).
+  uint64_t Fingerprint() const;
+
+ private:
+  std::vector<FlowRecord> flows_;
+};
+
+}  // namespace unison
+
+#endif  // UNISON_SRC_STATS_FLOW_MONITOR_H_

@@ -1,0 +1,101 @@
+// Log-bucketed histogram for latency-style metrics (HdrHistogram-flavored).
+//
+// Values are bucketed at ~4.2% relative resolution (16 linear sub-buckets
+// per power of two), which keeps percentile queries accurate to a few
+// percent across nine decades while the whole structure stays a few KB —
+// cheap enough to keep one per metric per run.
+#ifndef UNISON_SRC_STATS_HISTOGRAM_H_
+#define UNISON_SRC_STATS_HISTOGRAM_H_
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace unison {
+
+class Histogram {
+ public:
+  Histogram() : counts_(kBuckets, 0) {}
+
+  void Add(uint64_t value) {
+    ++counts_[BucketOf(value)];
+    ++total_;
+    sum_ += value;
+    if (value < min_) {
+      min_ = value;
+    }
+    if (value > max_) {
+      max_ = value;
+    }
+  }
+
+  uint64_t count() const { return total_; }
+  uint64_t min() const { return total_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const {
+    return total_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(total_);
+  }
+
+  // Value at quantile q in [0, 1]; returns a representative value of the
+  // containing bucket (its upper edge), so Quantile(1.0) >= max is possible
+  // only within bucket resolution.
+  uint64_t Quantile(double q) const {
+    if (total_ == 0) {
+      return 0;
+    }
+    uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total_ - 1));
+    for (size_t b = 0; b < counts_.size(); ++b) {
+      if (counts_[b] > rank) {
+        return UpperEdge(b);
+      }
+      rank -= counts_[b];
+    }
+    return max_;
+  }
+
+  void Merge(const Histogram& other) {
+    for (size_t b = 0; b < counts_.size(); ++b) {
+      counts_[b] += other.counts_[b];
+    }
+    total_ += other.total_;
+    sum_ += other.sum_;
+    if (other.total_ > 0) {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+  }
+
+ private:
+  static constexpr uint32_t kSubBits = 4;  // 16 sub-buckets per octave.
+  static constexpr uint32_t kOctaves = 60;
+  static constexpr uint32_t kBuckets = (kOctaves + 1) << kSubBits;
+
+  static uint32_t BucketOf(uint64_t v) {
+    if (v < (1u << kSubBits)) {
+      return static_cast<uint32_t>(v);  // Exact for tiny values.
+    }
+    const uint32_t octave = std::bit_width(v) - 1;  // >= kSubBits.
+    const uint32_t sub =
+        static_cast<uint32_t>((v >> (octave - kSubBits)) & ((1u << kSubBits) - 1));
+    return ((octave - kSubBits + 1) << kSubBits) + sub;
+  }
+
+  static uint64_t UpperEdge(size_t bucket) {
+    if (bucket < (1u << kSubBits)) {
+      return bucket;
+    }
+    const uint64_t octave = (bucket >> kSubBits) + kSubBits - 1;
+    const uint64_t sub = bucket & ((1u << kSubBits) - 1);
+    return (1ULL << octave) + ((sub + 1) << (octave - kSubBits)) - 1;
+  }
+
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = UINT64_MAX;
+  uint64_t max_ = 0;
+};
+
+}  // namespace unison
+
+#endif  // UNISON_SRC_STATS_HISTOGRAM_H_

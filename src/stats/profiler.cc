@@ -1,0 +1,81 @@
+#include "src/stats/profiler.h"
+
+#include <algorithm>
+
+namespace unison {
+
+void Profiler::BeginRun(uint32_t num_executors) {
+  num_executors_ = num_executors;
+  executors_.assign(num_executors, ExecutorPhaseStats{});
+  round_p_.clear();
+  round_s_.clear();
+  lp_rounds_.assign(num_executors, {});
+}
+
+void Profiler::BeginRound() {
+  if (!per_round) {
+    return;
+  }
+  round_p_.emplace_back(num_executors_, 0);
+  round_s_.emplace_back(num_executors_, 0);
+}
+
+void Profiler::AddRoundProcessing(uint32_t executor, uint64_t ns) {
+  if (per_round && !round_p_.empty()) {
+    round_p_.back()[executor] += ns;
+  }
+}
+
+void Profiler::AddRoundSync(uint32_t executor, uint64_t ns) {
+  if (per_round && !round_s_.empty()) {
+    round_s_.back()[executor] += ns;
+  }
+}
+
+void Profiler::AddLpRound(uint32_t executor, LpRoundCost cost) {
+  if (per_lp) {
+    lp_rounds_[executor].push_back(cost);
+  }
+}
+
+std::vector<LpRoundCost> Profiler::MergedLpRounds() const {
+  std::vector<LpRoundCost> merged;
+  size_t total = 0;
+  for (const auto& buf : lp_rounds_) {
+    total += buf.size();
+  }
+  merged.reserve(total);
+  for (const auto& buf : lp_rounds_) {
+    merged.insert(merged.end(), buf.begin(), buf.end());
+  }
+  std::sort(merged.begin(), merged.end(), [](const LpRoundCost& a, const LpRoundCost& b) {
+    return a.round != b.round ? a.round < b.round : a.lp < b.lp;
+  });
+  return merged;
+}
+
+uint64_t Profiler::TotalProcessingNs() const {
+  uint64_t sum = 0;
+  for (const auto& e : executors_) {
+    sum += e.processing_ns;
+  }
+  return sum;
+}
+
+uint64_t Profiler::TotalSyncNs() const {
+  uint64_t sum = 0;
+  for (const auto& e : executors_) {
+    sum += e.synchronization_ns;
+  }
+  return sum;
+}
+
+uint64_t Profiler::TotalMessagingNs() const {
+  uint64_t sum = 0;
+  for (const auto& e : executors_) {
+    sum += e.messaging_ns;
+  }
+  return sum;
+}
+
+}  // namespace unison

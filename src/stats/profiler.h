@@ -1,0 +1,89 @@
+// Time-composition profiling (§3.2 of the paper).
+//
+// The total running time of an executor (an LP pinned to a rank for the
+// baselines, a worker thread for Unison) is split into processing time P,
+// synchronization time S, and messaging time M. Kernels accumulate these into
+// per-executor slots; optional per-round and per-(round, LP) records feed the
+// Fig. 5b/9b/13 benches and the parallel cost model.
+//
+// All writes go to executor-private slots between barriers, so no locking is
+// needed; readers only inspect the data after Run() returns.
+#ifndef UNISON_SRC_STATS_PROFILER_H_
+#define UNISON_SRC_STATS_PROFILER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "src/core/event.h"
+
+namespace unison {
+
+struct ExecutorPhaseStats {
+  uint64_t processing_ns = 0;      // P: executing events.
+  uint64_t synchronization_ns = 0; // S: waiting for other executors.
+  uint64_t messaging_ns = 0;       // M: receiving events / updating windows.
+  uint64_t events = 0;             // Events executed by this executor.
+};
+
+// Per-(round, LP) record for heatmaps and the cost model.
+struct LpRoundCost {
+  uint32_t round = 0;
+  LpId lp = 0;
+  uint32_t events = 0;   // Events actually executed in the round.
+  uint32_t pending = 0;  // FEL events below the window at round start — what
+                         // the ByPendingEventCount metric can observe.
+  uint64_t cpu_ns = 0;
+};
+
+class Profiler {
+ public:
+  // Profiling is opt-in: timing calls are skipped entirely when disabled so
+  // that production runs pay nothing.
+  bool enabled = false;
+  bool per_round = false;  // Record per-round P and S for each executor.
+  bool per_lp = false;     // Record per-(round, LP) costs.
+
+  void BeginRun(uint32_t num_executors);
+
+  ExecutorPhaseStats& executor(uint32_t i) { return executors_[i]; }
+  const std::vector<ExecutorPhaseStats>& executors() const { return executors_; }
+
+  // Per-round matrices, indexed [round][executor]. Rows are appended by the
+  // coordinating thread at round boundaries (all workers parked).
+  void BeginRound();
+  void AddRoundProcessing(uint32_t executor, uint64_t ns);
+  void AddRoundSync(uint32_t executor, uint64_t ns);
+  const std::vector<std::vector<uint64_t>>& round_processing_ns() const {
+    return round_p_;
+  }
+  const std::vector<std::vector<uint64_t>>& round_sync_ns() const { return round_s_; }
+  uint32_t rounds() const { return static_cast<uint32_t>(round_p_.size()); }
+
+  // Per-(round, LP) cost records; each executor owns a private buffer.
+  void AddLpRound(uint32_t executor, LpRoundCost cost);
+  std::vector<LpRoundCost> MergedLpRounds() const;
+
+  // Aggregates across executors.
+  uint64_t TotalProcessingNs() const;
+  uint64_t TotalSyncNs() const;
+  uint64_t TotalMessagingNs() const;
+
+  static uint64_t NowNs() {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+ private:
+  std::vector<ExecutorPhaseStats> executors_;
+  std::vector<std::vector<uint64_t>> round_p_;
+  std::vector<std::vector<uint64_t>> round_s_;
+  std::vector<std::vector<LpRoundCost>> lp_rounds_;
+  uint32_t num_executors_ = 0;
+};
+
+}  // namespace unison
+
+#endif  // UNISON_SRC_STATS_PROFILER_H_

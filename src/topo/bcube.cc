@@ -1,0 +1,65 @@
+#include "src/topo/bcube.h"
+
+namespace unison {
+namespace {
+
+uint32_t PowU32(uint32_t base, uint32_t exp) {
+  uint32_t r = 1;
+  for (uint32_t i = 0; i < exp; ++i) {
+    r *= base;
+  }
+  return r;
+}
+
+}  // namespace
+
+BCubeTopo BuildBCube(Network& net, uint32_t n, uint32_t levels, uint64_t bps, Time delay) {
+  BCubeTopo topo;
+  topo.n = n;
+  topo.levels = levels;
+  const uint32_t k = levels - 1;
+  const uint32_t num_hosts = PowU32(n, levels);
+  const uint32_t switches_per_level = PowU32(n, k);
+
+  for (uint32_t h = 0; h < num_hosts; ++h) {
+    topo.hosts.push_back(net.AddNode());
+  }
+  topo.switches.resize(levels);
+  for (uint32_t l = 0; l < levels; ++l) {
+    for (uint32_t s = 0; s < switches_per_level; ++s) {
+      topo.switches[l].push_back(net.AddNode());
+    }
+  }
+  // Host h connects at level l to the switch whose index is h with base-n
+  // digit l removed.
+  for (uint32_t h = 0; h < num_hosts; ++h) {
+    for (uint32_t l = 0; l < levels; ++l) {
+      const uint32_t low = h % PowU32(n, l);
+      const uint32_t high = h / PowU32(n, l + 1);
+      const uint32_t sw = high * PowU32(n, l) + low;
+      net.AddLink(topo.hosts[h], topo.switches[l][sw], bps, delay);
+    }
+  }
+  topo.bisection_bps = static_cast<uint64_t>(num_hosts) / 2 * bps;
+  return topo;
+}
+
+std::vector<LpId> BCubePartition(const BCubeTopo& topo, uint32_t num_nodes) {
+  std::vector<LpId> lp(num_nodes, 0);
+  const uint32_t groups = static_cast<uint32_t>(topo.switches[0].size());
+  for (uint32_t h = 0; h < topo.hosts.size(); ++h) {
+    lp[topo.hosts[h]] = topo.GroupOfHost(h);
+  }
+  // Level-0 switch s serves hosts [s*n, (s+1)*n) — its own group.
+  for (uint32_t s = 0; s < topo.switches[0].size(); ++s) {
+    lp[topo.switches[0][s]] = s;
+  }
+  for (uint32_t l = 1; l < topo.levels; ++l) {
+    for (uint32_t s = 0; s < topo.switches[l].size(); ++s) {
+      lp[topo.switches[l][s]] = s % groups;
+    }
+  }
+  return lp;
+}
+
+}  // namespace unison

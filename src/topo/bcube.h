@@ -1,0 +1,34 @@
+// BCube(n, k): the server-centric topology of Guo et al. (SIGCOMM'09).
+// n^(k+1) hosts; k+1 switch levels with n^k switches each. Host
+// h = (d_k ... d_1 d_0) in base n connects, at level l, to switch number
+// (h with digit l removed) in that level.
+#ifndef UNISON_SRC_TOPO_BCUBE_H_
+#define UNISON_SRC_TOPO_BCUBE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/time.h"
+#include "src/net/network.h"
+
+namespace unison {
+
+struct BCubeTopo {
+  uint32_t n = 0;
+  uint32_t levels = 0;  // k + 1.
+  std::vector<NodeId> hosts;
+  std::vector<std::vector<NodeId>> switches;  // [level][index].
+  // BCube0 group of a host: its digits above level 0 (i.e. host / n).
+  uint32_t GroupOfHost(uint32_t host_index) const { return host_index / n; }
+  uint64_t bisection_bps = 0;
+};
+
+BCubeTopo BuildBCube(Network& net, uint32_t n, uint32_t levels, uint64_t bps, Time delay);
+
+// Manual baseline partition: each BCube0 (n hosts + their level-0 switch) is
+// an LP; higher-level switches are distributed round-robin (§6.1).
+std::vector<LpId> BCubePartition(const BCubeTopo& topo, uint32_t num_nodes);
+
+}  // namespace unison
+
+#endif  // UNISON_SRC_TOPO_BCUBE_H_

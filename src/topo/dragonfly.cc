@@ -1,0 +1,44 @@
+#include "src/topo/dragonfly.h"
+
+namespace unison {
+
+DragonflyTopo BuildDragonfly(Network& net, uint32_t groups, uint32_t routers_per_group,
+                             uint32_t hosts_per_router, uint64_t bps, Time local_delay,
+                             Time global_delay) {
+  DragonflyTopo topo;
+  topo.groups = groups;
+  topo.routers_per_group = routers_per_group;
+  topo.hosts_per_router = hosts_per_router;
+
+  for (uint32_t g = 0; g < groups; ++g) {
+    for (uint32_t r = 0; r < routers_per_group; ++r) {
+      const NodeId router = net.AddNode();
+      topo.routers.push_back(router);
+      for (uint32_t h = 0; h < hosts_per_router; ++h) {
+        const NodeId host = net.AddNode();
+        net.AddLink(host, router, bps, local_delay);
+        topo.hosts.push_back(host);
+      }
+    }
+    // Full intra-group mesh.
+    for (uint32_t a = 0; a < routers_per_group; ++a) {
+      for (uint32_t b = a + 1; b < routers_per_group; ++b) {
+        net.AddLink(topo.RouterAt(g, a), topo.RouterAt(g, b), bps, local_delay);
+      }
+    }
+  }
+  // One global link per group pair, spread across routers round-robin.
+  uint32_t next_port = 0;
+  for (uint32_t g1 = 0; g1 < groups; ++g1) {
+    for (uint32_t g2 = g1 + 1; g2 < groups; ++g2) {
+      const uint32_t r1 = next_port % routers_per_group;
+      const uint32_t r2 = (next_port + 1) % routers_per_group;
+      net.AddLink(topo.RouterAt(g1, r1), topo.RouterAt(g2, r2), bps, global_delay);
+      ++next_port;
+    }
+  }
+  topo.bisection_bps = static_cast<uint64_t>(groups) * groups / 4 * bps;
+  return topo;
+}
+
+}  // namespace unison

@@ -1,0 +1,38 @@
+// Dragonfly (Kim et al., ISCA'08): the HPC-oriented hierarchical topology —
+// groups of routers fully meshed internally, one global link between each
+// pair of groups. Exercises the partitioner on a graph with two sharply
+// different delay classes (short local links, long global links), where the
+// median rule cuts exactly the global links.
+#ifndef UNISON_SRC_TOPO_DRAGONFLY_H_
+#define UNISON_SRC_TOPO_DRAGONFLY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/time.h"
+#include "src/net/network.h"
+
+namespace unison {
+
+struct DragonflyTopo {
+  uint32_t groups = 0;
+  uint32_t routers_per_group = 0;
+  uint32_t hosts_per_router = 0;
+  std::vector<NodeId> routers;  // Grouped: router (g, r) = routers[g*a + r].
+  std::vector<NodeId> hosts;    // Grouped by router.
+  uint64_t bisection_bps = 0;
+  NodeId RouterAt(uint32_t group, uint32_t index) const {
+    return routers[group * routers_per_group + index];
+  }
+};
+
+// Builds a dragonfly with `groups` groups of `routers_per_group` routers
+// (full intra-group mesh at `local_delay`) and one global link between every
+// group pair at `global_delay`, assigned round-robin to routers.
+DragonflyTopo BuildDragonfly(Network& net, uint32_t groups, uint32_t routers_per_group,
+                             uint32_t hosts_per_router, uint64_t bps, Time local_delay,
+                             Time global_delay);
+
+}  // namespace unison
+
+#endif  // UNISON_SRC_TOPO_DRAGONFLY_H_

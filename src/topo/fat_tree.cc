@@ -1,0 +1,137 @@
+#include "src/topo/fat_tree.h"
+
+namespace unison {
+
+FatTreeTopo BuildFatTree(Network& net, uint32_t k, uint64_t bps, Time delay, Time host_delay) {
+  FatTreeTopo topo;
+  topo.k = k;
+  const uint32_t half = k / 2;
+  const uint32_t hosts_per_pod = half * half;
+  const uint32_t num_cores = half * half;
+
+  for (uint32_t c = 0; c < num_cores; ++c) {
+    topo.core_switches.push_back(net.AddNode());
+  }
+  for (uint32_t pod = 0; pod < k; ++pod) {
+    std::vector<NodeId> aggs;
+    std::vector<NodeId> edges;
+    for (uint32_t a = 0; a < half; ++a) {
+      aggs.push_back(net.AddNode());
+    }
+    for (uint32_t e = 0; e < half; ++e) {
+      edges.push_back(net.AddNode());
+    }
+    // Edge <-> agg: full bipartite within the pod.
+    for (uint32_t e = 0; e < half; ++e) {
+      for (uint32_t a = 0; a < half; ++a) {
+        net.AddLink(edges[e], aggs[a], bps, delay);
+      }
+    }
+    // Agg a connects to cores [a*half, (a+1)*half).
+    for (uint32_t a = 0; a < half; ++a) {
+      for (uint32_t c = 0; c < half; ++c) {
+        net.AddLink(aggs[a], topo.core_switches[a * half + c], bps, delay);
+      }
+    }
+    // Hosts.
+    for (uint32_t e = 0; e < half; ++e) {
+      for (uint32_t h = 0; h < half; ++h) {
+        const NodeId host = net.AddNode();
+        net.AddLink(host, edges[e], bps, host_delay);
+        topo.hosts.push_back(host);
+      }
+    }
+    topo.agg_switches.insert(topo.agg_switches.end(), aggs.begin(), aggs.end());
+    topo.edge_switches.insert(topo.edge_switches.end(), edges.begin(), edges.end());
+  }
+  (void)hosts_per_pod;
+  topo.bisection_bps = static_cast<uint64_t>(num_cores) * half * bps;
+  return topo;
+}
+
+ClusterFatTreeTopo BuildClusterFatTree(Network& net, uint32_t clusters,
+                                       uint32_t racks_per_cluster, uint32_t hosts_per_rack,
+                                       uint32_t aggs_per_cluster, uint32_t cores,
+                                       uint64_t bps, Time delay) {
+  ClusterFatTreeTopo topo;
+  topo.clusters = clusters;
+  topo.hosts_per_cluster = racks_per_cluster * hosts_per_rack;
+
+  for (uint32_t c = 0; c < cores; ++c) {
+    topo.core_switches.push_back(net.AddNode());
+  }
+  for (uint32_t cl = 0; cl < clusters; ++cl) {
+    std::vector<NodeId> tors;
+    std::vector<NodeId> aggs;
+    for (uint32_t t = 0; t < racks_per_cluster; ++t) {
+      tors.push_back(net.AddNode());
+    }
+    for (uint32_t a = 0; a < aggs_per_cluster; ++a) {
+      aggs.push_back(net.AddNode());
+    }
+    for (uint32_t t = 0; t < racks_per_cluster; ++t) {
+      for (uint32_t a = 0; a < aggs_per_cluster; ++a) {
+        net.AddLink(tors[t], aggs[a], bps, delay);
+      }
+      for (uint32_t h = 0; h < hosts_per_rack; ++h) {
+        const NodeId host = net.AddNode();
+        net.AddLink(host, tors[t], bps, delay);
+        topo.hosts.push_back(host);
+      }
+    }
+    // Each aggregation switch stripes across the core layer.
+    for (uint32_t a = 0; a < aggs_per_cluster; ++a) {
+      for (uint32_t c = a; c < cores; c += aggs_per_cluster) {
+        net.AddLink(aggs[a], topo.core_switches[c], bps, delay);
+      }
+    }
+    topo.tor_switches.insert(topo.tor_switches.end(), tors.begin(), tors.end());
+    topo.agg_switches.insert(topo.agg_switches.end(), aggs.begin(), aggs.end());
+  }
+  topo.bisection_bps = static_cast<uint64_t>(cores) * bps;
+  return topo;
+}
+
+std::vector<LpId> FatTreePodPartition(const FatTreeTopo& topo, uint32_t num_nodes) {
+  std::vector<LpId> lp(num_nodes, 0);
+  const uint32_t k = topo.k;
+  const uint32_t half = k / 2;
+  for (uint32_t i = 0; i < topo.hosts.size(); ++i) {
+    lp[topo.hosts[i]] = topo.PodOfHost(i);
+  }
+  for (uint32_t i = 0; i < topo.edge_switches.size(); ++i) {
+    lp[topo.edge_switches[i]] = i / half;
+  }
+  for (uint32_t i = 0; i < topo.agg_switches.size(); ++i) {
+    lp[topo.agg_switches[i]] = i / half;
+  }
+  // Cores distributed evenly among the pods (Fig. 3).
+  for (uint32_t i = 0; i < topo.core_switches.size(); ++i) {
+    lp[topo.core_switches[i]] = i % k;
+  }
+  return lp;
+}
+
+std::vector<LpId> ClusterFatTreePartition(const ClusterFatTreeTopo& topo, uint32_t num_nodes) {
+  std::vector<LpId> lp(num_nodes, 0);
+  const uint32_t clusters = topo.clusters;
+  for (uint32_t i = 0; i < topo.hosts.size(); ++i) {
+    lp[topo.hosts[i]] = topo.ClusterOfHost(i);
+  }
+  const uint32_t tors_per_cluster =
+      static_cast<uint32_t>(topo.tor_switches.size()) / clusters;
+  for (uint32_t i = 0; i < topo.tor_switches.size(); ++i) {
+    lp[topo.tor_switches[i]] = i / tors_per_cluster;
+  }
+  const uint32_t aggs_per_cluster =
+      static_cast<uint32_t>(topo.agg_switches.size()) / clusters;
+  for (uint32_t i = 0; i < topo.agg_switches.size(); ++i) {
+    lp[topo.agg_switches[i]] = i / aggs_per_cluster;
+  }
+  for (uint32_t i = 0; i < topo.core_switches.size(); ++i) {
+    lp[topo.core_switches[i]] = i % clusters;
+  }
+  return lp;
+}
+
+}  // namespace unison

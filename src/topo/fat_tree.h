@@ -1,0 +1,63 @@
+// Fat-tree builders: the standard k-ary fat-tree (Al-Fares et al.) and the
+// cluster fat-tree parameterization the paper's evaluation uses (clusters of
+// racks behind a shared core layer; footnote 3 of the paper).
+#ifndef UNISON_SRC_TOPO_FAT_TREE_H_
+#define UNISON_SRC_TOPO_FAT_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/time.h"
+#include "src/net/network.h"
+
+namespace unison {
+
+struct FatTreeTopo {
+  uint32_t k = 0;
+  std::vector<NodeId> hosts;
+  std::vector<NodeId> edge_switches;
+  std::vector<NodeId> agg_switches;
+  std::vector<NodeId> core_switches;
+  // Host h belongs to pod PodOfHost(h).
+  uint32_t PodOfHost(uint32_t host_index) const { return host_index / (k * k / 4); }
+  // Bisection bandwidth in bits per second (core layer capacity).
+  uint64_t bisection_bps = 0;
+};
+
+// Builds a k-ary fat-tree: k pods, (k/2)^2 hosts per pod, (k/2)^2 cores.
+// All links share `bps`; `delay` applies to switch-switch links and
+// `host_delay` to host-edge links (pass the same value for uniform delay).
+FatTreeTopo BuildFatTree(Network& net, uint32_t k, uint64_t bps, Time delay, Time host_delay);
+
+inline FatTreeTopo BuildFatTree(Network& net, uint32_t k, uint64_t bps, Time delay) {
+  return BuildFatTree(net, k, bps, delay, delay);
+}
+
+struct ClusterFatTreeTopo {
+  uint32_t clusters = 0;
+  uint32_t hosts_per_cluster = 0;
+  std::vector<NodeId> hosts;          // Grouped by cluster.
+  std::vector<NodeId> tor_switches;   // Grouped by cluster.
+  std::vector<NodeId> agg_switches;   // Grouped by cluster.
+  std::vector<NodeId> core_switches;  // Shared.
+  uint32_t ClusterOfHost(uint32_t host_index) const { return host_index / hosts_per_cluster; }
+  uint64_t bisection_bps = 0;
+};
+
+// Builds a cluster fat-tree: `clusters` clusters, each with
+// `hosts_per_rack * racks_per_cluster` hosts behind `racks_per_cluster` ToRs
+// and `aggs_per_cluster` aggregation switches; `cores` core switches connect
+// every cluster's aggregation layer.
+ClusterFatTreeTopo BuildClusterFatTree(Network& net, uint32_t clusters,
+                                       uint32_t racks_per_cluster, uint32_t hosts_per_rack,
+                                       uint32_t aggs_per_cluster, uint32_t cores,
+                                       uint64_t bps, Time delay);
+
+// The paper's symmetric manual partition for the PDES baselines (Fig. 3):
+// one LP per pod/cluster, cores distributed round-robin among them.
+std::vector<LpId> FatTreePodPartition(const FatTreeTopo& topo, uint32_t num_nodes);
+std::vector<LpId> ClusterFatTreePartition(const ClusterFatTreeTopo& topo, uint32_t num_nodes);
+
+}  // namespace unison
+
+#endif  // UNISON_SRC_TOPO_FAT_TREE_H_

@@ -1,0 +1,16 @@
+#include "src/topo/lan.h"
+
+namespace unison {
+
+LanSegment AddLan(Network& net, const std::vector<NodeId>& members, uint64_t bps,
+                  Time delay) {
+  LanSegment lan;
+  lan.hub = net.AddNode();
+  for (NodeId m : members) {
+    lan.member_links.push_back(
+        net.AddLink(m, lan.hub, bps, delay, net.config().queue, /*stateless=*/false));
+  }
+  return lan;
+}
+
+}  // namespace unison

@@ -1,0 +1,29 @@
+// Shared LAN segments: stateful links the partitioner must never cut.
+//
+// This models the §7 applicability discussion: links whose endpoints share
+// state (a shared medium) cannot be split across LPs, so Algorithm 1 keeps
+// the whole segment in one logical process. The segment is built as a hub
+// node with stateful member links — the hub's queues are the shared state.
+#ifndef UNISON_SRC_TOPO_LAN_H_
+#define UNISON_SRC_TOPO_LAN_H_
+
+#include <vector>
+
+#include "src/core/time.h"
+#include "src/net/network.h"
+
+namespace unison {
+
+struct LanSegment {
+  NodeId hub = 0;
+  std::vector<uint32_t> member_links;
+};
+
+// Attaches `members` to a new shared segment with the given bandwidth and
+// per-hop delay. All members (and the hub) will land in the same LP.
+LanSegment AddLan(Network& net, const std::vector<NodeId>& members, uint64_t bps,
+                  Time delay);
+
+}  // namespace unison
+
+#endif  // UNISON_SRC_TOPO_LAN_H_

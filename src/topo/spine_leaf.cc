@@ -1,0 +1,28 @@
+#include "src/topo/spine_leaf.h"
+
+namespace unison {
+
+SpineLeafTopo BuildSpineLeaf(Network& net, uint32_t spines, uint32_t leaves,
+                             uint32_t hosts_per_leaf, uint64_t bps, Time delay) {
+  SpineLeafTopo topo;
+  topo.hosts_per_leaf = hosts_per_leaf;
+  for (uint32_t s = 0; s < spines; ++s) {
+    topo.spines.push_back(net.AddNode());
+  }
+  for (uint32_t l = 0; l < leaves; ++l) {
+    const NodeId leaf = net.AddNode();
+    topo.leaves.push_back(leaf);
+    for (uint32_t s = 0; s < spines; ++s) {
+      net.AddLink(leaf, topo.spines[s], bps, delay);
+    }
+    for (uint32_t h = 0; h < hosts_per_leaf; ++h) {
+      const NodeId host = net.AddNode();
+      net.AddLink(host, leaf, bps, delay);
+      topo.hosts.push_back(host);
+    }
+  }
+  topo.bisection_bps = static_cast<uint64_t>(spines) * leaves / 2 * bps;
+  return topo;
+}
+
+}  // namespace unison

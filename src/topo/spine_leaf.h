@@ -1,0 +1,27 @@
+// Spine-leaf (two-tier Clos): every leaf connects to every spine.
+#ifndef UNISON_SRC_TOPO_SPINE_LEAF_H_
+#define UNISON_SRC_TOPO_SPINE_LEAF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/time.h"
+#include "src/net/network.h"
+
+namespace unison {
+
+struct SpineLeafTopo {
+  std::vector<NodeId> spines;
+  std::vector<NodeId> leaves;
+  std::vector<NodeId> hosts;  // Grouped by leaf.
+  uint32_t hosts_per_leaf = 0;
+  uint32_t LeafOfHost(uint32_t host_index) const { return host_index / hosts_per_leaf; }
+  uint64_t bisection_bps = 0;
+};
+
+SpineLeafTopo BuildSpineLeaf(Network& net, uint32_t spines, uint32_t leaves,
+                             uint32_t hosts_per_leaf, uint64_t bps, Time delay);
+
+}  // namespace unison
+
+#endif  // UNISON_SRC_TOPO_SPINE_LEAF_H_

@@ -1,0 +1,28 @@
+#include "src/topo/torus.h"
+
+namespace unison {
+
+TorusTopo BuildTorus2D(Network& net, uint32_t rows, uint32_t cols, uint64_t bps, Time delay) {
+  TorusTopo topo;
+  topo.rows = rows;
+  topo.cols = cols;
+  topo.nodes.reserve(static_cast<size_t>(rows) * cols);
+  for (uint32_t j = 0; j < cols; ++j) {
+    for (uint32_t i = 0; i < rows; ++i) {
+      (void)i;
+      topo.nodes.push_back(net.AddNode());
+    }
+  }
+  for (uint32_t j = 0; j < cols; ++j) {
+    for (uint32_t i = 0; i < rows; ++i) {
+      // Right and down neighbours with wraparound cover every link once.
+      net.AddLink(topo.At(i, j), topo.At((i + 1) % rows, j), bps, delay);
+      net.AddLink(topo.At(i, j), topo.At(i, (j + 1) % cols), bps, delay);
+    }
+  }
+  // Cutting the torus in half crosses 2 * 2 * min(rows, cols) links.
+  topo.bisection_bps = 4ULL * std::min(rows, cols) * bps;
+  return topo;
+}
+
+}  // namespace unison

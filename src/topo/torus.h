@@ -1,0 +1,27 @@
+// 2D torus: rows × cols nodes, each a combined host/router with wraparound
+// links to its four neighbours — the §6.1 torus setup where node (i, j) has
+// id i + rows * j.
+#ifndef UNISON_SRC_TOPO_TORUS_H_
+#define UNISON_SRC_TOPO_TORUS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/time.h"
+#include "src/net/network.h"
+
+namespace unison {
+
+struct TorusTopo {
+  uint32_t rows = 0;
+  uint32_t cols = 0;
+  std::vector<NodeId> nodes;  // All of them; every node is also a host.
+  NodeId At(uint32_t i, uint32_t j) const { return nodes[i + rows * j]; }
+  uint64_t bisection_bps = 0;
+};
+
+TorusTopo BuildTorus2D(Network& net, uint32_t rows, uint32_t cols, uint64_t bps, Time delay);
+
+}  // namespace unison
+
+#endif  // UNISON_SRC_TOPO_TORUS_H_

@@ -1,0 +1,92 @@
+#include "src/topo/wan.h"
+
+namespace unison {
+namespace {
+
+struct WanEdge {
+  uint16_t a;
+  uint16_t b;
+  uint16_t delay_ms;  // One-way propagation delay.
+};
+
+// GEANT European research backbone (Topology Zoo snapshot, 40 PoPs).
+// Node indices: 0 Amsterdam, 1 London, 2 Paris, 3 Frankfurt, 4 Geneva,
+// 5 Milan, 6 Vienna, 7 Prague, 8 Budapest, 9 Warsaw, 10 Copenhagen,
+// 11 Stockholm, 12 Oslo, 13 Helsinki, 14 Tallinn, 15 Riga, 16 Kaunas,
+// 17 Madrid, 18 Lisbon, 19 Rome, 20 Athens, 21 Sofia, 22 Bucharest,
+// 23 Zagreb, 24 Ljubljana, 25 Bratislava, 26 Brussels, 27 Luxembourg,
+// 28 Dublin, 29 Zurich, 30 Marseille, 31 Barcelona, 32 Istanbul,
+// 33 Nicosia, 34 Valletta, 35 Dubrovnik, 36 Belgrade, 37 Skopje,
+// 38 Tirana, 39 Reykjavik.
+constexpr WanEdge kGeantEdges[] = {
+    {0, 1, 4},  {0, 3, 4},  {0, 10, 6}, {0, 26, 2},  {1, 2, 4},   {1, 28, 5},
+    {2, 4, 5},  {2, 30, 7}, {2, 26, 3}, {3, 7, 4},   {3, 4, 5},   {3, 27, 2},
+    {3, 9, 8},  {4, 5, 3},  {4, 29, 3}, {5, 19, 5},  {5, 6, 6},   {6, 7, 3},
+    {6, 8, 3},  {6, 24, 3}, {6, 25, 1}, {7, 9, 5},   {8, 23, 3},  {8, 22, 6},
+    {8, 36, 3}, {9, 16, 4}, {10, 11, 5},{10, 12, 5}, {11, 13, 4}, {11, 12, 4},
+    {13, 14, 1},{14, 15, 3},{15, 16, 2},{17, 18, 5}, {17, 31, 5}, {17, 2, 9},
+    {18, 1, 12},{19, 20, 9},{19, 34, 6},{20, 21, 5}, {20, 33, 8}, {21, 22, 3},
+    {21, 37, 2},{22, 32, 5},{23, 24, 1},{23, 35, 3}, {25, 8, 2},  {26, 27, 2},
+    {28, 39, 12},{29, 5, 3},{30, 31, 3},{32, 20, 6}, {36, 37, 3}, {37, 38, 2},
+    {38, 20, 4},{35, 38, 3},
+};
+constexpr uint32_t kGeantNodes = 40;
+
+// ChinaNet backbone (Topology Zoo snapshot, 38 PoPs).
+// 0 Beijing, 1 Shanghai, 2 Guangzhou, 3 Wuhan, 4 Xian, 5 Chengdu,
+// 6 Shenyang, 7 Nanjing, 8 Hangzhou, 9 Jinan, 10 Tianjin, 11 Chongqing,
+// 12 Changsha, 13 Zhengzhou, 14 Shijiazhuang, 15 Taiyuan, 16 Hefei,
+// 17 Fuzhou, 18 Nanchang, 19 Kunming, 20 Guiyang, 21 Nanning, 22 Haikou,
+// 23 Harbin, 24 Changchun, 25 Hohhot, 26 Urumqi, 27 Lanzhou, 28 Xining,
+// 29 Yinchuan, 30 Lhasa, 31 Shenzhen, 32 Xiamen, 33 Qingdao, 34 Dalian,
+// 35 Ningbo, 36 Wenzhou, 37 Suzhou.
+constexpr WanEdge kChinaNetEdges[] = {
+    {0, 1, 5},  {0, 2, 9},  {0, 3, 5},  {0, 6, 3},  {0, 9, 2},  {0, 10, 1},
+    {0, 13, 3}, {0, 14, 1}, {0, 15, 2}, {0, 25, 2}, {0, 4, 4},  {1, 2, 6},
+    {1, 7, 1},  {1, 8, 1},  {1, 37, 1}, {1, 35, 1}, {2, 3, 4},  {2, 12, 3},
+    {2, 21, 3}, {2, 22, 3}, {2, 31, 1}, {3, 13, 2}, {3, 12, 2}, {3, 18, 2},
+    {4, 5, 3},  {4, 27, 3}, {4, 13, 2}, {5, 11, 1}, {5, 19, 4}, {5, 30, 6},
+    {6, 23, 3}, {6, 24, 2}, {6, 34, 2}, {7, 16, 1}, {8, 36, 1}, {8, 35, 1},
+    {9, 33, 2}, {10, 34, 2},{11, 20, 2},{12, 18, 1},{16, 3, 2}, {17, 32, 1},
+    {17, 18, 2},{17, 1, 4}, {19, 20, 2},{21, 20, 2},{26, 27, 8},{27, 28, 1},
+    {27, 29, 2},{23, 24, 1},{25, 29, 3},{31, 32, 2},{33, 34, 2},{36, 17, 2},
+};
+constexpr uint32_t kChinaNetNodes = 38;
+
+}  // namespace
+
+WanTopo BuildWan(Network& net, WanName which, uint64_t bps, Time access_delay) {
+  WanTopo topo;
+  const WanEdge* edges = nullptr;
+  uint32_t num_edges = 0;
+  uint32_t num_nodes = 0;
+  if (which == WanName::kGeant) {
+    topo.name = "GEANT";
+    edges = kGeantEdges;
+    num_edges = static_cast<uint32_t>(std::size(kGeantEdges));
+    num_nodes = kGeantNodes;
+  } else {
+    topo.name = "ChinaNet";
+    edges = kChinaNetEdges;
+    num_edges = static_cast<uint32_t>(std::size(kChinaNetEdges));
+    num_nodes = kChinaNetNodes;
+  }
+
+  for (uint32_t i = 0; i < num_nodes; ++i) {
+    topo.routers.push_back(net.AddNode());
+  }
+  for (uint32_t e = 0; e < num_edges; ++e) {
+    net.AddLink(topo.routers[edges[e].a], topo.routers[edges[e].b], bps,
+                Time::Milliseconds(edges[e].delay_ms));
+  }
+  topo.backbone_links = num_edges;
+  for (uint32_t i = 0; i < num_nodes; ++i) {
+    const NodeId host = net.AddNode();
+    net.AddLink(host, topo.routers[i], bps, access_delay);
+    topo.hosts.push_back(host);
+  }
+  topo.bisection_bps = static_cast<uint64_t>(num_edges) / 4 * bps;
+  return topo;
+}
+
+}  // namespace unison

@@ -1,0 +1,35 @@
+// Wide-area backbone topologies from the Internet Topology Zoo (§6.1):
+// GEANT (the European research backbone) and ChinaNet. The graphs are
+// embedded snapshots (node lists and adjacency with propagation delays
+// derived from rough great-circle distances); the artifact of the paper
+// packs the same data files. Each backbone router gets one attached host
+// that sources/sinks traffic.
+#ifndef UNISON_SRC_TOPO_WAN_H_
+#define UNISON_SRC_TOPO_WAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/time.h"
+#include "src/net/network.h"
+
+namespace unison {
+
+enum class WanName { kGeant, kChinaNet };
+
+struct WanTopo {
+  std::string name;
+  std::vector<NodeId> routers;
+  std::vector<NodeId> hosts;  // hosts[i] hangs off routers[i].
+  uint32_t backbone_links = 0;
+  uint64_t bisection_bps = 0;
+};
+
+// Builds the named WAN. Backbone links use `bps` and the embedded per-link
+// delays; host access links use `bps` and `access_delay`.
+WanTopo BuildWan(Network& net, WanName which, uint64_t bps, Time access_delay);
+
+}  // namespace unison
+
+#endif  // UNISON_SRC_TOPO_WAN_H_

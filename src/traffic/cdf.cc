@@ -1,0 +1,88 @@
+#include "src/traffic/cdf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+namespace unison {
+
+EmpiricalCdf::EmpiricalCdf(std::vector<Point> points) : points_(std::move(points)) {
+  // Mean of the piecewise-linear interpolation: each segment contributes its
+  // probability mass times the segment's average size.
+  double mean = points_.front().bytes * points_.front().cum_prob;
+  for (size_t i = 1; i < points_.size(); ++i) {
+    const double mass = points_[i].cum_prob - points_[i - 1].cum_prob;
+    mean += mass * 0.5 * (points_[i].bytes + points_[i - 1].bytes);
+  }
+  mean_ = mean;
+}
+
+uint64_t EmpiricalCdf::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  auto it = std::lower_bound(points_.begin(), points_.end(), u,
+                             [](const Point& p, double v) { return p.cum_prob < v; });
+  if (it == points_.begin()) {
+    return static_cast<uint64_t>(std::max(1.0, it->bytes));
+  }
+  if (it == points_.end()) {
+    return static_cast<uint64_t>(std::max(1.0, points_.back().bytes));
+  }
+  const Point& hi = *it;
+  const Point& lo = *std::prev(it);
+  const double span = hi.cum_prob - lo.cum_prob;
+  const double frac = span <= 0 ? 0.0 : (u - lo.cum_prob) / span;
+  const double bytes = lo.bytes + frac * (hi.bytes - lo.bytes);
+  return static_cast<uint64_t>(std::max(1.0, bytes));
+}
+
+const EmpiricalCdf& EmpiricalCdf::WebSearch() {
+  // DCTCP web-search workload (flow sizes in bytes).
+  static const EmpiricalCdf cdf({
+      {6e3, 0.15},
+      {13e3, 0.2},
+      {19e3, 0.3},
+      {33e3, 0.4},
+      {53e3, 0.53},
+      {133e3, 0.6},
+      {667e3, 0.7},
+      {1333e3, 0.8},
+      {3333e3, 0.9},
+      {6667e3, 0.97},
+      {20e6, 1.0},
+  });
+  return cdf;
+}
+
+const EmpiricalCdf& EmpiricalCdf::Grpc() {
+  // RPC-dominated workload in the TIMELY style: mostly small messages with a
+  // modest heavy tail.
+  static const EmpiricalCdf cdf({
+      {256, 0.1},
+      {512, 0.2},
+      {1e3, 0.35},
+      {2e3, 0.5},
+      {4e3, 0.7},
+      {16e3, 0.85},
+      {64e3, 0.95},
+      {256e3, 0.99},
+      {2e6, 1.0},
+  });
+  return cdf;
+}
+
+const EmpiricalCdf& EmpiricalCdf::Uniform(uint64_t min_bytes, uint64_t max_bytes) {
+  // Stable storage: callers hold references across later Uniform calls.
+  static thread_local std::vector<std::unique_ptr<EmpiricalCdf>> cache;
+  for (const auto& c : cache) {
+    if (static_cast<uint64_t>(c->points().front().bytes) == min_bytes &&
+        static_cast<uint64_t>(c->points().back().bytes) == max_bytes) {
+      return *c;
+    }
+  }
+  cache.push_back(std::make_unique<EmpiricalCdf>(
+      std::vector<Point>{{static_cast<double>(min_bytes), 0.0},
+                         {static_cast<double>(max_bytes), 1.0}}));
+  return *cache.back();
+}
+
+}  // namespace unison

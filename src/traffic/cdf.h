@@ -1,0 +1,47 @@
+// Empirical flow-size distributions.
+//
+// The two workloads the paper's evaluation draws from: the web-search
+// distribution measured in the DCTCP paper (Alizadeh et al., SIGCOMM'10) and
+// the gRPC-style RPC distribution used by TIMELY (Mittal et al.,
+// SIGCOMM'15). Sampling interpolates log-linearly between CDF points, the
+// standard approach of simulation harnesses for these traces.
+#ifndef UNISON_SRC_TRAFFIC_CDF_H_
+#define UNISON_SRC_TRAFFIC_CDF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/rng.h"
+
+namespace unison {
+
+class EmpiricalCdf {
+ public:
+  struct Point {
+    double bytes;
+    double cum_prob;  // Nondecreasing; last point has cum_prob == 1.
+  };
+
+  explicit EmpiricalCdf(std::vector<Point> points);
+
+  // Inverse-transform sample of a flow size in bytes (at least 1).
+  uint64_t Sample(Rng& rng) const;
+
+  // Analytic mean of the interpolated distribution; used to convert a target
+  // load into a flow arrival rate.
+  double MeanBytes() const { return mean_; }
+
+  const std::vector<Point>& points() const { return points_; }
+
+  static const EmpiricalCdf& WebSearch();  // DCTCP web-search flow sizes.
+  static const EmpiricalCdf& Grpc();       // TIMELY-style RPC sizes.
+  static const EmpiricalCdf& Uniform(uint64_t min_bytes, uint64_t max_bytes);
+
+ private:
+  std::vector<Point> points_;
+  double mean_ = 0;
+};
+
+}  // namespace unison
+
+#endif  // UNISON_SRC_TRAFFIC_CDF_H_

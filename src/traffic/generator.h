@@ -1,0 +1,54 @@
+// Workload generation.
+//
+// Flows arrive per host as a Poisson process whose rate is derived from a
+// target load (a fraction of the topology's bisection bandwidth, the way the
+// paper specifies its workloads). Destinations are uniform random among the
+// other hosts, except that with probability `incast_ratio` a flow is
+// redirected at a single victim host — the knob behind Fig. 5a/9a — or, for
+// Table 2's setup, redirected into the right-most cluster.
+//
+// Everything is drawn during setup from named RNG streams, so the workload
+// is byte-identical for every kernel and thread count.
+#ifndef UNISON_SRC_TRAFFIC_GENERATOR_H_
+#define UNISON_SRC_TRAFFIC_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/time.h"
+#include "src/net/network.h"
+#include "src/traffic/cdf.h"
+
+namespace unison {
+
+struct TrafficSpec {
+  std::vector<NodeId> hosts;        // Candidate sources and destinations.
+  const EmpiricalCdf* sizes = &EmpiricalCdf::WebSearch();
+  double load = 0.3;                // Fraction of bisection bandwidth.
+  uint64_t bisection_bps = 0;       // From the topology builder.
+  Time duration;                    // Arrival window [0, duration).
+  double incast_ratio = 0.0;        // P(redirect to the victim host).
+  uint32_t victim_index = 0;        // Index into hosts.
+  uint64_t rng_stream = 100;        // Stream id under the network seed.
+  // Table 2 variant: redirect with `redirect_prob` into hosts
+  // [redirect_begin, hosts.size()) instead of a single victim.
+  double redirect_prob = 0.0;
+  uint32_t redirect_begin = 0;
+};
+
+struct GeneratedTraffic {
+  std::vector<uint32_t> flow_ids;
+  uint64_t total_bytes = 0;
+};
+
+// Draws and installs all flows. Requires a finalized network.
+GeneratedTraffic GenerateTraffic(Network& net, const TrafficSpec& spec);
+
+// Permutation traffic: every host sends one `bytes` flow to a fixed distinct
+// partner (host i -> host (i + stride) mod n), all starting at `start`.
+GeneratedTraffic GeneratePermutation(Network& net, const std::vector<NodeId>& hosts,
+                                     uint64_t bytes, Time start, uint32_t stride = 1);
+
+}  // namespace unison
+
+#endif  // UNISON_SRC_TRAFFIC_GENERATOR_H_

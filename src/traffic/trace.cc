@@ -1,0 +1,63 @@
+#include "src/traffic/trace.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "src/net/network.h"
+
+namespace unison {
+
+TraceParseResult InstallFlowsFromCsv(Network& net, std::istream& in) {
+  TraceParseResult result;
+  std::string line;
+  uint32_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Trim leading whitespace; skip blanks and comments.
+    size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] == '#') {
+      ++result.lines_skipped;
+      continue;
+    }
+    std::istringstream fields(line.substr(start));
+    uint64_t src = 0;
+    uint64_t dst = 0;
+    uint64_t bytes = 0;
+    double start_s = 0;
+    char c1 = 0;
+    char c2 = 0;
+    char c3 = 0;
+    if (!(fields >> src >> c1 >> dst >> c2 >> bytes >> c3 >> start_s) || c1 != ',' ||
+        c2 != ',' || c3 != ',') {
+      result.error = "line " + std::to_string(line_no) + ": expected src,dst,bytes,start";
+      return result;
+    }
+    if (src >= net.num_nodes() || dst >= net.num_nodes() || src == dst) {
+      result.error = "line " + std::to_string(line_no) + ": bad node ids";
+      return result;
+    }
+    if (start_s < 0) {
+      result.error = "line " + std::to_string(line_no) + ": negative start time";
+      return result;
+    }
+    FlowSpec spec;
+    spec.src = static_cast<NodeId>(src);
+    spec.dst = static_cast<NodeId>(dst);
+    spec.bytes = bytes;
+    spec.start = Time::Seconds(start_s);
+    result.flow_ids.push_back(InstallFlow(net, spec));
+    ++result.lines_parsed;
+  }
+  return result;
+}
+
+void WriteFlowsCsv(const Network& net, std::ostream& out) {
+  out << "# src,dst,bytes,start_seconds\n";
+  for (const FlowRecord& f :
+       const_cast<Network&>(net).flow_monitor().flows()) {
+    out << f.src << ',' << f.dst << ',' << f.bytes << ',' << f.start.ToSeconds() << '\n';
+  }
+}
+
+}  // namespace unison

@@ -1,0 +1,40 @@
+// Workload trace I/O: replay flows from a CSV trace and export a generated
+// workload back out. The format is the one most public DCN traces reduce to:
+//
+//   # comment lines and blank lines are ignored
+//   src_node,dst_node,bytes,start_seconds
+//
+// Replaying the same trace under different kernels/configs is the standard
+// way to A/B a design change against a recorded workload.
+#ifndef UNISON_SRC_TRAFFIC_TRACE_H_
+#define UNISON_SRC_TRAFFIC_TRACE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/core/time.h"
+#include "src/net/app.h"
+
+namespace unison {
+
+class Network;
+
+struct TraceParseResult {
+  std::vector<uint32_t> flow_ids;
+  uint32_t lines_parsed = 0;
+  uint32_t lines_skipped = 0;  // Comments, blanks.
+  std::string error;           // Non-empty on malformed input (parsing stops).
+};
+
+// Parses the CSV from `in` and installs every flow. The network must have
+// all referenced nodes; out-of-range ids are a parse error.
+TraceParseResult InstallFlowsFromCsv(Network& net, std::istream& in);
+
+// Writes the flows registered in the monitor in the same format (only their
+// static description: src, dst, bytes, start).
+void WriteFlowsCsv(const Network& net, std::ostream& out);
+
+}  // namespace unison
+
+#endif  // UNISON_SRC_TRAFFIC_TRACE_H_

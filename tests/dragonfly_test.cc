@@ -1,0 +1,95 @@
+// Dragonfly topology: structure, partition behaviour on bimodal delays,
+// end-to-end traffic under every kernel.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/net/app.h"
+#include "src/net/network.h"
+#include "src/topo/dragonfly.h"
+#include "src/traffic/generator.h"
+
+namespace unison {
+namespace {
+
+TEST(Dragonfly, StructureCounts) {
+  SimConfig cfg;
+  Network net(cfg);
+  DragonflyTopo t = BuildDragonfly(net, 4, 3, 2, 10000000000ULL, Time::Nanoseconds(50),
+                                   Time::Microseconds(5));
+  EXPECT_EQ(t.routers.size(), 12u);
+  EXPECT_EQ(t.hosts.size(), 24u);
+  // Links: 24 host links + 4 groups * C(3,2)=3 mesh + C(4,2)=6 global.
+  EXPECT_EQ(net.links().size(), 24u + 12u + 6u);
+  std::map<NodeId, int> deg;
+  for (const auto& l : net.links()) {
+    ++deg[l.a];
+    ++deg[l.b];
+  }
+  for (NodeId h : t.hosts) {
+    EXPECT_EQ(deg[h], 1);
+  }
+}
+
+TEST(Dragonfly, MedianRuleCutsExactlyGlobalLinks) {
+  // 24 host + 12 mesh links at 50ns vs 6 global at 5us: median is 50ns, so
+  // only the global links (delay >= median AND > 0... all are >= median) —
+  // with a 50ns median every link qualifies for the cut. Use zero-delay
+  // local links to pin the expectation: only global links are cut, giving
+  // one LP per group.
+  SimConfig cfg;
+  cfg.kernel.type = KernelType::kUnison;
+  Network net(cfg);
+  DragonflyTopo t =
+      BuildDragonfly(net, 4, 3, 2, 10000000000ULL, Time::Zero(), Time::Microseconds(5));
+  net.Finalize();
+  const Partition& p = net.partition();
+  EXPECT_EQ(p.num_lps, 4u);  // One LP per group.
+  EXPECT_EQ(p.lookahead, Time::Microseconds(5));
+  for (uint32_t g = 0; g < 4; ++g) {
+    const LpId lp = p.lp_of_node[t.RouterAt(g, 0)];
+    for (uint32_t r = 1; r < 3; ++r) {
+      EXPECT_EQ(p.lp_of_node[t.RouterAt(g, r)], lp);
+    }
+  }
+}
+
+TEST(Dragonfly, AllPairsRoutable) {
+  SimConfig cfg;
+  Network net(cfg);
+  DragonflyTopo t = BuildDragonfly(net, 4, 3, 2, 10000000000ULL, Time::Nanoseconds(50),
+                                   Time::Microseconds(5));
+  net.Finalize();
+  for (NodeId d : t.hosts) {
+    if (d != t.hosts[0]) {
+      EXPECT_GE(net.routing().EcmpWidth(t.hosts[0], d), 1u);
+    }
+  }
+}
+
+TEST(Dragonfly, KernelsAgreeUnderAdversarialGroupTraffic) {
+  auto run = [](KernelType kernel) {
+    SimConfig cfg;
+    cfg.kernel.type = kernel;
+    cfg.kernel.threads = 3;
+    cfg.seed = 44;
+    Network net(cfg);
+    DragonflyTopo t = BuildDragonfly(net, 4, 3, 2, 10000000000ULL, Time::Nanoseconds(50),
+                                     Time::Microseconds(5));
+    net.Finalize();
+    // Adversarial: every host in group 0 blasts group 2 (one global link).
+    for (uint32_t h = 0; h < 6; ++h) {
+      InstallFlow(net, FlowSpec{t.hosts[h], t.hosts[12 + h], 200000,
+                                Time::Microseconds(h), {}});
+    }
+    net.Run(Time::Milliseconds(20));
+    return std::pair{net.kernel().processed_events(), net.flow_monitor().Fingerprint()};
+  };
+  const auto seq = run(KernelType::kSequential);
+  EXPECT_EQ(run(KernelType::kUnison), seq);
+  EXPECT_EQ(run(KernelType::kHybrid), seq);
+  EXPECT_GT(seq.first, 1000u);
+}
+
+}  // namespace
+}  // namespace unison

@@ -1,0 +1,84 @@
+// Log-bucket histogram: resolution, quantiles, merging.
+#include <gtest/gtest.h>
+
+#include "src/core/rng.h"
+#include "src/stats/histogram.h"
+
+namespace unison {
+namespace {
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.min(), 0u);
+}
+
+TEST(Histogram, SmallValuesAreExact) {
+  Histogram h;
+  for (uint64_t v = 0; v < 16; ++v) {
+    h.Add(v);
+  }
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 15u);
+  EXPECT_EQ(h.Quantile(0.0), 0u);
+  EXPECT_EQ(h.Quantile(1.0), 15u);
+}
+
+TEST(Histogram, QuantilesWithinRelativeResolution) {
+  Histogram h;
+  Rng rng(31, 0);
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 100000; ++i) {
+    // Log-uniform over 6 decades.
+    const uint64_t v = 1 + (1ULL << rng.NextU64Below(40)) +
+                       rng.NextU64Below(1ULL << rng.NextU64Below(40));
+    values.push_back(v);
+    h.Add(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    const uint64_t exact = values[static_cast<size_t>(q * (values.size() - 1))];
+    const uint64_t approx = h.Quantile(q);
+    EXPECT_NEAR(static_cast<double>(approx), static_cast<double>(exact),
+                static_cast<double>(exact) * 0.07)
+        << "q=" << q;
+  }
+  double sum = 0;
+  for (uint64_t v : values) {
+    sum += static_cast<double>(v);
+  }
+  EXPECT_NEAR(h.Mean(), sum / values.size(), 1.0);
+}
+
+TEST(Histogram, MergeEqualsCombinedStream) {
+  Histogram a;
+  Histogram b;
+  Histogram all;
+  Rng rng(33, 0);
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t v = rng.NextU64Below(1000000);
+    (i % 2 == 0 ? a : b).Add(v);
+    all.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_EQ(a.Quantile(q), all.Quantile(q));
+  }
+}
+
+TEST(Histogram, HugeValuesDoNotOverflowBuckets) {
+  Histogram h;
+  h.Add(UINT64_MAX / 2);
+  h.Add(1);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_GE(h.Quantile(1.0), UINT64_MAX / 4);
+}
+
+}  // namespace
+}  // namespace unison

@@ -1,0 +1,215 @@
+// Cross-kernel equivalence and kernel mechanics.
+//
+// The load-bearing property of the whole system: every kernel — sequential,
+// barrier, null message, Unison, hybrid — must execute the same model to the
+// same outcome, event for event, for any thread count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "src/kernel/nullmsg.h"
+#include "src/kernel/unison.h"
+#include "src/partition/fine_grained.h"
+#include "src/partition/manual.h"
+#include "tests/test_util.h"
+
+namespace unison {
+namespace {
+
+RunOutcome Sequential() {
+  KernelConfig k;
+  k.type = KernelType::kSequential;
+  return RunFatTreeScenario(k, PartitionMode::kSingle);
+}
+
+TEST(KernelEquivalence, SequentialIsDeterministic) {
+  const RunOutcome a = Sequential();
+  const RunOutcome b = Sequential();
+  EXPECT_GT(a.events, 1000u);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+}
+
+TEST(KernelEquivalence, UnisonMatchesSequential) {
+  const RunOutcome seq = Sequential();
+  for (uint32_t threads : {1u, 2u, 4u}) {
+    KernelConfig k;
+    k.type = KernelType::kUnison;
+    k.threads = threads;
+    const RunOutcome par = RunFatTreeScenario(k, PartitionMode::kAuto);
+    EXPECT_EQ(par.events, seq.events) << "threads=" << threads;
+    EXPECT_EQ(par.fingerprint, seq.fingerprint) << "threads=" << threads;
+    EXPECT_GT(par.lps, 4u);
+  }
+}
+
+TEST(KernelEquivalence, BarrierMatchesSequential) {
+  const RunOutcome seq = Sequential();
+  KernelConfig k;
+  k.type = KernelType::kBarrier;
+  k.deterministic = true;
+  const RunOutcome par = RunFatTreeScenario(k, PartitionMode::kManual);
+  EXPECT_EQ(par.events, seq.events);
+  EXPECT_EQ(par.fingerprint, seq.fingerprint);
+  EXPECT_EQ(par.lps, 4u);  // One LP per pod.
+}
+
+TEST(KernelEquivalence, NullMessageMatchesSequential) {
+  const RunOutcome seq = Sequential();
+  KernelConfig k;
+  k.type = KernelType::kNullMessage;
+  k.deterministic = true;
+  const RunOutcome par = RunFatTreeScenario(k, PartitionMode::kManual);
+  EXPECT_EQ(par.events, seq.events);
+  EXPECT_EQ(par.fingerprint, seq.fingerprint);
+}
+
+TEST(KernelEquivalence, HybridMatchesSequential) {
+  const RunOutcome seq = Sequential();
+  for (uint32_t ranks : {2u, 4u}) {
+    KernelConfig k;
+    k.type = KernelType::kHybrid;
+    k.ranks = ranks;
+    k.threads = 2;
+    const RunOutcome par = RunFatTreeScenario(k, PartitionMode::kAuto);
+    EXPECT_EQ(par.events, seq.events) << "ranks=" << ranks;
+    EXPECT_EQ(par.fingerprint, seq.fingerprint) << "ranks=" << ranks;
+  }
+}
+
+TEST(KernelEquivalence, UnisonSchedulingMetricsAgree) {
+  const RunOutcome seq = Sequential();
+  for (SchedulingMetric metric : {SchedulingMetric::kNone,
+                                  SchedulingMetric::kByPendingEventCount,
+                                  SchedulingMetric::kByLastRoundTime}) {
+    KernelConfig k;
+    k.type = KernelType::kUnison;
+    k.threads = 3;
+    k.metric = metric;
+    const RunOutcome par = RunFatTreeScenario(k, PartitionMode::kAuto);
+    EXPECT_EQ(par.fingerprint, seq.fingerprint)
+        << "metric=" << static_cast<int>(metric);
+  }
+}
+
+// --- Kernel mechanics on synthetic events ---
+
+TEST(KernelMechanics, GlobalEventsInterleaveDeterministically) {
+  // Two LPs ping-ponging; a global event in between must execute before
+  // same-timestamp node events, once, on the public LP.
+  TopoGraph graph;
+  graph.num_nodes = 2;
+  graph.edges.push_back(TopoEdge{0, 1, Time::Microseconds(1), true});
+
+  auto run = [&graph](KernelType type, uint32_t threads) {
+    KernelConfig kc;
+    kc.type = type;
+    kc.threads = threads;
+    auto kernel = MakeKernel(kc);
+    const Partition part = type == KernelType::kSequential
+                               ? SingleLpPartition(graph)
+                               : RangePartition(graph, 2);
+    kernel->Setup(graph, part);
+    std::vector<int> order;
+    kernel->ScheduleOnNode(0, Time::Microseconds(5), [&order] { order.push_back(1); });
+    kernel->ScheduleGlobal(Time::Microseconds(5), [&order] { order.push_back(2); });
+    kernel->ScheduleOnNode(1, Time::Microseconds(6), [&order] { order.push_back(3); });
+    kernel->Run(Time::Milliseconds(1));
+    return order;
+  };
+
+  const std::vector<int> seq = run(KernelType::kSequential, 1);
+  EXPECT_EQ(seq, (std::vector<int>{2, 1, 3}));
+  EXPECT_EQ(run(KernelType::kUnison, 2), seq);
+}
+
+TEST(KernelMechanics, StopTimeExcludesBoundaryEvents) {
+  TopoGraph graph;
+  graph.num_nodes = 1;
+  KernelConfig kc;
+  kc.type = KernelType::kSequential;
+  auto kernel = MakeKernel(kc);
+  kernel->Setup(graph, SingleLpPartition(graph));
+  int ran = 0;
+  kernel->ScheduleOnNode(0, Time::Microseconds(9), [&ran] { ++ran; });
+  kernel->ScheduleOnNode(0, Time::Microseconds(10), [&ran] { ++ran; });
+  kernel->ScheduleOnNode(0, Time::Microseconds(11), [&ran] { ++ran; });
+  kernel->Run(Time::Microseconds(10));
+  EXPECT_EQ(ran, 1);  // Only the event strictly before the stop time.
+}
+
+TEST(KernelMechanics, RequestStopHaltsEarly) {
+  TopoGraph graph;
+  graph.num_nodes = 2;
+  graph.edges.push_back(TopoEdge{0, 1, Time::Microseconds(1), true});
+  KernelConfig kc;
+  kc.type = KernelType::kUnison;
+  kc.threads = 2;
+  auto kernel = MakeKernel(kc);
+  kernel->Setup(graph, FineGrainedPartition(graph));
+  std::atomic<int> count{0};
+  // Self-rescheduling chatter on both nodes.
+  std::function<void()> tick0;
+  Kernel* kp = kernel.get();
+  for (int i = 0; i < 1000; ++i) {
+    kernel->ScheduleOnNode(0, Time::Microseconds(1 + i), [&count] { ++count; });
+    kernel->ScheduleOnNode(1, Time::Microseconds(1 + i), [&count] { ++count; });
+  }
+  kernel->ScheduleGlobal(Time::Microseconds(50), [kp] { kp->RequestStop(); });
+  kernel->Run(Time::Milliseconds(10));
+  EXPECT_LT(count.load(), 2000);
+  EXPECT_GT(count.load(), 0);
+}
+
+TEST(KernelMechanics, UnisonSchedulePeriodOverride) {
+  KernelConfig k;
+  k.type = KernelType::kUnison;
+  k.threads = 2;
+  k.sched_period = 4;
+  const RunOutcome a = RunFatTreeScenario(k, PartitionMode::kAuto);
+  KernelConfig seq;
+  seq.type = KernelType::kSequential;
+  const RunOutcome b = RunFatTreeScenario(seq, PartitionMode::kSingle);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+}
+
+TEST(KernelMechanics, EmptySimulationTerminates) {
+  TopoGraph graph;
+  graph.num_nodes = 4;
+  graph.edges.push_back(TopoEdge{0, 1, Time::Microseconds(1), true});
+  graph.edges.push_back(TopoEdge{2, 3, Time::Microseconds(1), true});
+  for (KernelType type : {KernelType::kSequential, KernelType::kUnison}) {
+    KernelConfig kc;
+    kc.type = type;
+    kc.threads = 2;
+    auto kernel = MakeKernel(kc);
+    kernel->Setup(graph, type == KernelType::kSequential ? SingleLpPartition(graph)
+                                                         : FineGrainedPartition(graph));
+    kernel->Run(Time::Seconds(1.0));
+    EXPECT_EQ(kernel->processed_events(), 0u);
+  }
+}
+
+TEST(KernelMechanics, DisconnectedGraphRunsIndependently) {
+  // Two components, no cut edges: lookahead is infinite and both LPs run to
+  // the stop time without interaction.
+  TopoGraph graph;
+  graph.num_nodes = 2;  // No edges at all.
+  KernelConfig kc;
+  kc.type = KernelType::kUnison;
+  kc.threads = 2;
+  auto kernel = MakeKernel(kc);
+  Partition part = FineGrainedPartition(graph);
+  EXPECT_EQ(part.num_lps, 2u);
+  EXPECT_TRUE(part.lookahead.IsMax());
+  kernel->Setup(graph, part);
+  std::atomic<int> ran{0};
+  kernel->ScheduleOnNode(0, Time::Microseconds(1), [&ran] { ++ran; });
+  kernel->ScheduleOnNode(1, Time::Microseconds(2), [&ran] { ++ran; });
+  kernel->Run(Time::Seconds(1.0));
+  EXPECT_EQ(ran.load(), 2);
+}
+
+}  // namespace
+}  // namespace unison

@@ -1,0 +1,89 @@
+// Stateful LAN segments: the partitioner must keep them whole (§7), and
+// traffic across them must be kernel-independent.
+#include <gtest/gtest.h>
+
+#include "src/net/app.h"
+#include "src/net/network.h"
+#include "src/partition/fine_grained.h"
+#include "src/topo/lan.h"
+
+namespace unison {
+namespace {
+
+TEST(Lan, SegmentStaysInOneLp) {
+  SimConfig cfg;
+  cfg.kernel.type = KernelType::kUnison;
+  Network net(cfg);
+  net.AddNodes(4);
+  AddLan(net, {0, 1, 2, 3}, 1000000000ULL, Time::Microseconds(5));
+  net.Finalize();
+  const Partition& p = net.partition();
+  // Hub + 4 members all share one LP despite the 5us delays.
+  const LpId lp = p.lp_of_node[0];
+  for (NodeId n = 0; n < net.num_nodes(); ++n) {
+    EXPECT_EQ(p.lp_of_node[n], lp);
+  }
+  EXPECT_EQ(p.num_lps, 1u);
+}
+
+TEST(Lan, MixedSegmentAndPointToPointPartitions) {
+  // Two LANs joined by a long point-to-point trunk: the trunk is cut, each
+  // LAN is one LP.
+  SimConfig cfg;
+  cfg.kernel.type = KernelType::kUnison;
+  cfg.kernel.threads = 2;
+  Network net(cfg);
+  net.AddNodes(4);
+  LanSegment west = AddLan(net, {0, 1}, 1000000000ULL, Time::Microseconds(5));
+  LanSegment east = AddLan(net, {2, 3}, 1000000000ULL, Time::Microseconds(5));
+  net.AddLink(west.hub, east.hub, 1000000000ULL, Time::Microseconds(50));
+  net.Finalize();
+  const Partition& p = net.partition();
+  EXPECT_EQ(p.num_lps, 2u);
+  EXPECT_EQ(p.lp_of_node[0], p.lp_of_node[1]);
+  EXPECT_EQ(p.lp_of_node[2], p.lp_of_node[3]);
+  EXPECT_NE(p.lp_of_node[0], p.lp_of_node[2]);
+  EXPECT_EQ(p.lookahead, Time::Microseconds(50));
+}
+
+TEST(Lan, TcpAcrossSegmentsMatchesSequential) {
+  auto run = [](KernelType kernel) {
+    SimConfig cfg;
+    cfg.kernel.type = kernel;
+    cfg.kernel.threads = 2;
+    Network net(cfg);
+    net.AddNodes(4);
+    LanSegment west = AddLan(net, {0, 1}, 1000000000ULL, Time::Microseconds(5));
+    LanSegment east = AddLan(net, {2, 3}, 1000000000ULL, Time::Microseconds(5));
+    net.AddLink(west.hub, east.hub, 100000000ULL, Time::Microseconds(50));
+    net.Finalize();
+    InstallFlow(net, FlowSpec{0, 3, 300000, Time::Zero(), {}});
+    InstallFlow(net, FlowSpec{2, 1, 200000, Time::Microseconds(10), {}});
+    net.Run(Time::Seconds(1));
+    EXPECT_TRUE(net.flow_monitor().flow(0).completed);
+    EXPECT_TRUE(net.flow_monitor().flow(1).completed);
+    return std::pair{net.kernel().processed_events(), net.flow_monitor().Fingerprint()};
+  };
+  const auto seq = run(KernelType::kSequential);
+  EXPECT_EQ(run(KernelType::kUnison), seq);
+  EXPECT_EQ(run(KernelType::kNullMessage), seq);
+}
+
+TEST(Lan, AllStatefulModelFallsBackToSequentialBehaviour) {
+  // A model with only stateful links yields a single LP — Unison runs it
+  // correctly (just without parallelism), the §7 applicability limit.
+  SimConfig cfg;
+  cfg.kernel.type = KernelType::kUnison;
+  cfg.kernel.threads = 4;
+  Network net(cfg);
+  net.AddNodes(6);
+  AddLan(net, {0, 1, 2, 3, 4, 5}, 1000000000ULL, Time::Microseconds(5));
+  net.Finalize();
+  EXPECT_EQ(net.kernel().num_lps(), 1u);
+  InstallFlow(net, FlowSpec{0, 5, 100000, Time::Zero(), {}});
+  net.Run(Time::Seconds(1));
+  EXPECT_TRUE(net.flow_monitor().flow(0).completed);
+}
+
+}  // namespace
+}  // namespace unison

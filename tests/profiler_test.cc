@@ -1,0 +1,103 @@
+// Profiler plumbing: per-executor, per-round and per-LP records.
+#include <gtest/gtest.h>
+
+#include "src/stats/profiler.h"
+#include "tests/test_util.h"
+
+namespace unison {
+namespace {
+
+TEST(Profiler, AccumulatesExecutorPhases) {
+  Profiler p;
+  p.enabled = true;
+  p.BeginRun(3);
+  p.executor(0).processing_ns = 100;
+  p.executor(1).synchronization_ns = 50;
+  p.executor(2).messaging_ns = 25;
+  EXPECT_EQ(p.TotalProcessingNs(), 100u);
+  EXPECT_EQ(p.TotalSyncNs(), 50u);
+  EXPECT_EQ(p.TotalMessagingNs(), 25u);
+}
+
+TEST(Profiler, RoundRecordsGrowPerRound) {
+  Profiler p;
+  p.enabled = true;
+  p.per_round = true;
+  p.BeginRun(2);
+  p.BeginRound();
+  p.AddRoundProcessing(0, 10);
+  p.AddRoundSync(1, 20);
+  p.BeginRound();
+  p.AddRoundProcessing(1, 30);
+  EXPECT_EQ(p.rounds(), 2u);
+  EXPECT_EQ(p.round_processing_ns()[0][0], 10u);
+  EXPECT_EQ(p.round_sync_ns()[0][1], 20u);
+  EXPECT_EQ(p.round_processing_ns()[1][1], 30u);
+}
+
+TEST(Profiler, MergedLpRoundsSortedByRoundThenLp) {
+  Profiler p;
+  p.enabled = true;
+  p.per_lp = true;
+  p.BeginRun(2);
+  p.AddLpRound(0, {2, 1, 5, 5, 500});
+  p.AddLpRound(1, {1, 3, 2, 2, 200});
+  p.AddLpRound(0, {1, 0, 1, 1, 100});
+  const auto merged = p.MergedLpRounds();
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].round, 1u);
+  EXPECT_EQ(merged[0].lp, 0u);
+  EXPECT_EQ(merged[1].round, 1u);
+  EXPECT_EQ(merged[1].lp, 3u);
+  EXPECT_EQ(merged[2].round, 2u);
+}
+
+TEST(Profiler, UnisonRunPopulatesAllPhases) {
+  KernelConfig k;
+  k.type = KernelType::kUnison;
+  k.threads = 2;
+  SimConfig cfg;
+  cfg.kernel = k;
+  cfg.profile = true;
+  cfg.profile_per_round = true;
+  cfg.profile_per_lp = true;
+  Network net(cfg);
+  FatTreeTopo topo = BuildFatTree(net, 4, 10000000000ULL, Time::Microseconds(3));
+  net.Finalize();
+  GeneratePermutation(net, topo.hosts, 50000, Time::Zero());
+  net.Run(Time::Milliseconds(5));
+
+  Profiler& p = net.profiler();
+  ASSERT_EQ(p.executors().size(), 2u);
+  EXPECT_GT(p.TotalProcessingNs(), 0u);
+  EXPECT_GT(p.TotalSyncNs(), 0u);
+  EXPECT_GT(p.rounds(), 0u);
+  EXPECT_EQ(p.rounds(), net.kernel().rounds());
+  const auto merged = p.MergedLpRounds();
+  EXPECT_FALSE(merged.empty());
+  uint64_t trace_events = 0;
+  for (const auto& c : merged) {
+    trace_events += c.events;
+  }
+  // The per-LP trace accounts for every event executed in phase 1; global
+  // events (none here) are the only exception.
+  EXPECT_EQ(trace_events, net.kernel().processed_events());
+}
+
+TEST(Profiler, SequentialRunAccountsAllEventsToWorkerZero) {
+  KernelConfig k;
+  k.type = KernelType::kSequential;
+  SimConfig cfg;
+  cfg.kernel = k;
+  cfg.profile = true;
+  Network net(cfg);
+  FatTreeTopo topo = BuildFatTree(net, 4, 10000000000ULL, Time::Microseconds(3));
+  net.Finalize();
+  GeneratePermutation(net, topo.hosts, 50000, Time::Zero());
+  net.Run(Time::Milliseconds(5));
+  EXPECT_EQ(net.profiler().executor(0).events, net.kernel().processed_events());
+  EXPECT_GT(net.profiler().executor(0).processing_ns, 0u);
+}
+
+}  // namespace
+}  // namespace unison

@@ -1,0 +1,114 @@
+// Dynamic topologies (§4.2): global events change links mid-run; the kernel
+// recomputes lookahead and routing; results stay kernel-independent.
+#include <gtest/gtest.h>
+
+#include "src/net/app.h"
+#include "src/net/network.h"
+#include "src/topo/fat_tree.h"
+#include "src/traffic/generator.h"
+
+namespace unison {
+namespace {
+
+struct Outcome {
+  uint64_t events;
+  uint64_t fingerprint;
+  uint64_t completed;
+};
+
+Outcome RunFlapping(KernelType type, uint32_t threads, Time interval) {
+  SimConfig cfg;
+  cfg.kernel.type = type;
+  cfg.kernel.threads = threads;
+  Network net(cfg);
+  FatTreeTopo topo = BuildFatTree(net, 4, 1000000000ULL, Time::Microseconds(30));
+  net.Finalize();
+
+  // Identify the links touching core switch 0.
+  std::vector<uint32_t> core_links;
+  for (uint32_t i = 0; i < net.links().size(); ++i) {
+    const auto& l = net.links()[i];
+    if (l.a == topo.core_switches[0] || l.b == topo.core_switches[0]) {
+      core_links.push_back(i);
+    }
+  }
+  EXPECT_FALSE(core_links.empty());
+
+  // Periodic flap via self-rescheduling global events. The function lives on
+  // this stack frame (which outlives Run); events capture a plain pointer so
+  // there is no shared_ptr self-cycle.
+  Network* netp = &net;
+  std::function<void(bool)> flap;
+  flap = [netp, core_links, interval, &flap](bool up) {
+    for (uint32_t l : core_links) {
+      netp->SetLinkUp(l, up);
+    }
+    netp->sim().ScheduleGlobal(netp->sim().Now() + interval,
+                               [&flap, up] { flap(!up); });
+  };
+  net.sim().ScheduleGlobal(interval, [&flap] { flap(false); });
+
+  GeneratePermutation(net, topo.hosts, 100000, Time::Zero());
+  net.Run(Time::Milliseconds(50));
+
+  return Outcome{net.kernel().processed_events(), net.flow_monitor().Fingerprint(),
+                 net.flow_monitor().Summarize().completed};
+}
+
+TEST(Reconfig, FlowsSurviveLinkFlapping) {
+  const Outcome o = RunFlapping(KernelType::kSequential, 1, Time::Milliseconds(5));
+  EXPECT_GT(o.events, 0u);
+  EXPECT_GT(o.completed, 0u);
+}
+
+TEST(Reconfig, UnisonMatchesSequentialUnderDynamics) {
+  const Outcome seq = RunFlapping(KernelType::kSequential, 1, Time::Milliseconds(5));
+  const Outcome par = RunFlapping(KernelType::kUnison, 3, Time::Milliseconds(5));
+  EXPECT_EQ(par.events, seq.events);
+  EXPECT_EQ(par.fingerprint, seq.fingerprint);
+}
+
+TEST(Reconfig, DelayChangeUpdatesLookahead) {
+  SimConfig cfg;
+  cfg.kernel.type = KernelType::kUnison;
+  cfg.kernel.threads = 2;
+  Network net(cfg);
+  const NodeId a = net.AddNode();
+  const NodeId b = net.AddNode();
+  const NodeId c = net.AddNode();
+  const uint32_t ab = net.AddLink(a, b, 1000000000ULL, Time::Microseconds(10));
+  net.AddLink(b, c, 1000000000ULL, Time::Microseconds(10));
+  net.Finalize();
+  ASSERT_EQ(net.partition().lookahead, Time::Microseconds(10));
+
+  Network* netp = &net;
+  net.sim().ScheduleGlobal(Time::Milliseconds(1), [netp, ab] {
+    netp->SetLinkDelay(ab, Time::Microseconds(50));
+  });
+  // Keep some traffic moving through the change.
+  InstallFlow(net, FlowSpec{a, c, 500000, Time::Zero(), {}});
+  net.Run(Time::Milliseconds(30));
+  EXPECT_EQ(net.partition().lookahead, Time::Microseconds(10));  // min(50, 10).
+  EXPECT_TRUE(net.flow_monitor().flow(0).completed);
+}
+
+TEST(Reconfig, DelayIncreaseOnAllCutLinksRaisesLookahead) {
+  SimConfig cfg;
+  cfg.kernel.type = KernelType::kUnison;
+  cfg.kernel.threads = 2;
+  Network net(cfg);
+  const NodeId a = net.AddNode();
+  const NodeId b = net.AddNode();
+  const uint32_t ab = net.AddLink(a, b, 1000000000ULL, Time::Microseconds(10));
+  net.Finalize();
+  Network* netp = &net;
+  net.sim().ScheduleGlobal(Time::Milliseconds(1), [netp, ab] {
+    netp->SetLinkDelay(ab, Time::Microseconds(80));
+  });
+  InstallFlow(net, FlowSpec{a, b, 100000, Time::Zero(), {}});
+  net.Run(Time::Milliseconds(30));
+  EXPECT_EQ(net.partition().lookahead, Time::Microseconds(80));
+}
+
+}  // namespace
+}  // namespace unison

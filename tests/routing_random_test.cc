@@ -1,0 +1,115 @@
+// Routing property tests on random graphs: ECMP next hops must lie on
+// shortest paths (verified against an independent BFS), and forwarding a
+// packet hop by hop must reach the destination in exactly dist hops.
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "src/core/rng.h"
+#include "src/net/network.h"
+
+namespace unison {
+namespace {
+
+struct RandomGraph {
+  std::unique_ptr<Network> net;
+  std::vector<std::vector<NodeId>> adj;
+};
+
+RandomGraph MakeRandomGraph(uint64_t seed) {
+  RandomGraph g;
+  SimConfig cfg;
+  g.net = std::make_unique<Network>(cfg);
+  Rng rng(seed, 0);
+  const uint32_t n = 8 + static_cast<uint32_t>(rng.NextU64Below(24));
+  g.net->AddNodes(n);
+  g.adj.resize(n);
+  auto add = [&g](NodeId u, NodeId v) {
+    g.net->AddLink(u, v, 1000000000ULL, Time::Microseconds(10));
+    g.adj[u].push_back(v);
+    g.adj[v].push_back(u);
+  };
+  for (NodeId v = 1; v < n; ++v) {
+    add(static_cast<NodeId>(rng.NextU64Below(v)), v);
+  }
+  for (uint32_t e = 0; e < n; ++e) {
+    const NodeId u = static_cast<NodeId>(rng.NextU64Below(n));
+    const NodeId v = static_cast<NodeId>(rng.NextU64Below(n));
+    if (u != v) {
+      add(u, v);
+    }
+  }
+  g.net->Finalize();
+  return g;
+}
+
+std::vector<uint32_t> BfsDist(const RandomGraph& g, NodeId src) {
+  std::vector<uint32_t> dist(g.adj.size(), UINT32_MAX);
+  dist[src] = 0;
+  std::queue<NodeId> q;
+  q.push(src);
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    for (NodeId v : g.adj[u]) {
+      if (dist[v] == UINT32_MAX) {
+        dist[v] = dist[u] + 1;
+        q.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+class RandomRoutingTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomRoutingTest, EveryNextHopLiesOnAShortestPath) {
+  RandomGraph g = MakeRandomGraph(GetParam());
+  const uint32_t n = g.net->num_nodes();
+  for (NodeId dst = 0; dst < n; ++dst) {
+    const std::vector<uint32_t> dist = BfsDist(g, dst);
+    for (NodeId u = 0; u < n; ++u) {
+      if (u == dst) {
+        continue;
+      }
+      ASSERT_NE(dist[u], UINT32_MAX);
+      // Probe several flow hashes: every returned port must step closer.
+      for (uint32_t h = 0; h < 8; ++h) {
+        const int port = g.net->routing().Port(u, dst, h * 2654435761u);
+        ASSERT_GE(port, 0);
+        const NodeId next = g.net->node(u).device(port)->peer();
+        EXPECT_EQ(dist[next], dist[u] - 1)
+            << u << "->" << dst << " via " << next;
+      }
+    }
+  }
+}
+
+TEST_P(RandomRoutingTest, HopByHopWalkTerminatesInDistSteps) {
+  RandomGraph g = MakeRandomGraph(GetParam() + 500);
+  const uint32_t n = g.net->num_nodes();
+  Rng rng(GetParam(), 77);
+  for (int trial = 0; trial < 30; ++trial) {
+    const NodeId src = static_cast<NodeId>(rng.NextU64Below(n));
+    const NodeId dst = static_cast<NodeId>(rng.NextU64Below(n));
+    if (src == dst) {
+      continue;
+    }
+    const uint32_t flow_hash = static_cast<uint32_t>(rng.NextU64());
+    const std::vector<uint32_t> dist = BfsDist(g, dst);
+    NodeId at = src;
+    uint32_t hops = 0;
+    while (at != dst) {
+      const int port = g.net->routing().Port(at, dst, flow_hash);
+      ASSERT_GE(port, 0);
+      at = g.net->node(at).device(port)->peer();
+      ASSERT_LE(++hops, dist[src]) << "walk exceeded the shortest distance";
+    }
+    EXPECT_EQ(hops, dist[src]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomRoutingTest, ::testing::Range<uint64_t>(10, 22));
+
+}  // namespace
+}  // namespace unison

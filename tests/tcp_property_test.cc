@@ -1,0 +1,151 @@
+// TCP property tests: invariants that must hold across a parameter sweep of
+// bandwidths, delays, queue sizes and flow sizes — including lossy regimes.
+#include <gtest/gtest.h>
+
+#include "src/net/app.h"
+#include "src/net/network.h"
+
+namespace unison {
+namespace {
+
+struct TcpCase {
+  uint64_t bps;
+  int64_t delay_us;
+  uint32_t queue_pkts;
+  uint64_t bytes;
+};
+
+class TcpSweep : public ::testing::TestWithParam<TcpCase> {};
+
+TEST_P(TcpSweep, DeliversAllBytesExactlyOnceWithinSaneTime) {
+  const TcpCase c = GetParam();
+  SimConfig cfg;
+  cfg.kernel.type = KernelType::kSequential;
+  cfg.queue.capacity_bytes = c.queue_pkts * 1500;
+  cfg.tcp.min_rto = Time::Milliseconds(2);
+  cfg.tcp.initial_rto = Time::Milliseconds(2);
+  Network net(cfg);
+  const NodeId a = net.AddNode();
+  const NodeId b = net.AddNode();
+  const NodeId m = net.AddNode();
+  net.AddLink(a, m, c.bps * 4, Time::Microseconds(c.delay_us));
+  net.AddLink(m, b, c.bps, Time::Microseconds(c.delay_us));  // Bottleneck.
+  net.Finalize();
+  InstallFlow(net, FlowSpec{a, b, c.bytes, Time::Zero(), {}});
+  net.Run(Time::Seconds(30));
+
+  const FlowRecord& f = net.flow_monitor().flow(0);
+  ASSERT_TRUE(f.completed) << "bps=" << c.bps << " delay=" << c.delay_us
+                           << " queue=" << c.queue_pkts << " bytes=" << c.bytes;
+  // Exactly-once delivery: the receiver advanced its cumulative ack point by
+  // precisely the flow size (no byte lost, none double-counted).
+  EXPECT_EQ(f.rx_bytes, c.bytes);
+  // FCT is lower-bounded by transmission + 2 propagation delays.
+  const double floor_s = static_cast<double>(c.bytes) * 8 / static_cast<double>(c.bps) +
+                         2e-6 * static_cast<double>(c.delay_us);
+  EXPECT_GE(f.fct.ToSeconds(), floor_s * 0.95);
+  // And upper-bounded by a generous multiple (loss recovery inflates it).
+  EXPECT_LE(f.fct.ToSeconds(), floor_s * 50 + 1.0);
+  // RTT samples must exceed twice the propagation delay.
+  if (f.rtt_samples > 0) {
+    EXPECT_GE(f.rtt_sum.ps() / static_cast<int64_t>(f.rtt_samples),
+              2 * Time::Microseconds(c.delay_us).ps());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TcpSweep,
+    ::testing::Values(TcpCase{1000000, 1000, 64, 50000},       // 1M, WAN-ish.
+                      TcpCase{10000000, 100, 16, 200000},      // Small queue.
+                      TcpCase{100000000, 10, 8, 1000000},      // Tiny queue, loss.
+                      TcpCase{1000000000, 5, 64, 3000000},     // Fast DC link.
+                      TcpCase{10000000000ULL, 3, 128, 500000}, // 10G short.
+                      TcpCase{100000000, 5000, 256, 2000000},  // Long fat pipe.
+                      TcpCase{1000000, 10, 4, 30000},          // Tiny everything.
+                      TcpCase{400000000, 50, 32, 1440},        // Single segment+.
+                      TcpCase{400000000, 50, 32, 1}));         // One byte.
+
+TEST(TcpProperty, ManyParallelFlowsConserveBytes) {
+  SimConfig cfg;
+  cfg.kernel.type = KernelType::kUnison;
+  cfg.kernel.threads = 3;
+  cfg.queue.capacity_bytes = 20 * 1500;
+  cfg.tcp.min_rto = Time::Milliseconds(2);
+  cfg.tcp.initial_rto = Time::Milliseconds(2);
+  Network net(cfg);
+  // Star around one switch: heavy contention on every egress.
+  const NodeId hub = net.AddNode();
+  std::vector<NodeId> hosts;
+  for (int i = 0; i < 10; ++i) {
+    const NodeId h = net.AddNode();
+    net.AddLink(h, hub, 200000000ULL, Time::Microseconds(20));
+    hosts.push_back(h);
+  }
+  net.Finalize();
+  Rng rng(123, 0);
+  uint64_t total = 0;
+  for (int f = 0; f < 40; ++f) {
+    FlowSpec spec;
+    spec.src = hosts[rng.NextU64Below(hosts.size())];
+    do {
+      spec.dst = hosts[rng.NextU64Below(hosts.size())];
+    } while (spec.dst == spec.src);
+    spec.bytes = 1 + rng.NextU64Below(300000);
+    spec.start = Time::Microseconds(static_cast<int64_t>(rng.NextU64Below(5000)));
+    total += spec.bytes;
+    InstallFlow(net, spec);
+  }
+  net.Run(Time::Seconds(20));
+  uint64_t delivered = 0;
+  for (const auto& f : net.flow_monitor().flows()) {
+    EXPECT_TRUE(f.completed) << "flow " << f.id;
+    EXPECT_EQ(f.rx_bytes, f.bytes) << "flow " << f.id;
+    delivered += f.rx_bytes;
+  }
+  EXPECT_EQ(delivered, total);
+}
+
+TEST(TcpProperty, DctcpAlphaStaysInUnitRange) {
+  SimConfig cfg;
+  cfg.kernel.type = KernelType::kSequential;
+  cfg.tcp.dctcp = true;
+  cfg.tcp.min_rto = Time::Milliseconds(1);
+  cfg.queue.kind = QueueConfig::Kind::kDctcp;
+  cfg.queue.red_min_th = 20 * 1500;
+  Network net(cfg);
+  const NodeId a = net.AddNode();
+  const NodeId b = net.AddNode();
+  const NodeId c = net.AddNode();
+  net.AddLink(a, b, 1000000000ULL, Time::Microseconds(10));
+  net.AddLink(b, c, 100000000ULL, Time::Microseconds(10));
+  net.Finalize();
+  InstallFlow(net, FlowSpec{a, c, 5000000, Time::Zero(), {}});
+  net.Run(Time::Seconds(3));
+  const FlowRecord& f = net.flow_monitor().flow(0);
+  EXPECT_TRUE(f.completed);
+  TcpSender* sender = net.node(a).FindSender(0);
+  ASSERT_NE(sender, nullptr);
+  EXPECT_GE(sender->dctcp_alpha(), 0.0);
+  EXPECT_LE(sender->dctcp_alpha(), 1.0);
+  EXPECT_GT(net.AggregateQueueStats().ecn_marked, 0u);
+}
+
+TEST(TcpProperty, ZeroByteFlowCompletesImmediately) {
+  SimConfig cfg;
+  cfg.kernel.type = KernelType::kSequential;
+  Network net(cfg);
+  const NodeId a = net.AddNode();
+  const NodeId b = net.AddNode();
+  net.AddLink(a, b, 1000000000ULL, Time::Microseconds(10));
+  net.Finalize();
+  InstallFlow(net, FlowSpec{a, b, 0, Time::Microseconds(5), {}});
+  net.Run(Time::Seconds(1));
+  // Nothing to send: the sender completes at start without emitting packets.
+  const FlowRecord& f = net.flow_monitor().flow(0);
+  EXPECT_TRUE(f.completed);
+  EXPECT_TRUE(f.fct.IsZero());
+  EXPECT_EQ(f.rx_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace unison

@@ -1,0 +1,63 @@
+// Shared helpers for the test suite: canned scenarios that run the same
+// model under different kernels and report comparable outcomes.
+#ifndef UNISON_TESTS_TEST_UTIL_H_
+#define UNISON_TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/net/app.h"
+#include "src/net/network.h"
+#include "src/topo/fat_tree.h"
+#include "src/traffic/generator.h"
+
+namespace unison {
+
+struct RunOutcome {
+  uint64_t events = 0;
+  uint64_t fingerprint = 0;
+  FlowSummary summary;
+  uint64_t rounds = 0;
+  uint32_t lps = 0;
+};
+
+// Builds a k=4 fat-tree with permutation + random traffic and runs it for
+// `sim_ms` milliseconds of simulated time under the given kernel config.
+inline RunOutcome RunFatTreeScenario(const KernelConfig& kcfg, PartitionMode partition,
+                                     uint32_t k = 4, uint64_t gbps = 10, int sim_ms = 5,
+                                     uint64_t seed = 1) {
+  SimConfig cfg;
+  cfg.kernel = kcfg;
+  cfg.partition = partition;
+  cfg.seed = seed;
+  Network net(cfg);
+  FatTreeTopo topo =
+      BuildFatTree(net, k, gbps * 1000000000ULL, Time::Microseconds(3));
+  if (partition == PartitionMode::kManual) {
+    auto lp = FatTreePodPartition(topo, net.num_nodes());
+    net.SetManualPartition(k, std::move(lp));
+  }
+  net.Finalize();
+
+  GeneratePermutation(net, topo.hosts, 200 * 1024, Time::Zero());
+  TrafficSpec traffic;
+  traffic.hosts = topo.hosts;
+  traffic.bisection_bps = topo.bisection_bps;
+  traffic.load = 0.1;
+  traffic.duration = Time::Milliseconds(sim_ms);
+  GenerateTraffic(net, traffic);
+
+  net.Run(Time::Milliseconds(sim_ms));
+
+  RunOutcome out;
+  out.events = net.kernel().processed_events();
+  out.fingerprint = net.flow_monitor().Fingerprint();
+  out.summary = net.flow_monitor().Summarize();
+  out.rounds = net.kernel().rounds();
+  out.lps = net.kernel().num_lps();
+  return out;
+}
+
+}  // namespace unison
+
+#endif  // UNISON_TESTS_TEST_UTIL_H_

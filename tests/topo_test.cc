@@ -1,0 +1,165 @@
+// Topology builders: structural invariants.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/net/network.h"
+#include "src/topo/bcube.h"
+#include "src/topo/fat_tree.h"
+#include "src/topo/spine_leaf.h"
+#include "src/topo/torus.h"
+#include "src/topo/wan.h"
+
+namespace unison {
+namespace {
+
+std::map<NodeId, int> DegreeMap(const Network& net) {
+  std::map<NodeId, int> deg;
+  for (const auto& l : net.links()) {
+    ++deg[l.a];
+    ++deg[l.b];
+  }
+  return deg;
+}
+
+TEST(FatTree, K4Counts) {
+  SimConfig cfg;
+  Network net(cfg);
+  FatTreeTopo t = BuildFatTree(net, 4, 10000000000ULL, Time::Microseconds(3));
+  EXPECT_EQ(t.hosts.size(), 16u);
+  EXPECT_EQ(t.edge_switches.size(), 8u);
+  EXPECT_EQ(t.agg_switches.size(), 8u);
+  EXPECT_EQ(t.core_switches.size(), 4u);
+  EXPECT_EQ(net.num_nodes(), 36u);
+  // Links: 16 host + 16 edge-agg + 16 agg-core.
+  EXPECT_EQ(net.links().size(), 48u);
+  auto deg = DegreeMap(net);
+  for (NodeId h : t.hosts) {
+    EXPECT_EQ(deg[h], 1);
+  }
+  for (NodeId e : t.edge_switches) {
+    EXPECT_EQ(deg[e], 4);
+  }
+  for (NodeId a : t.agg_switches) {
+    EXPECT_EQ(deg[a], 4);
+  }
+  for (NodeId c : t.core_switches) {
+    EXPECT_EQ(deg[c], 4);
+  }
+  EXPECT_EQ(t.PodOfHost(0), 0u);
+  EXPECT_EQ(t.PodOfHost(15), 3u);
+}
+
+TEST(FatTree, K8Counts) {
+  SimConfig cfg;
+  Network net(cfg);
+  FatTreeTopo t = BuildFatTree(net, 8, 10000000000ULL, Time::Microseconds(3));
+  EXPECT_EQ(t.hosts.size(), 128u);
+  EXPECT_EQ(t.core_switches.size(), 16u);
+  EXPECT_EQ(net.num_nodes(), 208u);
+}
+
+TEST(ClusterFatTree, PaperFootnoteShapes) {
+  // "Fat-tree 16": 4 clusters x 4 hosts.
+  SimConfig cfg;
+  Network net(cfg);
+  ClusterFatTreeTopo t =
+      BuildClusterFatTree(net, 4, /*racks=*/2, /*hosts_per_rack=*/2,
+                          /*aggs=*/2, /*cores=*/4, 100000000ULL, Time::Microseconds(500));
+  EXPECT_EQ(t.hosts.size(), 16u);
+  EXPECT_EQ(t.tor_switches.size(), 8u);
+  EXPECT_EQ(t.agg_switches.size(), 8u);
+  EXPECT_EQ(t.core_switches.size(), 4u);
+  EXPECT_EQ(t.ClusterOfHost(5), 1u);
+  // Every host can reach every other (checked via routing).
+  net.Finalize();
+  for (NodeId d : t.hosts) {
+    if (d != t.hosts[0]) {
+      EXPECT_GE(net.routing().EcmpWidth(t.hosts[0], d), 1u);
+    }
+  }
+}
+
+TEST(BCube, Bcube1N4Structure) {
+  SimConfig cfg;
+  Network net(cfg);
+  BCubeTopo t = BuildBCube(net, 4, 2, 10000000000ULL, Time::Microseconds(3));
+  EXPECT_EQ(t.hosts.size(), 16u);   // 4^2.
+  ASSERT_EQ(t.switches.size(), 2u);
+  EXPECT_EQ(t.switches[0].size(), 4u);
+  EXPECT_EQ(t.switches[1].size(), 4u);
+  auto deg = DegreeMap(net);
+  for (NodeId h : t.hosts) {
+    EXPECT_EQ(deg[h], 2);  // One port per level.
+  }
+  for (const auto& level : t.switches) {
+    for (NodeId s : level) {
+      EXPECT_EQ(deg[s], 4);  // n ports.
+    }
+  }
+  net.Finalize();
+  // Server-centric: any two hosts reachable.
+  for (NodeId d : t.hosts) {
+    if (d != t.hosts[0]) {
+      EXPECT_GE(net.routing().EcmpWidth(t.hosts[0], d), 1u);
+    }
+  }
+}
+
+TEST(Torus, DegreesAndWraparound) {
+  SimConfig cfg;
+  Network net(cfg);
+  TorusTopo t = BuildTorus2D(net, 6, 6, 10000000000ULL, Time::Microseconds(30));
+  EXPECT_EQ(t.nodes.size(), 36u);
+  EXPECT_EQ(net.links().size(), 72u);  // 2 per node.
+  auto deg = DegreeMap(net);
+  for (NodeId n : t.nodes) {
+    EXPECT_EQ(deg[n], 4);
+  }
+  // Paper's id convention: node (i, j) has id i + rows * j.
+  EXPECT_EQ(t.At(2, 3), t.nodes[2 + 6 * 3]);
+  net.Finalize();
+  // Wraparound shortens paths: (0,0) to (5,0) is one hop.
+  EXPECT_GE(net.routing().EcmpWidth(t.At(0, 0), t.At(5, 0)), 1u);
+}
+
+TEST(SpineLeaf, FullBipartiteCore) {
+  SimConfig cfg;
+  Network net(cfg);
+  SpineLeafTopo t = BuildSpineLeaf(net, 4, 8, 16, 10000000000ULL, Time::Microseconds(1));
+  EXPECT_EQ(t.spines.size(), 4u);
+  EXPECT_EQ(t.leaves.size(), 8u);
+  EXPECT_EQ(t.hosts.size(), 128u);
+  auto deg = DegreeMap(net);
+  for (NodeId s : t.spines) {
+    EXPECT_EQ(deg[s], 8);
+  }
+  for (NodeId l : t.leaves) {
+    EXPECT_EQ(deg[l], 4 + 16);
+  }
+  net.Finalize();
+  // Host under leaf 0 to host under leaf 7: 4 spine choices at the leaf.
+  EXPECT_EQ(net.routing().EcmpWidth(t.leaves[0], t.hosts[127]), 4u);
+}
+
+class WanTest : public ::testing::TestWithParam<WanName> {};
+
+TEST_P(WanTest, ConnectedWithHostsAttached) {
+  SimConfig cfg;
+  Network net(cfg);
+  WanTopo t = BuildWan(net, GetParam(), 1000000000ULL, Time::Microseconds(100));
+  EXPECT_EQ(t.routers.size(), t.hosts.size());
+  EXPECT_GT(t.backbone_links, t.routers.size());  // More links than a tree.
+  net.Finalize();
+  for (NodeId d : t.hosts) {
+    if (d != t.hosts[0]) {
+      EXPECT_GE(net.routing().EcmpWidth(t.hosts[0], d), 1u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backbones, WanTest,
+                         ::testing::Values(WanName::kGeant, WanName::kChinaNet));
+
+}  // namespace
+}  // namespace unison

@@ -1,0 +1,142 @@
+// LBTS window boundary semantics: the subtlest invariants of conservative
+// synchronization, pinned with hand-built event programs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "src/kernel/kernel.h"
+#include "src/partition/fine_grained.h"
+#include "src/partition/manual.h"
+
+namespace unison {
+namespace {
+
+TopoGraph TwoNodes(Time delay) {
+  TopoGraph g;
+  g.num_nodes = 2;
+  g.edges.push_back(TopoEdge{0, 1, delay, true});
+  return g;
+}
+
+std::unique_ptr<Kernel> MakeParallel(const TopoGraph& g, KernelType type,
+                                     uint32_t threads = 2) {
+  KernelConfig kc;
+  kc.type = type;
+  kc.threads = threads;
+  auto k = MakeKernel(kc);
+  k->Setup(g, FineGrainedPartition(g));
+  return k;
+}
+
+TEST(Window, CrossLpEventAtExactLookaheadIsCausal) {
+  // Node 0 at t sends to node 1 arriving at exactly t + lookahead — the
+  // boundary case of the LBTS proof. The receiver must see it before
+  // executing any of its own events at the same timestamp... per the key
+  // order: arrival (sender_ts = t) precedes a local event scheduled from
+  // setup only if its key is smaller; here we pin the causal outcome: the
+  // arrival is processed, exactly once, at the right time.
+  const TopoGraph g = TwoNodes(Time::Microseconds(10));
+  for (KernelType type : {KernelType::kSequential, KernelType::kUnison,
+                          KernelType::kNullMessage, KernelType::kBarrier}) {
+    auto k = type == KernelType::kSequential
+                 ? [&g] {
+                     KernelConfig kc;
+                     kc.type = KernelType::kSequential;
+                     auto s = MakeKernel(kc);
+                     s->Setup(g, SingleLpPartition(g));
+                     return s;
+                   }()
+                 : MakeParallel(g, type);
+    std::vector<int64_t> arrivals;
+    Kernel* kp = k.get();
+    // A chain: 0 fires at 5us, schedules onto 1 at +10us (the lookahead),
+    // which schedules back onto 0 at +10us, etc.
+    std::function<void(int)> hop = [&, kp](int depth) {
+      arrivals.push_back(kp->Now().ps());
+      if (depth < 5) {
+        const NodeId self = depth % 2 == 0 ? 1 : 0;
+        kp->ScheduleOnNode(self, kp->Now() + Time::Microseconds(10),
+                           [&hop, depth] { hop(depth + 1); });
+      }
+    };
+    k->ScheduleOnNode(0, Time::Microseconds(5), [&hop] { hop(0); });
+    k->Run(Time::Milliseconds(1));
+    ASSERT_EQ(arrivals.size(), 6u) << "kernel " << static_cast<int>(type);
+    for (size_t i = 0; i < arrivals.size(); ++i) {
+      EXPECT_EQ(arrivals[i], Time::Microseconds(5 + 10 * static_cast<int64_t>(i)).ps())
+          << "kernel " << static_cast<int>(type);
+    }
+  }
+}
+
+TEST(Window, EventExactlyAtStopTimeNeverRuns) {
+  const TopoGraph g = TwoNodes(Time::Microseconds(10));
+  for (KernelType type : {KernelType::kUnison, KernelType::kHybrid}) {
+    auto k = MakeParallel(g, type);
+    std::atomic<int> ran{0};
+    k->ScheduleOnNode(0, Time::Microseconds(99), [&ran] { ++ran; });
+    k->ScheduleOnNode(1, Time::Microseconds(100), [&ran] { ++ran; });  // == stop.
+    k->ScheduleOnNode(0, Time::Microseconds(101), [&ran] { ++ran; });
+    k->Run(Time::Microseconds(100));
+    EXPECT_EQ(ran.load(), 1) << "kernel " << static_cast<int>(type);
+  }
+}
+
+TEST(Window, GlobalEventInterruptsRoundAtItsTimestamp) {
+  // A global event at T must observe every node event below T as already
+  // executed and no node event at/after T (Eq. 2: LBTS caps at N_pub).
+  const TopoGraph g = TwoNodes(Time::Microseconds(10));
+  auto k = MakeParallel(g, KernelType::kUnison);
+  std::atomic<int> before{0};
+  std::atomic<int> after{0};
+  for (int i = 0; i < 50; ++i) {
+    k->ScheduleOnNode(i % 2, Time::Microseconds(1 + i), [&before] { ++before; });
+    k->ScheduleOnNode(i % 2, Time::Microseconds(60 + i), [&after] { ++after; });
+  }
+  int seen_before = -1;
+  int seen_after = -1;
+  k->ScheduleGlobal(Time::Microseconds(55), [&] {
+    seen_before = before.load();
+    seen_after = after.load();
+  });
+  k->Run(Time::Milliseconds(1));
+  EXPECT_EQ(seen_before, 50);
+  EXPECT_EQ(seen_after, 0);
+  EXPECT_EQ(after.load(), 50);
+}
+
+TEST(Window, ChainedGlobalEventsAtSameTimestampRunInOneRound) {
+  const TopoGraph g = TwoNodes(Time::Microseconds(10));
+  auto k = MakeParallel(g, KernelType::kUnison);
+  std::vector<int> order;
+  Kernel* kp = k.get();
+  k->ScheduleGlobal(Time::Microseconds(7), [&order, kp] {
+    order.push_back(1);
+    // Same-timestamp chained global: must run in the same round (Eq. 2).
+    kp->ScheduleGlobal(kp->Now(), [&order] { order.push_back(2); });
+  });
+  k->ScheduleOnNode(0, Time::Microseconds(7), [&order] { order.push_back(3); });
+  k->Run(Time::Milliseconds(1));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Window, ZeroWorkLpsDoNotStallTermination) {
+  // 64 LPs, events only on two of them: rounds must still converge quickly
+  // and terminate (empty LPs contribute Time::Max to the reduction).
+  TopoGraph g;
+  g.num_nodes = 64;
+  for (NodeId i = 0; i + 1 < 64; ++i) {
+    g.edges.push_back(TopoEdge{i, i + 1, Time::Microseconds(3), true});
+  }
+  auto k = MakeParallel(g, KernelType::kUnison, 4);
+  std::atomic<int> ran{0};
+  k->ScheduleOnNode(0, Time::Microseconds(1), [&ran] { ++ran; });
+  k->ScheduleOnNode(63, Time::Microseconds(2), [&ran] { ++ran; });
+  k->Run(Time::Seconds(1));
+  EXPECT_EQ(ran.load(), 2);
+  EXPECT_LT(k->rounds(), 10u);
+}
+
+}  // namespace
+}  // namespace unison
