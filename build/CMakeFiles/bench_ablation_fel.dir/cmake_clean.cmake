@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fel.dir/bench/bench_ablation_fel.cc.o"
+  "CMakeFiles/bench_ablation_fel.dir/bench/bench_ablation_fel.cc.o.d"
+  "bench/bench_ablation_fel"
+  "bench/bench_ablation_fel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

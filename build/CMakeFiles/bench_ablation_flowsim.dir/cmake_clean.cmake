@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_flowsim.dir/bench/bench_ablation_flowsim.cc.o"
+  "CMakeFiles/bench_ablation_flowsim.dir/bench/bench_ablation_flowsim.cc.o.d"
+  "bench/bench_ablation_flowsim"
+  "bench/bench_ablation_flowsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_flowsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dctcp_repro.dir/bench/bench_dctcp_repro.cc.o"
+  "CMakeFiles/bench_dctcp_repro.dir/bench/bench_dctcp_repro.cc.o.d"
+  "bench/bench_dctcp_repro"
+  "bench/bench_dctcp_repro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dctcp_repro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

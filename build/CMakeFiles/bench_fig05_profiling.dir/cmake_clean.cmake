@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_profiling.dir/bench/bench_fig05_profiling.cc.o"
+  "CMakeFiles/bench_fig05_profiling.dir/bench/bench_fig05_profiling.cc.o.d"
+  "bench/bench_fig05_profiling"
+  "bench/bench_fig05_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08a_dqn.dir/bench/bench_fig08a_dqn.cc.o"
+  "CMakeFiles/bench_fig08a_dqn.dir/bench/bench_fig08a_dqn.cc.o.d"
+  "bench/bench_fig08a_dqn"
+  "bench/bench_fig08a_dqn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08a_dqn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

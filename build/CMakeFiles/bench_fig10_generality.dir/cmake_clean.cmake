@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_generality.dir/bench/bench_fig10_generality.cc.o"
+  "CMakeFiles/bench_fig10_generality.dir/bench/bench_fig10_generality.cc.o.d"
+  "bench/bench_fig10_generality"
+  "bench/bench_fig10_generality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_generality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

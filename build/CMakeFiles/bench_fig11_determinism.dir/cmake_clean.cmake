@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_determinism.dir/bench/bench_fig11_determinism.cc.o"
+  "CMakeFiles/bench_fig11_determinism.dir/bench/bench_fig11_determinism.cc.o.d"
+  "bench/bench_fig11_determinism"
+  "bench/bench_fig11_determinism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_determinism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_micro.dir/bench/bench_fig12_micro.cc.o"
+  "CMakeFiles/bench_fig12_micro.dir/bench/bench_fig12_micro.cc.o.d"
+  "bench/bench_fig12_micro"
+  "bench/bench_fig12_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reconfigurable_dcn.dir/reconfigurable_dcn.cpp.o"
+  "CMakeFiles/reconfigurable_dcn.dir/reconfigurable_dcn.cpp.o.d"
+  "reconfigurable_dcn"
+  "reconfigurable_dcn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reconfigurable_dcn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

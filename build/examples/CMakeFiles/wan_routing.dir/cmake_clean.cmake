@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_routing.dir/wan_routing.cpp.o"
+  "CMakeFiles/wan_routing.dir/wan_routing.cpp.o.d"
+  "wan_routing"
+  "wan_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

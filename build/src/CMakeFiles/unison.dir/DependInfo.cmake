@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cachesim/cache_sim.cc" "src/CMakeFiles/unison.dir/cachesim/cache_sim.cc.o" "gcc" "src/CMakeFiles/unison.dir/cachesim/cache_sim.cc.o.d"
+  "/root/repo/src/core/calendar_queue.cc" "src/CMakeFiles/unison.dir/core/calendar_queue.cc.o" "gcc" "src/CMakeFiles/unison.dir/core/calendar_queue.cc.o.d"
+  "/root/repo/src/core/fel.cc" "src/CMakeFiles/unison.dir/core/fel.cc.o" "gcc" "src/CMakeFiles/unison.dir/core/fel.cc.o.d"
+  "/root/repo/src/core/rng.cc" "src/CMakeFiles/unison.dir/core/rng.cc.o" "gcc" "src/CMakeFiles/unison.dir/core/rng.cc.o.d"
+  "/root/repo/src/costmodel/cost_model.cc" "src/CMakeFiles/unison.dir/costmodel/cost_model.cc.o" "gcc" "src/CMakeFiles/unison.dir/costmodel/cost_model.cc.o.d"
+  "/root/repo/src/flowsim/flow_level.cc" "src/CMakeFiles/unison.dir/flowsim/flow_level.cc.o" "gcc" "src/CMakeFiles/unison.dir/flowsim/flow_level.cc.o.d"
+  "/root/repo/src/kernel/barrier.cc" "src/CMakeFiles/unison.dir/kernel/barrier.cc.o" "gcc" "src/CMakeFiles/unison.dir/kernel/barrier.cc.o.d"
+  "/root/repo/src/kernel/factory.cc" "src/CMakeFiles/unison.dir/kernel/factory.cc.o" "gcc" "src/CMakeFiles/unison.dir/kernel/factory.cc.o.d"
+  "/root/repo/src/kernel/hybrid.cc" "src/CMakeFiles/unison.dir/kernel/hybrid.cc.o" "gcc" "src/CMakeFiles/unison.dir/kernel/hybrid.cc.o.d"
+  "/root/repo/src/kernel/kernel.cc" "src/CMakeFiles/unison.dir/kernel/kernel.cc.o" "gcc" "src/CMakeFiles/unison.dir/kernel/kernel.cc.o.d"
+  "/root/repo/src/kernel/lp.cc" "src/CMakeFiles/unison.dir/kernel/lp.cc.o" "gcc" "src/CMakeFiles/unison.dir/kernel/lp.cc.o.d"
+  "/root/repo/src/kernel/nullmsg.cc" "src/CMakeFiles/unison.dir/kernel/nullmsg.cc.o" "gcc" "src/CMakeFiles/unison.dir/kernel/nullmsg.cc.o.d"
+  "/root/repo/src/kernel/sequential.cc" "src/CMakeFiles/unison.dir/kernel/sequential.cc.o" "gcc" "src/CMakeFiles/unison.dir/kernel/sequential.cc.o.d"
+  "/root/repo/src/kernel/unison.cc" "src/CMakeFiles/unison.dir/kernel/unison.cc.o" "gcc" "src/CMakeFiles/unison.dir/kernel/unison.cc.o.d"
+  "/root/repo/src/mlsim/surrogates.cc" "src/CMakeFiles/unison.dir/mlsim/surrogates.cc.o" "gcc" "src/CMakeFiles/unison.dir/mlsim/surrogates.cc.o.d"
+  "/root/repo/src/net/app.cc" "src/CMakeFiles/unison.dir/net/app.cc.o" "gcc" "src/CMakeFiles/unison.dir/net/app.cc.o.d"
+  "/root/repo/src/net/link.cc" "src/CMakeFiles/unison.dir/net/link.cc.o" "gcc" "src/CMakeFiles/unison.dir/net/link.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/CMakeFiles/unison.dir/net/network.cc.o" "gcc" "src/CMakeFiles/unison.dir/net/network.cc.o.d"
+  "/root/repo/src/net/node.cc" "src/CMakeFiles/unison.dir/net/node.cc.o" "gcc" "src/CMakeFiles/unison.dir/net/node.cc.o.d"
+  "/root/repo/src/net/queue.cc" "src/CMakeFiles/unison.dir/net/queue.cc.o" "gcc" "src/CMakeFiles/unison.dir/net/queue.cc.o.d"
+  "/root/repo/src/net/routing.cc" "src/CMakeFiles/unison.dir/net/routing.cc.o" "gcc" "src/CMakeFiles/unison.dir/net/routing.cc.o.d"
+  "/root/repo/src/net/tcp.cc" "src/CMakeFiles/unison.dir/net/tcp.cc.o" "gcc" "src/CMakeFiles/unison.dir/net/tcp.cc.o.d"
+  "/root/repo/src/net/udp.cc" "src/CMakeFiles/unison.dir/net/udp.cc.o" "gcc" "src/CMakeFiles/unison.dir/net/udp.cc.o.d"
+  "/root/repo/src/partition/fine_grained.cc" "src/CMakeFiles/unison.dir/partition/fine_grained.cc.o" "gcc" "src/CMakeFiles/unison.dir/partition/fine_grained.cc.o.d"
+  "/root/repo/src/partition/graph.cc" "src/CMakeFiles/unison.dir/partition/graph.cc.o" "gcc" "src/CMakeFiles/unison.dir/partition/graph.cc.o.d"
+  "/root/repo/src/partition/manual.cc" "src/CMakeFiles/unison.dir/partition/manual.cc.o" "gcc" "src/CMakeFiles/unison.dir/partition/manual.cc.o.d"
+  "/root/repo/src/sched/lpt.cc" "src/CMakeFiles/unison.dir/sched/lpt.cc.o" "gcc" "src/CMakeFiles/unison.dir/sched/lpt.cc.o.d"
+  "/root/repo/src/sched/metrics.cc" "src/CMakeFiles/unison.dir/sched/metrics.cc.o" "gcc" "src/CMakeFiles/unison.dir/sched/metrics.cc.o.d"
+  "/root/repo/src/sched/thread_pool.cc" "src/CMakeFiles/unison.dir/sched/thread_pool.cc.o" "gcc" "src/CMakeFiles/unison.dir/sched/thread_pool.cc.o.d"
+  "/root/repo/src/stats/digest.cc" "src/CMakeFiles/unison.dir/stats/digest.cc.o" "gcc" "src/CMakeFiles/unison.dir/stats/digest.cc.o.d"
+  "/root/repo/src/stats/flow_monitor.cc" "src/CMakeFiles/unison.dir/stats/flow_monitor.cc.o" "gcc" "src/CMakeFiles/unison.dir/stats/flow_monitor.cc.o.d"
+  "/root/repo/src/stats/profiler.cc" "src/CMakeFiles/unison.dir/stats/profiler.cc.o" "gcc" "src/CMakeFiles/unison.dir/stats/profiler.cc.o.d"
+  "/root/repo/src/topo/bcube.cc" "src/CMakeFiles/unison.dir/topo/bcube.cc.o" "gcc" "src/CMakeFiles/unison.dir/topo/bcube.cc.o.d"
+  "/root/repo/src/topo/dragonfly.cc" "src/CMakeFiles/unison.dir/topo/dragonfly.cc.o" "gcc" "src/CMakeFiles/unison.dir/topo/dragonfly.cc.o.d"
+  "/root/repo/src/topo/fat_tree.cc" "src/CMakeFiles/unison.dir/topo/fat_tree.cc.o" "gcc" "src/CMakeFiles/unison.dir/topo/fat_tree.cc.o.d"
+  "/root/repo/src/topo/lan.cc" "src/CMakeFiles/unison.dir/topo/lan.cc.o" "gcc" "src/CMakeFiles/unison.dir/topo/lan.cc.o.d"
+  "/root/repo/src/topo/spine_leaf.cc" "src/CMakeFiles/unison.dir/topo/spine_leaf.cc.o" "gcc" "src/CMakeFiles/unison.dir/topo/spine_leaf.cc.o.d"
+  "/root/repo/src/topo/torus.cc" "src/CMakeFiles/unison.dir/topo/torus.cc.o" "gcc" "src/CMakeFiles/unison.dir/topo/torus.cc.o.d"
+  "/root/repo/src/topo/wan.cc" "src/CMakeFiles/unison.dir/topo/wan.cc.o" "gcc" "src/CMakeFiles/unison.dir/topo/wan.cc.o.d"
+  "/root/repo/src/traffic/cdf.cc" "src/CMakeFiles/unison.dir/traffic/cdf.cc.o" "gcc" "src/CMakeFiles/unison.dir/traffic/cdf.cc.o.d"
+  "/root/repo/src/traffic/generator.cc" "src/CMakeFiles/unison.dir/traffic/generator.cc.o" "gcc" "src/CMakeFiles/unison.dir/traffic/generator.cc.o.d"
+  "/root/repo/src/traffic/trace.cc" "src/CMakeFiles/unison.dir/traffic/trace.cc.o" "gcc" "src/CMakeFiles/unison.dir/traffic/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

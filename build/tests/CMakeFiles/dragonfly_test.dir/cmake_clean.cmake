@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dragonfly_test.dir/dragonfly_test.cc.o"
+  "CMakeFiles/dragonfly_test.dir/dragonfly_test.cc.o.d"
+  "dragonfly_test"
+  "dragonfly_test.pdb"
+  "dragonfly_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dragonfly_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

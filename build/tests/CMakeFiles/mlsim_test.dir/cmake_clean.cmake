@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlsim_test.dir/mlsim_test.cc.o"
+  "CMakeFiles/mlsim_test.dir/mlsim_test.cc.o.d"
+  "mlsim_test"
+  "mlsim_test.pdb"
+  "mlsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

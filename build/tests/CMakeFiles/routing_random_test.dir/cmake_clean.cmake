@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_random_test.dir/routing_random_test.cc.o"
+  "CMakeFiles/routing_random_test.dir/routing_random_test.cc.o.d"
+  "routing_random_test"
+  "routing_random_test.pdb"
+  "routing_random_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_random_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
