@@ -58,7 +58,10 @@ void CalendarQueue::Resize(size_t new_buckets) {
     day_width_ps_ = std::max<int64_t>(
         1, (hi - lo) / static_cast<int64_t>(std::max<size_t>(1, all.size() / 3)));
   }
-  buckets_.assign(new_buckets, Bucket{});
+  // clear+resize rather than assign(n, Bucket{}): Events are move-only, so
+  // Bucket cannot be copy-filled.
+  buckets_.clear();
+  buckets_.resize(new_buckets);
   for (Event& e : all) {
     InsertIntoBucket(std::move(e));
   }

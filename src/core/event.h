@@ -18,15 +18,24 @@
 #ifndef UNISON_SRC_CORE_EVENT_H_
 #define UNISON_SRC_CORE_EVENT_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <tuple>
 
+#include "src/core/inline_function.h"
 #include "src/core/time.h"
 
 namespace unison {
 
-using EventFn = std::function<void()>;
+// Event callbacks live inline in the Event itself (no per-event heap
+// allocation). 128 bytes holds the largest hot-path closure — packet delivery
+// captures a ~96-byte Packet plus a Network pointer and a NodeId (the
+// construction site static-asserts this) — while small closures still move
+// cheaply because InlineFunction relocation only touches the callable's real
+// size. Oversized captures fall back to one heap allocation, counted by
+// InlineFunctionStats::alloc_fallbacks().
+inline constexpr size_t kEventFnInlineBytes = 128;
+using EventFn = InlineFunction<kEventFnInlineBytes>;
 
 // Identifies a logical process. kPublicLp is the designated LP for global
 // events (§4.2): topology changes, simulation stop, progress reporting.

@@ -2,64 +2,147 @@
 
 namespace unison {
 
+uint32_t FutureEventList::PlaceInSlot(Event&& event) {
+  if (!free_slots_.empty()) {
+    const uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = std::move(event);
+    return slot;
+  }
+  const uint32_t slot = static_cast<uint32_t>(slots_.size());
+  slots_.push_back(std::move(event));
+  return slot;
+}
+
 void FutureEventList::Push(Event event) {
-  heap_.push_back(std::move(event));
+  const EventKey key = event.key;
+  const uint32_t slot = PlaceInSlot(std::move(event));
+  heap_.push_back(HeapNode{key, slot});
   SiftUp(heap_.size() - 1);
 }
 
+void FutureEventList::PushAll(std::vector<Event>& src) {
+  if (src.empty()) {
+    return;
+  }
+  const size_t old_size = heap_.size();
+  heap_.reserve(old_size + src.size());
+  for (Event& ev : src) {
+    const EventKey key = ev.key;
+    const uint32_t slot = PlaceInSlot(std::move(ev));
+    heap_.push_back(HeapNode{key, slot});
+  }
+  src.clear();
+  const size_t n = heap_.size();
+  const size_t added = n - old_size;
+  // Per-element sift-up worst case is added*log2(n) node copies, but DES
+  // arrivals carry future timestamps and mostly settle near the leaves, so
+  // the observed cost is close to `added`. A bottom-up Floyd rebuild always
+  // pays O(n); only take it when the batch rivals the existing heap and the
+  // worst case could actually bite. Sifting the new elements in index order
+  // is exactly repeated insertion: when SiftUp(i) runs, the prefix [0, i) is
+  // already a valid heap.
+  if (added < old_size) {
+    for (size_t i = old_size; i < n; ++i) {
+      SiftUp(i);
+    }
+  } else {
+    for (size_t i = n / 2; i-- > 0;) {
+      SiftDown(i);
+    }
+  }
+}
+
 Event FutureEventList::Pop() {
-  Event top = std::move(heap_.front());
-  heap_.front() = std::move(heap_.back());
+  const uint32_t slot = heap_.front().slot;
+  Event out = std::move(slots_[slot]);
+  free_slots_.push_back(slot);
+  heap_.front() = heap_.back();
   heap_.pop_back();
   if (!heap_.empty()) {
     SiftDown(0);
   }
-  return top;
+  return out;
 }
 
 Time FutureEventList::NextTimestamp() const {
   return heap_.empty() ? Time::Max() : heap_.front().key.ts;
 }
 
-size_t FutureEventList::CountBefore(Time bound) const {
+void FutureEventList::Reserve(size_t capacity) {
+  heap_.reserve(capacity);
+  slots_.reserve(capacity);
+  free_slots_.reserve(capacity);
+}
+
+void FutureEventList::Clear() {
+  heap_.clear();
+  slots_.clear();
+  free_slots_.clear();
+}
+
+size_t FutureEventList::CountBefore(Time bound, size_t cap) const {
   size_t n = 0;
-  for (const Event& e : heap_) {
-    if (e.key.ts < bound) {
-      ++n;
-    }
+  if (!heap_.empty() && cap > 0) {
+    CountBeforeFrom(0, bound, cap, &n);
   }
   return n;
 }
 
-void FutureEventList::SiftUp(size_t i) {
-  while (i > 0) {
-    size_t parent = (i - 1) / 2;
-    if (!(heap_[i].key < heap_[parent].key)) {
-      break;
-    }
-    std::swap(heap_[i], heap_[parent]);
-    i = parent;
+void FutureEventList::CountBeforeFrom(size_t i, Time bound, size_t cap,
+                                      size_t* n) const {
+  // Recursion depth is bounded by the heap height (the array is a complete
+  // binary tree), so the stack stays O(log n) even for huge FELs.
+  if (i >= heap_.size() || *n >= cap || !(heap_[i].key.ts < bound)) {
+    return;
   }
+  ++*n;
+  CountBeforeFrom(2 * i + 1, bound, cap, n);
+  CountBeforeFrom(2 * i + 2, bound, cap, n);
+}
+
+void FutureEventList::SiftUp(size_t i) {
+  if (i == 0) {
+    return;
+  }
+  size_t parent = (i - 1) / 2;
+  if (!(heap_[i].key < heap_[parent].key)) {
+    return;
+  }
+  const HeapNode moving = heap_[i];
+  do {
+    heap_[i] = heap_[parent];
+    i = parent;
+    parent = (i - 1) / 2;
+  } while (i > 0 && moving.key < heap_[parent].key);
+  heap_[i] = moving;
 }
 
 void FutureEventList::SiftDown(size_t i) {
   const size_t n = heap_.size();
-  for (;;) {
-    size_t smallest = i;
-    const size_t l = 2 * i + 1;
-    const size_t r = 2 * i + 2;
-    if (l < n && heap_[l].key < heap_[smallest].key) {
-      smallest = l;
-    }
-    if (r < n && heap_[r].key < heap_[smallest].key) {
-      smallest = r;
-    }
-    if (smallest == i) {
-      return;
-    }
-    std::swap(heap_[i], heap_[smallest]);
-    i = smallest;
+  size_t child = 2 * i + 1;
+  if (child >= n) {
+    return;
   }
+  if (child + 1 < n && heap_[child + 1].key < heap_[child].key) {
+    ++child;
+  }
+  if (!(heap_[child].key < heap_[i].key)) {
+    return;
+  }
+  const HeapNode moving = heap_[i];
+  do {
+    heap_[i] = heap_[child];
+    i = child;
+    child = 2 * i + 1;
+    if (child >= n) {
+      break;
+    }
+    if (child + 1 < n && heap_[child + 1].key < heap_[child].key) {
+      ++child;
+    }
+  } while (heap_[child].key < moving.key);
+  heap_[i] = moving;
 }
 
 }  // namespace unison

@@ -3,10 +3,22 @@
 // thread currently executing that LP touches it, so no synchronization is
 // needed here (phase barriers in the kernels provide the happens-before
 // edges for cross-round handoff).
+//
+// Storage is split in two so the heap never moves whole events:
+//  - slots_: a slab of Events with a free list. An event is moved in once at
+//    Push and out once at Pop; between those it never moves again. Freed
+//    slots are reused LIFO, so the steady state allocates nothing and the
+//    hottest slot stays cache-resident.
+//  - heap_: a binary heap of {EventKey, slot} nodes — 40 trivially-copyable
+//    bytes. Sift operations shuffle these nodes, not the fat events (an
+//    Event carries its callback capture inline, ~180 bytes), which makes a
+//    sift level one small copy instead of a type-erased relocation.
 #ifndef UNISON_SRC_CORE_FEL_H_
 #define UNISON_SRC_CORE_FEL_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <limits>
 #include <utility>
 #include <vector>
 
@@ -16,7 +28,16 @@ namespace unison {
 
 class FutureEventList {
  public:
+  static constexpr size_t kNoCap = std::numeric_limits<size_t>::max();
+
   void Push(Event event);
+
+  // Bulk insert for the receiving phase: moves every event out of `src`
+  // (which is cleared but keeps its capacity — mailbox buffers are reused
+  // each round), then restores the heap property in one pass. Equivalent to
+  // Push per event but with a single reserve, and a Floyd rebuild instead of
+  // per-event sifts when the batch is large relative to the heap.
+  void PushAll(std::vector<Event>& src);
 
   // Precondition: !Empty().
   Event Pop();
@@ -30,20 +51,39 @@ class FutureEventList {
   bool Empty() const { return heap_.empty(); }
   size_t Size() const { return heap_.size(); }
 
-  // Number of queued events with timestamp strictly below `bound`; linear
-  // scan, used by the ByPendingEventCount scheduling metric where only the
-  // partial order of LP sizes matters.
-  size_t CountBefore(Time bound) const;
+  // Pre-sizes heap nodes and the event slab (setup-time hint; avoids growth
+  // reallocations during the first simulation rounds).
+  void Reserve(size_t capacity);
 
-  void Clear() { heap_.clear(); }
+  // Number of queued events with timestamp strictly below `bound`, saturated
+  // at `cap`. Exploits the heap order: a subtree whose root is >= bound
+  // cannot contain anything below it, so the traversal only visits events
+  // that actually count (plus their frontier) instead of scanning the whole
+  // array. Used by the ByPendingEventCount scheduling metric, which caps the
+  // count because LPT only needs the partial order of LP sizes.
+  size_t CountBefore(Time bound, size_t cap = kNoCap) const;
+
+  void Clear();
 
  private:
-  // Manual binary heap rather than std::priority_queue so that Pop can move
-  // the callback out instead of copying it.
+  struct HeapNode {
+    EventKey key;
+    uint32_t slot;
+  };
+
+  // Hole-based sifts: the moving node is held in a temporary while
+  // ancestors/descendants shift into the hole — one copy per level instead
+  // of the three a swap chain costs.
   void SiftUp(size_t i);
   void SiftDown(size_t i);
 
-  std::vector<Event> heap_;
+  uint32_t PlaceInSlot(Event&& event);
+
+  void CountBeforeFrom(size_t i, Time bound, size_t cap, size_t* n) const;
+
+  std::vector<HeapNode> heap_;
+  std::vector<Event> slots_;
+  std::vector<uint32_t> free_slots_;
 };
 
 }  // namespace unison

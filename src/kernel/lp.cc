@@ -29,19 +29,32 @@ uint64_t Lp::ProcessUntil(Time bound) {
 uint64_t Lp::DrainInboxes() {
   uint64_t received = 0;
   for (Outbox* box : inboxes_) {
-    for (Event& ev : box->events) {
-      Insert(std::move(ev));
-      ++received;
+    if (box->events.empty()) {
+      continue;
     }
-    box->events.clear();
+    received += box->events.size();
+    if (!deterministic_) {
+      RewriteArrivalKeys(box->events);
+    }
+    fel_.PushAll(box->events);  // Clears the inbox, keeping its capacity.
   }
   if (!overflow_.EmptyUnlocked()) {
-    for (Event& ev : overflow_.Drain()) {
-      Insert(std::move(ev));
-      ++received;
+    std::vector<Event> got = overflow_.Drain();
+    received += got.size();
+    if (!deterministic_) {
+      RewriteArrivalKeys(got);
     }
+    fel_.PushAll(got);
   }
   return received;
+}
+
+void Lp::RewriteArrivalKeys(std::vector<Event>& events) {
+  for (Event& ev : events) {
+    ev.key.sender_ts = Time::Zero();
+    ev.key.sender_node = id_;
+    ev.key.seq = arrival_seq_++;
+  }
 }
 
 }  // namespace unison

@@ -71,18 +71,20 @@ class Lp {
   // --- Mailbox wiring (set up by the kernels) ---
 
   // Returns the outbox from this LP to `target`, or nullptr if none wired.
+  // O(1): a dense LpId-indexed table maintained at wiring time — this lookup
+  // is on the path of every cross-LP send, where the old linear walk over
+  // outboxes_ scaled with the LP's degree.
   Outbox* FindOutbox(LpId target) {
-    for (auto& box : outboxes_) {
-      if (box->target == target) {
-        return box.get();
-      }
-    }
-    return nullptr;
+    return target < outbox_index_.size() ? outbox_index_[target] : nullptr;
   }
   // Heap-allocated so inbox registrations on the target stay valid when more
   // outboxes are wired later (dynamic topology changes add channels).
   Outbox* AddOutbox(LpId target) {
     outboxes_.push_back(std::make_unique<Outbox>(Outbox{target, {}}));
+    if (outbox_index_.size() <= target) {
+      outbox_index_.resize(target + 1, nullptr);
+    }
+    outbox_index_[target] = outboxes_.back().get();
     return outboxes_.back().get();
   }
   std::vector<std::unique_ptr<Outbox>>& outboxes() { return outboxes_; }
@@ -91,7 +93,8 @@ class Lp {
   void AddInbox(Outbox* box) { inboxes_.push_back(box); }
   void ClearInboxes() { inboxes_.clear(); }
 
-  // Receiving phase: moves all mailbox events into the FEL.
+  // Receiving phase: moves all mailbox events into the FEL via bulk PushAll
+  // (one reserve + one sift pass per inbox instead of per-event pushes).
   // Returns the number of events received.
   uint64_t DrainInboxes();
 
@@ -113,6 +116,10 @@ class Lp {
   }
 
  private:
+  // Applies the non-deterministic (insertion-order) key rewrite of Insert to
+  // a whole batch before it is bulk-pushed.
+  void RewriteArrivalKeys(std::vector<Event>& events);
+
   const LpId id_;
   const bool deterministic_;
   Time now_;
@@ -120,6 +127,7 @@ class Lp {
   uint64_t arrival_seq_ = 0;
   FutureEventList fel_;
   std::vector<std::unique_ptr<Outbox>> outboxes_;
+  std::vector<Outbox*> outbox_index_;  // Dense LpId -> Outbox* lookup.
   std::vector<Outbox*> inboxes_;
   OverflowBox overflow_;
 

@@ -31,10 +31,14 @@ void Device::StartTransmit(Packet pkt) {
   // the event always lands beyond the receiver's current window.
   Network* const net = net_;
   const NodeId peer = peer_;
-  net_->sim().ScheduleOnNode(peer, serialization + delay_,
-                             [net, peer, pkt = std::move(pkt)]() mutable {
-                               net->node(peer).Receive(std::move(pkt));
-                             });
+  auto deliver = [net, peer, pkt = std::move(pkt)]() mutable {
+    net->node(peer).Receive(std::move(pkt));
+  };
+  // The per-packet closure is the hot path the event inline buffer is sized
+  // for; it must never take the heap-allocation fallback.
+  static_assert(EventFn::FitsInline<decltype(deliver)>(),
+                "packet delivery closure must fit the event inline buffer");
+  net_->sim().ScheduleOnNode(peer, serialization + delay_, std::move(deliver));
 
   // Local completion: start on the next queued packet.
   net_->sim().Schedule(serialization, [this] { TransmitComplete(); });

@@ -20,6 +20,7 @@
 #define UNISON_SRC_NET_NETWORK_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 

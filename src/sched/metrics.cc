@@ -6,7 +6,7 @@ void EstimateByPendingEvents(const std::vector<std::unique_ptr<Lp>>& lps, Time w
                              std::vector<uint64_t>* cost) {
   cost->resize(lps.size());
   for (size_t i = 0; i < lps.size(); ++i) {
-    (*cost)[i] = lps[i]->fel().CountBefore(window);
+    (*cost)[i] = lps[i]->fel().CountBefore(window, kPendingCountCap);
   }
 }
 

@@ -4,7 +4,10 @@
 //
 //  - ByPendingEventCount: events already queued inside the next window. Most
 //    packet events are scheduled exactly one lookahead ahead, so they land in
-//    the next round. Linear in FEL size.
+//    the next round. The count uses the FEL's heap-order-aware traversal and
+//    saturates at kPendingCountCap — LPT only needs the partial order of LP
+//    sizes, and any LP with >= the cap pending is simply "huge" — so a
+//    resort no longer scans every queued event in the simulation.
 //  - ByLastRoundTime: measured processing time of the previous round.
 //    Constant time, and more accurate thanks to the temporal locality of
 //    network simulation (Fig. 13a); the default when a high-resolution clock
@@ -12,6 +15,7 @@
 #ifndef UNISON_SRC_SCHED_METRICS_H_
 #define UNISON_SRC_SCHED_METRICS_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -20,6 +24,9 @@
 #include "src/kernel/lp.h"
 
 namespace unison {
+
+// Saturation bound for per-LP pending-event counts (see file comment).
+inline constexpr size_t kPendingCountCap = 1024;
 
 // Fills `cost[i]` with the estimate for LP i.
 //  - metric_is_pending: use FEL counts below `window`.

@@ -65,15 +65,15 @@ TEST(CalendarQueue, AgreesWithBinaryHeapUnderMixedWorkload) {
 TEST(CalendarQueue, TieBreaksByFullKey) {
   CalendarQueue q;
   // Same timestamp, different secondary fields.
-  Event a{EventKey{Time::Picoseconds(10), Time::Picoseconds(5), 2, 7}, kNoNode, [] {}};
-  Event b{EventKey{Time::Picoseconds(10), Time::Picoseconds(3), 9, 1}, kNoNode, [] {}};
-  Event c{EventKey{Time::Picoseconds(10), Time::Picoseconds(3), 4, 2}, kNoNode, [] {}};
-  q.Push(a);
-  q.Push(b);
-  q.Push(c);
-  EXPECT_EQ(q.Pop().key, c.key);  // Smallest sender_ts, then lp.
-  EXPECT_EQ(q.Pop().key, b.key);
-  EXPECT_EQ(q.Pop().key, a.key);
+  const EventKey ka{Time::Picoseconds(10), Time::Picoseconds(5), 2, 7};
+  const EventKey kb{Time::Picoseconds(10), Time::Picoseconds(3), 9, 1};
+  const EventKey kc{Time::Picoseconds(10), Time::Picoseconds(3), 4, 2};
+  q.Push(Event{ka, kNoNode, [] {}});
+  q.Push(Event{kb, kNoNode, [] {}});
+  q.Push(Event{kc, kNoNode, [] {}});
+  EXPECT_EQ(q.Pop().key, kc);  // Smallest sender_ts, then lp.
+  EXPECT_EQ(q.Pop().key, kb);
+  EXPECT_EQ(q.Pop().key, ka);
 }
 
 TEST(CalendarQueue, HandlesClusteredThenSparseTimestamps) {

@@ -5,8 +5,12 @@
 #include <cmath>
 #include <vector>
 
+#include <memory>
+#include <utility>
+
 #include "src/core/event.h"
 #include "src/core/fel.h"
+#include "src/core/inline_function.h"
 #include "src/core/rng.h"
 #include "src/core/time.h"
 
@@ -79,6 +83,121 @@ TEST(Rng, UniformBelowIsUnbiased) {
   }
 }
 
+// --- InlineFunction: the event callback storage ---
+
+// Counts construction/destruction/move traffic of a captured payload.
+struct LifeTracker {
+  int* ctors;
+  int* dtors;
+  int* moves;
+  LifeTracker(int* c, int* d, int* m) : ctors(c), dtors(d), moves(m) { ++*ctors; }
+  LifeTracker(LifeTracker&& other) noexcept
+      : ctors(other.ctors), dtors(other.dtors), moves(other.moves) {
+    ++*ctors;
+    ++*moves;
+  }
+  LifeTracker(const LifeTracker& other)
+      : ctors(other.ctors), dtors(other.dtors), moves(other.moves) {
+    ++*ctors;
+  }
+  ~LifeTracker() { ++*dtors; }
+};
+
+TEST(InlineFunction, InvokesAndReportsEngagement) {
+  InlineFunction<64> empty;
+  EXPECT_FALSE(static_cast<bool>(empty));
+  int hits = 0;
+  InlineFunction<64> fn = [&hits] { ++hits; };
+  EXPECT_TRUE(static_cast<bool>(fn));
+  fn();
+  fn();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFunction, MoveTransfersOwnershipAndEmptiesSource) {
+  int hits = 0;
+  InlineFunction<64> a = [&hits] { ++hits; };
+  InlineFunction<64> b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));
+  EXPECT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+
+  InlineFunction<64> c;
+  c = std::move(b);
+  EXPECT_FALSE(static_cast<bool>(b));
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFunction, HoldsMoveOnlyCallables) {
+  // std::function rejects move-only captures; InlineFunction must not.
+  auto p = std::make_unique<int>(41);
+  int got = 0;
+  InlineFunction<64> fn = [p = std::move(p), &got] { got = *p + 1; };
+  InlineFunction<64> moved = std::move(fn);
+  moved();
+  EXPECT_EQ(got, 42);
+}
+
+TEST(InlineFunction, DestroysPayloadExactlyOnce) {
+  int ctors = 0;
+  int dtors = 0;
+  int moves = 0;
+  {
+    InlineFunction<64> a = [t = LifeTracker(&ctors, &dtors, &moves)] {
+      (void)t;
+    };
+    InlineFunction<64> b = std::move(a);       // Relocates the payload.
+    InlineFunction<64> c;
+    c = std::move(b);                          // And again via assignment.
+    c();
+  }
+  EXPECT_EQ(ctors, dtors);  // Every constructed payload destroyed...
+  EXPECT_GT(dtors, 0);      // ...and the payload existed at all.
+}
+
+TEST(InlineFunction, OversizeCaptureFallsBackToHeapAndCounts) {
+  struct Big {
+    unsigned char blob[200];
+  };
+  static_assert(!InlineFunction<64>::FitsInline<Big>());
+  InlineFunctionStats::ResetAllocFallbacks();
+
+  int ctors = 0;
+  int dtors = 0;
+  int moves = 0;
+  {
+    Big big{};
+    big.blob[0] = 9;
+    InlineFunction<64> fn =
+        [big, t = LifeTracker(&ctors, &dtors, &moves), &ctors] {
+          ctors += big.blob[0];  // Arbitrary observable effect.
+        };
+    EXPECT_EQ(InlineFunctionStats::alloc_fallbacks(), 1u);
+    // Heap-boxed payload: moves shuffle the box pointer, not the payload.
+    const int moves_before = moves;
+    InlineFunction<64> other = std::move(fn);
+    EXPECT_EQ(moves, moves_before);
+    const int base = ctors;
+    other();
+    EXPECT_EQ(ctors, base + 9);
+  }
+  EXPECT_EQ(ctors - 9, dtors);  // (ctors was bumped by the call effect.)
+  InlineFunctionStats::ResetAllocFallbacks();
+}
+
+TEST(InlineFunction, SmallCapturesNeverTouchTheFallbackCounter) {
+  InlineFunctionStats::ResetAllocFallbacks();
+  uint64_t sum = 0;
+  for (int i = 0; i < 1000; ++i) {
+    EventFn fn = [&sum, i] { sum += static_cast<uint64_t>(i); };
+    fn();
+  }
+  EXPECT_EQ(sum, 999u * 1000u / 2u);
+  EXPECT_EQ(InlineFunctionStats::alloc_fallbacks(), 0u);
+}
+
 TEST(EventKey, TotalOrderFollowsTieBreakRule) {
   // Primary: timestamp; then sender clock, sender LP, sequence (§5.2).
   const EventKey base{Time::Microseconds(5), Time::Microseconds(2), 3, 10};
@@ -135,6 +254,64 @@ TEST(FutureEventList, CountBeforeMatchesLinearScan) {
     fel.Push(Event{EventKey{ts, Time::Zero(), 0, static_cast<uint64_t>(i)}, kNoNode, [] {}});
   }
   EXPECT_EQ(fel.CountBefore(bound), static_cast<size_t>(below));
+}
+
+TEST(FutureEventList, CountBeforeSaturatesAtCap) {
+  FutureEventList fel;
+  for (int i = 0; i < 100; ++i) {
+    fel.Push(Event{EventKey{Time::Picoseconds(i), Time::Zero(), 0,
+                            static_cast<uint64_t>(i)},
+                   kNoNode, [] {}});
+  }
+  const Time bound = Time::Picoseconds(80);
+  EXPECT_EQ(fel.CountBefore(bound), 80u);
+  EXPECT_EQ(fel.CountBefore(bound, 10), 10u);
+  EXPECT_EQ(fel.CountBefore(bound, 0), 0u);
+  EXPECT_EQ(fel.CountBefore(Time::Picoseconds(1000), 100), 100u);
+}
+
+TEST(FutureEventList, PushAllMatchesIndividualPushes) {
+  // Both batch regimes: small batches (per-element sift-up) and a batch
+  // larger than the existing heap (Floyd rebuild).
+  for (const size_t batch : {7u, 500u}) {
+    FutureEventList via_push;
+    FutureEventList via_bulk;
+    Rng rng(31, 0);
+    uint64_t seq = 0;
+    std::vector<Event> inbox;
+    for (int round = 0; round < 4; ++round) {
+      inbox.clear();
+      for (size_t i = 0; i < batch; ++i) {
+        const EventKey k{Time::Picoseconds(static_cast<int64_t>(rng.NextU64Below(300))),
+                         Time::Zero(), static_cast<NodeId>(seq % 5), seq};
+        ++seq;
+        via_push.Push(Event{k, kNoNode, [] {}});
+        inbox.push_back(Event{k, kNoNode, [] {}});
+      }
+      via_bulk.PushAll(inbox);
+      EXPECT_TRUE(inbox.empty());  // Drained, ready for reuse.
+    }
+    ASSERT_EQ(via_bulk.Size(), via_push.Size());
+    while (!via_push.Empty()) {
+      EXPECT_EQ(via_bulk.Pop().key, via_push.Pop().key);
+    }
+  }
+}
+
+TEST(FutureEventList, PushAllRunsPendingCallbacks) {
+  FutureEventList fel;
+  int sum = 0;
+  std::vector<Event> batch;
+  for (int i = 0; i < 50; ++i) {
+    batch.push_back(Event{EventKey{Time::Picoseconds(i), Time::Zero(), 0,
+                                   static_cast<uint64_t>(i)},
+                          kNoNode, [&sum, i] { sum += i; }});
+  }
+  fel.PushAll(batch);
+  while (!fel.Empty()) {
+    fel.Pop().fn();
+  }
+  EXPECT_EQ(sum, 49 * 50 / 2);
 }
 
 TEST(FutureEventList, CallbackMovesNotCopies) {

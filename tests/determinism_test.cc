@@ -59,6 +59,25 @@ TEST(Determinism, SeedChangesResults) {
   EXPECT_NE(a.fingerprint, b.fingerprint);
 }
 
+TEST(Determinism, PerSeedDigestsMatchSequentialAcrossThreadCounts) {
+  // Fig. 11 property on the allocation-free event path: for every seed, the
+  // parallel kernel's digest must be bit-identical to the sequential
+  // kernel's at any thread count. Events now ride move-only inline-buffer
+  // closures through mailboxes and the slab FEL, so this pins down that the
+  // new transfer path reorders nothing.
+  for (const uint64_t seed : {1ull, 2ull, 3ull}) {
+    const RunOutcome seq = RunScenario(KernelType::kSequential, 1, true, seed);
+    for (const uint32_t threads : {1u, 2u, 4u}) {
+      const RunOutcome par =
+          RunScenario(KernelType::kUnison, threads, true, seed);
+      EXPECT_EQ(par.events, seq.events)
+          << "seed=" << seed << " threads=" << threads;
+      EXPECT_EQ(par.fingerprint, seq.fingerprint)
+          << "seed=" << seed << " threads=" << threads;
+    }
+  }
+}
+
 TEST(Determinism, SimultaneousEventOrderIsPartitionIndependent) {
   // Regression: with the paper's literal LP-id tie-break, a heavier workload
   // (more simultaneous cross-LP events) produced slightly different results

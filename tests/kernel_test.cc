@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <vector>
 
 #include "src/kernel/nullmsg.h"
@@ -189,6 +190,58 @@ TEST(KernelMechanics, EmptySimulationTerminates) {
     kernel->Run(Time::Seconds(1.0));
     EXPECT_EQ(kernel->processed_events(), 0u);
   }
+}
+
+TEST(KernelMechanics, OverflowBoxDeliversToUnwiredLpUntilRewire) {
+  // Four nodes, links only 0-1 and 2-3: the fine-grained partition cuts both
+  // (median delay) and yields one LP per node, with no channel between LP0
+  // and LP3. A cross-LP send between them must take the locked OverflowBox,
+  // and a topology change wiring 0-3 must switch later sends to a real
+  // outbox. The payloads capture a unique_ptr, so every hop — outbox push,
+  // overflow push, inbox drain, FEL insert — handles move-only events.
+  TopoGraph graph;
+  graph.num_nodes = 4;
+  graph.edges.push_back(TopoEdge{0, 1, Time::Microseconds(1), true});
+  graph.edges.push_back(TopoEdge{2, 3, Time::Microseconds(1), true});
+
+  KernelConfig kc;
+  kc.type = KernelType::kUnison;
+  kc.threads = 2;
+  auto kernel = MakeKernel(kc);
+  kernel->Setup(graph, FineGrainedPartition(graph));
+  ASSERT_EQ(kernel->num_lps(), 4u);
+  ASSERT_EQ(kernel->LpOfNode(3), 3u);
+  ASSERT_EQ(kernel->lp(0)->FindOutbox(3), nullptr);
+
+  Kernel* kp = kernel.get();
+  std::atomic<int> delivered{0};
+  auto send_to_node3 = [kp, &delivered](Time at, int value) {
+    auto payload = std::make_unique<int>(value);
+    kp->ScheduleOnNode(3, at, [&delivered, payload = std::move(payload)] {
+      delivered += *payload;
+    });
+  };
+
+  // Executes on LP0; no outbox to LP3 exists yet, so this send can only
+  // arrive through LP3's overflow box.
+  kernel->ScheduleOnNode(0, Time::Microseconds(1), [&send_to_node3] {
+    send_to_node3(Time::Microseconds(3), 7);
+  });
+
+  // Mid-run topology change: link 0-3 appears and the kernel rewires.
+  kernel->ScheduleGlobal(Time::Microseconds(5), [kp, &graph] {
+    graph.edges.push_back(TopoEdge{0, 3, Time::Microseconds(1), true});
+    kp->NotifyTopologyChanged();
+  });
+
+  // After the rewire the same route rides the wired outbox fast path.
+  kernel->ScheduleOnNode(0, Time::Microseconds(6), [&send_to_node3] {
+    send_to_node3(Time::Microseconds(8), 100);
+  });
+
+  kernel->Run(Time::Milliseconds(1));
+  EXPECT_EQ(delivered.load(), 107);
+  EXPECT_NE(kernel->lp(0)->FindOutbox(3), nullptr);
 }
 
 TEST(KernelMechanics, DisconnectedGraphRunsIndependently) {
