@@ -153,6 +153,7 @@ void PartD(const FatTreeScenario& base) {
 int main(int argc, char** argv) {
   const bool full = HasFlag(argc, argv, "--full");
   const std::string part = GetOpt(argc, argv, "--part", "all");
+  SetTraceFromArgs(argc, argv);
 
   FatTreeScenario base;
   base.k = full ? 8 : 4;

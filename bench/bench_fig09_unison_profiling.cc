@@ -39,6 +39,7 @@ UnisonModelRun RunUnisonModel(const FatTreeScenario& sc, uint32_t workers) {
 int main(int argc, char** argv) {
   const bool full = HasFlag(argc, argv, "--full");
   const std::string part = GetOpt(argc, argv, "--part", "all");
+  SetTraceFromArgs(argc, argv);
 
   FatTreeScenario base;
   base.k = full ? 8 : 4;

@@ -48,6 +48,16 @@ inline std::string GetOpt(int argc, char** argv, const char* key,
   return fallback;
 }
 
+// Run-trace export knob shared by the benches: when set (from --trace=PATH),
+// every InstrumentedRun enables the kernel run trace and dumps it as JSON to
+// PATH (plus PATH.csv), overwriting earlier passes — the machine-readable
+// sibling of the BENCH_*.json artifacts.
+inline std::string g_trace_path;  // Empty = tracing off.
+
+inline void SetTraceFromArgs(int argc, char** argv) {
+  g_trace_path = GetOpt(argc, argv, "--trace", "");
+}
+
 inline std::string Fmt(const char* fmt, ...) {
   char buf[256];
   va_list args;
@@ -116,11 +126,20 @@ inline TraceResult InstrumentedRun(SimConfig cfg,
   cfg.kernel.threads = 1;
   cfg.profile = true;
   cfg.profile_per_lp = true;
+  cfg.trace = !g_trace_path.empty();
   Network net(cfg);
   build(net);
   net.Finalize();
   const uint64_t t0 = Profiler::NowNs();
   net.Run(stop);
+  if (cfg.trace) {
+    if (net.run_trace().WriteJsonFile(g_trace_path) &&
+        net.run_trace().WriteCsvFile(g_trace_path + ".csv")) {
+      std::printf("[trace] wrote %s (+.csv)\n", g_trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "[trace] FAILED to write %s\n", g_trace_path.c_str());
+    }
+  }
   TraceResult out;
   out.wall_seconds = static_cast<double>(Profiler::NowNs() - t0) * 1e-9;
   out.trace = net.profiler().MergedLpRounds();

@@ -10,10 +10,15 @@ void BarrierKernel::Run(Time stop_time) {
   stop_ = stop_time;
   done_ = false;
   profiling_ = profiler_ != nullptr && profiler_->enabled;
+  tracing_ = trace_ != nullptr && trace_->enabled;
   const uint32_t ranks = num_lps();
   if (profiling_) {
     profiler_->BeginRun(ranks);
   }
+  if (tracing_) {
+    trace_->BeginRun("barrier", ranks, num_lps());
+  }
+  const uint64_t run_t0 = Profiler::NowNs();
   barrier_ = std::make_unique<SpinBarrier>(ranks);
   rank_events_.assign(ranks, 0);
   next_min_.Reset();
@@ -25,6 +30,7 @@ void BarrierKernel::Run(Time stop_time) {
   for (uint64_t n : rank_events_) {
     processed_events_ += n;
   }
+  FinishRun("barrier", ranks, Profiler::NowNs() - run_t0);
 }
 
 void BarrierKernel::RankLoop(uint32_t rank) {
@@ -38,10 +44,15 @@ void BarrierKernel::RankLoop(uint32_t rank) {
     // All-reduce the minimum next-event timestamp (MPI_Allreduce analogue).
     next_min_.Update(lp->fel().NextTimestamp().ps());
     uint64_t t = timing ? Profiler::NowNs() : 0;
+    // Prologue waits are buffered and attributed to the round only once the
+    // done check passes: on the termination iteration there is no round row
+    // to charge (they still land in the executor total).
+    uint64_t prologue_sync_ns = 0;
     barrier_->Arrive();
     if (timing) {
       const uint64_t now = Profiler::NowNs();
       local.synchronization_ns += now - t;
+      prologue_sync_ns += now - t;
       t = now;
     }
     if (rank == 0) {
@@ -62,18 +73,28 @@ void BarrierKernel::RankLoop(uint32_t rank) {
         if (profiling_) {
           profiler_->BeginRound();
         }
+        if (tracing_) {
+          // No live cross-rank event counter in this baseline: LiveEvents()
+          // reports the previous run's total, so events_before stays 0.
+          trace_->BeginRound(static_cast<uint32_t>(rounds), lbts_, window_, 0);
+        }
       }
     }
     barrier_->Arrive();
     if (timing) {
       const uint64_t now = Profiler::NowNs();
       local.synchronization_ns += now - t;
+      prologue_sync_ns += now - t;
       t = now;
     }
     if (done_) {
       break;
     }
+    const uint32_t round = static_cast<uint32_t>(rounds);
     ++rounds;
+    if (profiling_) {
+      profiler_->AddRoundSync(rank, round, prologue_sync_ns);
+    }
 
     // Process this rank's events inside the window.
     const uint64_t n = lp->ProcessUntil(window_);
@@ -82,10 +103,10 @@ void BarrierKernel::RankLoop(uint32_t rank) {
       const uint64_t now = Profiler::NowNs();
       local.processing_ns += now - t;
       if (profiling_) {
-        profiler_->AddRoundProcessing(rank, now - t);
+        profiler_->AddRoundProcessing(rank, round, now - t);
         if (profiler_->per_lp) {
-          profiler_->AddLpRound(rank, LpRoundCost{static_cast<uint32_t>(rounds - 1),
-                                                  lp->id(), static_cast<uint32_t>(n),
+          profiler_->AddLpRound(rank, LpRoundCost{round, lp->id(),
+                                                  static_cast<uint32_t>(n),
                                                   static_cast<uint32_t>(n), now - t});
         }
       }
@@ -97,17 +118,33 @@ void BarrierKernel::RankLoop(uint32_t rank) {
     // per rank, with the same observable effect. The surrounding barriers
     // keep the other ranks' FELs quiescent while rank 0 inserts into them.
     barrier_->Arrive();
+    if (timing) {
+      const uint64_t now = Profiler::NowNs();
+      local.synchronization_ns += now - t;
+      if (profiling_) {
+        profiler_->AddRoundSync(rank, round, now - t);
+      }
+      t = now;
+    }
     if (rank == 0) {
       events += RunGlobalEvents(lbts_, stop_);
+      if (timing) {
+        const uint64_t now = Profiler::NowNs();
+        // Global-event time is rank 0's processing; previously it fell into
+        // an unmeasured gap between the two phase-2 barriers.
+        local.processing_ns += now - t;
+        if (profiling_) {
+          profiler_->AddRoundProcessing(rank, round, now - t);
+        }
+        t = now;
+      }
     }
-
-    uint64_t s0 = timing ? Profiler::NowNs() : 0;
     barrier_->Arrive();
     if (timing) {
       const uint64_t now = Profiler::NowNs();
-      local.synchronization_ns += now - s0;
+      local.synchronization_ns += now - t;
       if (profiling_) {
-        profiler_->AddRoundSync(rank, now - s0);
+        profiler_->AddRoundSync(rank, round, now - t);
       }
       t = now;
     }
@@ -121,7 +158,11 @@ void BarrierKernel::RankLoop(uint32_t rank) {
     }
     barrier_->Arrive();
     if (timing) {
-      local.synchronization_ns += Profiler::NowNs() - t;
+      const uint64_t now = Profiler::NowNs();
+      local.synchronization_ns += now - t;
+      if (profiling_) {
+        profiler_->AddRoundSync(rank, round, now - t);
+      }
     }
   }
 

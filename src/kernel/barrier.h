@@ -42,6 +42,7 @@ class BarrierKernel : public Kernel {
   AtomicTimeMin next_min_;
   std::vector<uint64_t> rank_events_;
   bool profiling_ = false;
+  bool tracing_ = false;
 };
 
 }  // namespace unison

@@ -47,11 +47,16 @@ void HybridKernel::Run(Time stop_time) {
   stop_ = stop_time;
   done_ = false;
   profiling_ = profiler_ != nullptr && profiler_->enabled;
+  tracing_ = trace_ != nullptr && trace_->enabled;
   timing_ = profiling_ || config_.metric == SchedulingMetric::kByLastRoundTime;
   const uint32_t workers = ranks_ * lanes_;
   if (profiling_) {
     profiler_->BeginRun(workers);
   }
+  if (tracing_) {
+    trace_->BeginRun("hybrid", workers, num_lps());
+  }
+  const uint64_t run_t0 = Profiler::NowNs();
   barrier_ = std::make_unique<SpinBarrier>(workers);
   worker_events_.assign(workers, 0);
 
@@ -68,6 +73,7 @@ void HybridKernel::Run(Time stop_time) {
     processed_events_ += n;
   }
   rounds_ = round_index_;
+  FinishRun("hybrid", workers, Profiler::NowNs() - run_t0);
 }
 
 void HybridKernel::Prologue() {
@@ -86,15 +92,35 @@ void HybridKernel::Prologue() {
   }
   window_ = std::min(lbts_, stop_);
 
+  bool resorted = false;
   if (round_index_ % period_ == 0 && config_.metric != SchedulingMetric::kNone) {
     // Per-rank re-sort. ByPendingEventCount degrades to ByLastRoundTime here:
     // counting FEL events cross-rank from the coordinator would be a remote
     // operation on a real deployment.
+    //
+    // The tie-break on LpId matters: rank_order_ is sorted in place, so a
+    // stable sort keyed on cost alone would keep ties in previous-round order
+    // — a function of measured timings, i.e. nondeterministic across runs.
     for (uint32_t r = 0; r < ranks_; ++r) {
       auto& order = rank_order_[r];
-      std::stable_sort(order.begin(), order.end(), [this](uint32_t a, uint32_t b) {
-        return last_round_ns_[a] > last_round_ns_[b];
+      std::sort(order.begin(), order.end(), [this](uint32_t a, uint32_t b) {
+        return last_round_ns_[a] != last_round_ns_[b]
+                   ? last_round_ns_[a] > last_round_ns_[b]
+                   : a < b;
       });
+    }
+    resorted = true;
+  }
+  if (tracing_) {
+    trace_->BeginRound(round_index_, lbts_, window_, LiveEvents());
+    if (resorted) {
+      // Flatten the per-rank orders (rank-major) into one claim order.
+      record_order_buf_.clear();
+      for (uint32_t r = 0; r < ranks_; ++r) {
+        record_order_buf_.insert(record_order_buf_.end(), rank_order_[r].begin(),
+                                 rank_order_[r].end());
+      }
+      trace_->RecordClaimOrder(record_order_buf_);
     }
   }
   ++round_index_;
@@ -114,6 +140,9 @@ void HybridKernel::RoundLoop(uint32_t worker) {
   std::atomic<uint32_t>& claim = *rank_claim_[rank];
   std::atomic<uint32_t>& claim_recv = *rank_claim_recv_[rank];
   uint64_t events = 0;
+  // Worker-local mirror of round_index_; keys the profiler's executor-private
+  // per-round rows (see unison.cc).
+  uint32_t round = 0;
   ExecutorPhaseStats local{};
 
   for (;;) {
@@ -128,6 +157,9 @@ void HybridKernel::RoundLoop(uint32_t worker) {
     if (timing_) {
       const uint64_t now = Profiler::NowNs();
       local.synchronization_ns += now - t;
+      if (profiling_) {
+        profiler_->AddRoundSync(worker, round, now - t);
+      }
       t = now;
     }
 
@@ -149,7 +181,7 @@ void HybridKernel::RoundLoop(uint32_t worker) {
       const uint64_t now = Profiler::NowNs();
       local.processing_ns += now - t;
       if (profiling_) {
-        profiler_->AddRoundProcessing(worker, now - t);
+        profiler_->AddRoundProcessing(worker, round, now - t);
       }
       t = now;
     }
@@ -159,7 +191,7 @@ void HybridKernel::RoundLoop(uint32_t worker) {
       const uint64_t now = Profiler::NowNs();
       local.synchronization_ns += now - t;
       if (profiling_) {
-        profiler_->AddRoundSync(worker, now - t);
+        profiler_->AddRoundSync(worker, round, now - t);
       }
       t = now;
     }
@@ -171,11 +203,24 @@ void HybridKernel::RoundLoop(uint32_t worker) {
         rank_claim_recv_[r]->store(0, std::memory_order_relaxed);
       }
       next_min_.Reset();
+      if (timing_) {
+        const uint64_t now = Profiler::NowNs();
+        local.processing_ns += now - t;
+        if (profiling_) {
+          // Global-event time is processing, not the synchronization it was
+          // previously lumped into (same undercount as unison.cc had).
+          profiler_->AddRoundProcessing(worker, round, now - t);
+        }
+        t = now;
+      }
     }
     barrier_->Arrive();
     if (timing_) {
       const uint64_t now = Profiler::NowNs();
       local.synchronization_ns += now - t;
+      if (profiling_) {
+        profiler_->AddRoundSync(worker, round, now - t);
+      }
       t = now;
     }
 
@@ -198,6 +243,9 @@ void HybridKernel::RoundLoop(uint32_t worker) {
     if (timing_) {
       const uint64_t now = Profiler::NowNs();
       local.synchronization_ns += now - t;
+      if (profiling_) {
+        profiler_->AddRoundSync(worker, round, now - t);
+      }
       t = now;
     }
 
@@ -213,8 +261,13 @@ void HybridKernel::RoundLoop(uint32_t worker) {
     }
     barrier_->Arrive();
     if (timing_) {
-      local.synchronization_ns += Profiler::NowNs() - t;
+      const uint64_t now = Profiler::NowNs();
+      local.synchronization_ns += now - t;
+      if (profiling_) {
+        profiler_->AddRoundSync(worker, round, now - t);
+      }
     }
+    ++round;
   }
 
   worker_events_[worker] = events;

@@ -67,9 +67,11 @@ class HybridKernel : public Kernel {
   std::vector<std::unique_ptr<std::atomic<uint32_t>>> rank_claim_recv_;
   std::vector<uint64_t> last_round_ns_;
   std::vector<uint64_t> worker_events_;
+  std::vector<uint32_t> record_order_buf_;  // Trace scratch: flattened order.
   uint32_t round_index_ = 0;
   bool timing_ = false;
   bool profiling_ = false;
+  bool tracing_ = false;
 };
 
 }  // namespace unison

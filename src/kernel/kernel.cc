@@ -96,4 +96,23 @@ uint64_t Kernel::RunGlobalEvents(Time upto, Time stop) {
   return public_lp_->ProcessUntil(bound);
 }
 
+void Kernel::FinishRun(const char* kernel_name, uint32_t executors,
+                       uint64_t wall_ns) {
+  run_summary_ = RunSummary{};
+  run_summary_.kernel = kernel_name;
+  run_summary_.executors = executors;
+  run_summary_.lps = num_lps();
+  run_summary_.rounds = rounds_;
+  run_summary_.events = processed_events_;
+  run_summary_.wall_ns = wall_ns;
+  if (profiler_ != nullptr && profiler_->enabled) {
+    run_summary_.processing_ns = profiler_->TotalProcessingNs();
+    run_summary_.synchronization_ns = profiler_->TotalSyncNs();
+    run_summary_.messaging_ns = profiler_->TotalMessagingNs();
+  }
+  if (trace_ != nullptr && trace_->enabled) {
+    trace_->EndRun(run_summary_, profiler_);
+  }
+}
+
 }  // namespace unison

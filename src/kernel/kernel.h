@@ -20,6 +20,7 @@
 #include "src/kernel/lp.h"
 #include "src/partition/graph.h"
 #include "src/stats/profiler.h"
+#include "src/stats/trace.h"
 
 namespace unison {
 
@@ -107,6 +108,13 @@ class Kernel {
   void set_profiler(Profiler* profiler) { profiler_ = profiler; }
   Profiler* profiler() { return profiler_; }
 
+  void set_trace(RunTrace* trace) { trace_ = trace; }
+  RunTrace* trace() { return trace_; }
+
+  // End-of-run aggregate, refreshed by every kernel at the end of Run()
+  // whether or not profiling/tracing is enabled.
+  const RunSummary& run_summary() const { return run_summary_; }
+
  protected:
   // Routes an event from `from` to a different LP. The base implementation
   // uses the wired outbox, falling back to the target's overflow box.
@@ -125,6 +133,11 @@ class Kernel {
   // number of global events run.
   uint64_t RunGlobalEvents(Time upto, Time stop);
 
+  // Fills run_summary_ from processed_events_/rounds_ and the profiler's
+  // totals (when attached and enabled), then hands the completed run to the
+  // trace recorder. Every kernel calls this at the end of Run().
+  void FinishRun(const char* kernel_name, uint32_t executors, uint64_t wall_ns);
+
   friend class Simulator;
 
   KernelConfig config_;
@@ -133,6 +146,8 @@ class Kernel {
   std::vector<std::unique_ptr<Lp>> lps_;
   std::unique_ptr<Lp> public_lp_;
   Profiler* profiler_ = nullptr;
+  RunTrace* trace_ = nullptr;
+  RunSummary run_summary_;
   uint64_t processed_events_ = 0;
   uint64_t rounds_ = 0;
   std::atomic<bool> stop_requested_{false};

@@ -103,6 +103,12 @@ void NullMessageKernel::Run(Time stop_time) {
   if (profiling) {
     profiler_->BeginRun(num_lps());
   }
+  if (trace_ != nullptr && trace_->enabled) {
+    // No shared synchronization rounds in this algorithm: the trace carries
+    // the summary and per-executor P/S/M only.
+    trace_->BeginRun("nullmsg", num_lps(), num_lps());
+  }
+  const uint64_t run_t0 = Profiler::NowNs();
   lp_events_.assign(num_lps(), 0);
 
   WorkerTeam team(num_lps());
@@ -116,6 +122,7 @@ void NullMessageKernel::Run(Time stop_time) {
   for (const auto& c : channels_) {
     null_messages_ += c->nulls;
   }
+  FinishRun("nullmsg", num_lps(), Profiler::NowNs() - run_t0);
 }
 
 void NullMessageKernel::LpLoop(LpId id) {

@@ -13,7 +13,10 @@ void SequentialKernel::Run(Time stop_time) {
   if (profiling) {
     profiler_->BeginRun(1);
   }
-  const uint64_t t0 = profiling ? Profiler::NowNs() : 0;
+  if (trace_ != nullptr && trace_->enabled) {
+    trace_->BeginRun("sequential", 1, num_lps());
+  }
+  const uint64_t t0 = Profiler::NowNs();
 
   processed_events_ = 0;
   while (!stop_requested_) {
@@ -33,11 +36,13 @@ void SequentialKernel::Run(Time stop_time) {
   }
   const uint64_t count = processed_events_;
 
+  const uint64_t wall_ns = Profiler::NowNs() - t0;
   if (profiling) {
     auto& stats = profiler_->executor(0);
-    stats.processing_ns = Profiler::NowNs() - t0;
+    stats.processing_ns = wall_ns;
     stats.events = count;
   }
+  FinishRun("sequential", 1, wall_ns);
 }
 
 }  // namespace unison

@@ -31,10 +31,15 @@ void UnisonKernel::Run(Time stop_time) {
   stop_ = stop_time;
   done_ = false;
   profiling_ = profiler_ != nullptr && profiler_->enabled;
+  tracing_ = trace_ != nullptr && trace_->enabled;
   timing_ = profiling_ || config_.metric == SchedulingMetric::kByLastRoundTime;
   if (profiling_) {
     profiler_->BeginRun(num_workers_);
   }
+  if (tracing_) {
+    trace_->BeginRun("unison", num_workers_, num_lps());
+  }
+  const uint64_t run_t0 = Profiler::NowNs();
   barrier_ = std::make_unique<SpinBarrier>(num_workers_);
 
   // Seed the min-reduction for the first prologue.
@@ -51,6 +56,7 @@ void UnisonKernel::Run(Time stop_time) {
     processed_events_ += n;
   }
   rounds_ = round_index_;
+  FinishRun("unison", num_workers_, Profiler::NowNs() - run_t0);
 }
 
 void UnisonKernel::Prologue() {
@@ -71,6 +77,7 @@ void UnisonKernel::Prologue() {
   window_ = std::min(lbts_, stop_);
 
   // Load-adaptive scheduling: re-sort the claim order every `period_` rounds.
+  bool resorted = false;
   if (round_index_ % period_ == 0) {
     switch (config_.metric) {
       case SchedulingMetric::kNone:
@@ -78,10 +85,18 @@ void UnisonKernel::Prologue() {
       case SchedulingMetric::kByPendingEventCount:
         EstimateByPendingEvents(lps_, window_, &cost_buf_);
         order_ = SortByCostDescending(cost_buf_);
+        resorted = true;
         break;
       case SchedulingMetric::kByLastRoundTime:
         order_ = SortByCostDescending(last_round_ns_);
+        resorted = true;
         break;
+    }
+  }
+  if (tracing_) {
+    trace_->BeginRound(round_index_, lbts_, window_, LiveEvents());
+    if (resorted) {
+      trace_->RecordClaimOrder(order_);
     }
   }
   ++round_index_;
@@ -94,6 +109,12 @@ void UnisonKernel::Prologue() {
 void UnisonKernel::RoundLoop(uint32_t worker) {
   const uint32_t num = num_lps();
   uint64_t events = 0;
+  // Worker-local round index: every worker executes the same loop iterations,
+  // so this mirrors round_index_ without reading shared state. It keys the
+  // profiler's executor-private per-round rows, which lets every sync wait —
+  // including the end-of-round barrier, which overlaps worker 0's next
+  // prologue — be attributed to its round without data races.
+  uint32_t round = 0;
   ExecutorPhaseStats local{};
 
   for (;;) {
@@ -108,6 +129,9 @@ void UnisonKernel::RoundLoop(uint32_t worker) {
     if (timing_) {
       const uint64_t now = Profiler::NowNs();
       local.synchronization_ns += now - t;
+      if (profiling_) {
+        profiler_->AddRoundSync(worker, round, now - t);
+      }
       t = now;
     }
 
@@ -120,8 +144,13 @@ void UnisonKernel::RoundLoop(uint32_t worker) {
       }
       const LpId lp_id = order_[i];
       const bool record = profiling_ && profiler_->per_lp;
+      // Capped like EstimateByPendingEvents: an uncapped CountBefore is a
+      // full recursive heap walk per LP per round, and the heatmap/cost-model
+      // consumers only need "how busy", never exact counts past the cap.
       const uint32_t pending =
-          record ? static_cast<uint32_t>(lps_[lp_id]->fel().CountBefore(window_)) : 0;
+          record ? static_cast<uint32_t>(
+                       lps_[lp_id]->fel().CountBefore(window_, kPendingCountCap))
+                 : 0;
       const uint64_t lp_t0 = timing_ ? Profiler::NowNs() : 0;
       const uint64_t n = lps_[lp_id]->ProcessUntil(window_);
       events += n;
@@ -131,7 +160,7 @@ void UnisonKernel::RoundLoop(uint32_t worker) {
         phase_p_ns += lp_ns;
         if (record) {
           profiler_->AddLpRound(worker,
-                                LpRoundCost{round_index_ - 1, lp_id,
+                                LpRoundCost{round, lp_id,
                                             static_cast<uint32_t>(n), pending, lp_ns});
         }
       }
@@ -139,7 +168,7 @@ void UnisonKernel::RoundLoop(uint32_t worker) {
     if (timing_) {
       local.processing_ns += phase_p_ns;
       if (profiling_) {
-        profiler_->AddRoundProcessing(worker, phase_p_ns);
+        profiler_->AddRoundProcessing(worker, round, phase_p_ns);
       }
       t = Profiler::NowNs();
     }
@@ -149,7 +178,7 @@ void UnisonKernel::RoundLoop(uint32_t worker) {
       const uint64_t now = Profiler::NowNs();
       local.synchronization_ns += now - t;
       if (profiling_) {
-        profiler_->AddRoundSync(worker, now - t);
+        profiler_->AddRoundSync(worker, round, now - t);
       }
       t = now;
     }
@@ -163,6 +192,11 @@ void UnisonKernel::RoundLoop(uint32_t worker) {
       if (timing_) {
         const uint64_t now = Profiler::NowNs();
         local.processing_ns += now - t;
+        if (profiling_) {
+          // Global-event time is processing; without this the per-round P
+          // matrix undercounts worker 0 relative to its executor total.
+          profiler_->AddRoundProcessing(worker, round, now - t);
+        }
         t = now;
       }
     }
@@ -170,8 +204,8 @@ void UnisonKernel::RoundLoop(uint32_t worker) {
     if (timing_) {
       const uint64_t now = Profiler::NowNs();
       local.synchronization_ns += now - t;
-      if (profiling_ && worker != 0) {
-        profiler_->AddRoundSync(worker, now - t);
+      if (profiling_) {
+        profiler_->AddRoundSync(worker, round, now - t);
       }
       t = now;
     }
@@ -195,6 +229,9 @@ void UnisonKernel::RoundLoop(uint32_t worker) {
     if (timing_) {
       const uint64_t now = Profiler::NowNs();
       local.synchronization_ns += now - t;
+      if (profiling_) {
+        profiler_->AddRoundSync(worker, round, now - t);
+      }
       t = now;
     }
 
@@ -212,8 +249,13 @@ void UnisonKernel::RoundLoop(uint32_t worker) {
     // worker 0 reads next_min_ in the prologue.
     barrier_->Arrive();
     if (timing_) {
-      local.synchronization_ns += Profiler::NowNs() - t;
+      const uint64_t now = Profiler::NowNs();
+      local.synchronization_ns += now - t;
+      if (profiling_) {
+        profiler_->AddRoundSync(worker, round, now - t);
+      }
     }
+    ++round;
   }
 
   worker_events_[worker] = events;

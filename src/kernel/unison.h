@@ -71,6 +71,7 @@ class UnisonKernel : public Kernel {
   uint32_t round_index_ = 0;
   bool timing_ = false;     // Collect per-LP wall time this run.
   bool profiling_ = false;  // Profiler attached and enabled.
+  bool tracing_ = false;    // Run-trace recorder attached and enabled.
 };
 
 }  // namespace unison

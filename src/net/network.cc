@@ -10,9 +10,13 @@
 namespace unison {
 
 Network::Network(SimConfig config) : config_(std::move(config)) {
-  profiler_.enabled = config_.profile;
-  profiler_.per_round = config_.profile_per_round;
+  // Tracing rides on the profiler gate: a trace without the per-round P/S
+  // matrices would be hollow, so cfg.trace implies profile + per-round.
+  profiler_.enabled = config_.profile || config_.trace;
+  profiler_.per_round = config_.profile_per_round || config_.trace;
   profiler_.per_lp = config_.profile_per_lp;
+  run_trace_.enabled = config_.trace;
+  run_trace_.record_claim_order = config_.trace_claim_order;
 }
 
 Network::~Network() = default;
@@ -147,6 +151,7 @@ void Network::Finalize() {
 
   kernel_ = MakeKernel(config_.kernel);
   kernel_->set_profiler(&profiler_);
+  kernel_->set_trace(&run_trace_);
   kernel_->Setup(graph_, partition);
   sim_.set_kernel(kernel_.get());
 

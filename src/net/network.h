@@ -34,6 +34,7 @@
 #include "src/partition/graph.h"
 #include "src/stats/flow_monitor.h"
 #include "src/stats/profiler.h"
+#include "src/stats/trace.h"
 
 namespace unison {
 
@@ -60,6 +61,10 @@ struct SimConfig {
   bool profile = false;
   bool profile_per_round = false;
   bool profile_per_lp = false;
+  // Structured run trace (src/stats/trace.h). Implies profile + per-round so
+  // the exported trace carries the P/S matrices.
+  bool trace = false;
+  bool trace_claim_order = true;  // Record claim orders on re-sort rounds.
   TcpConfig tcp;
   QueueConfig queue;
 };
@@ -134,6 +139,7 @@ class Network {
   Kernel& kernel() { return *kernel_; }
   FlowMonitor& flow_monitor() { return flow_monitor_; }
   Profiler& profiler() { return profiler_; }
+  RunTrace& run_trace() { return run_trace_; }
   GlobalRouting& routing() { return routing_; }
   DistanceVectorRouting* dv_routing() { return dv_routing_.get(); }
   const SimConfig& config() const { return config_; }
@@ -172,6 +178,7 @@ class Network {
   Simulator sim_;
   FlowMonitor flow_monitor_;
   Profiler profiler_;
+  RunTrace run_trace_;
   GlobalRouting routing_;
   std::unique_ptr<DistanceVectorRouting> dv_routing_;
   Time dv_period_;

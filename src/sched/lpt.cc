@@ -9,8 +9,13 @@ namespace unison {
 std::vector<uint32_t> SortByCostDescending(const std::vector<uint64_t>& cost) {
   std::vector<uint32_t> order(cost.size());
   std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(),
-                   [&cost](uint32_t a, uint32_t b) { return cost[a] > cost[b]; });
+  // Explicit (cost desc, id asc) key instead of a stable sort over the input
+  // order: the tie-break is then a property of the values, not of the caller
+  // passing id order or of any library's stable_sort implementation — the
+  // claim order is bitwise-identical across platforms whenever costs tie.
+  std::sort(order.begin(), order.end(), [&cost](uint32_t a, uint32_t b) {
+    return cost[a] != cost[b] ? cost[a] > cost[b] : a < b;
+  });
   return order;
 }
 

@@ -18,8 +18,9 @@
 
 namespace unison {
 
-// Produces job indices sorted by descending cost. Stable, so equal-cost jobs
-// keep id order and the schedule is deterministic.
+// Produces job indices sorted by (cost descending, id ascending). The
+// explicit id tie-break makes the schedule deterministic across platforms
+// and standard-library versions whenever costs tie.
 std::vector<uint32_t> SortByCostDescending(const std::vector<uint64_t>& cost);
 
 // Simulates list scheduling of jobs (taken in `order`) on `workers` identical

@@ -7,29 +7,70 @@ namespace unison {
 void Profiler::BeginRun(uint32_t num_executors) {
   num_executors_ = num_executors;
   executors_.assign(num_executors, ExecutorPhaseStats{});
-  round_p_.clear();
-  round_s_.clear();
+  exec_round_p_.assign(num_executors, {});
+  exec_round_s_.assign(num_executors, {});
   lp_rounds_.assign(num_executors, {});
+  rounds_begun_ = 0;
 }
 
 void Profiler::BeginRound() {
+  if (per_round) {
+    ++rounds_begun_;
+  }
+}
+
+void Profiler::AddRoundProcessing(uint32_t executor, uint32_t round, uint64_t ns) {
   if (!per_round) {
     return;
   }
-  round_p_.emplace_back(num_executors_, 0);
-  round_s_.emplace_back(num_executors_, 0);
+  auto& row = exec_round_p_[executor];
+  if (row.size() <= round) {
+    row.resize(round + 1, 0);
+  }
+  row[round] += ns;
 }
 
-void Profiler::AddRoundProcessing(uint32_t executor, uint64_t ns) {
-  if (per_round && !round_p_.empty()) {
-    round_p_.back()[executor] += ns;
+void Profiler::AddRoundSync(uint32_t executor, uint32_t round, uint64_t ns) {
+  if (!per_round) {
+    return;
   }
+  auto& row = exec_round_s_[executor];
+  if (row.size() <= round) {
+    row.resize(round + 1, 0);
+  }
+  row[round] += ns;
 }
 
-void Profiler::AddRoundSync(uint32_t executor, uint64_t ns) {
-  if (per_round && !round_s_.empty()) {
-    round_s_.back()[executor] += ns;
+uint32_t Profiler::rounds() const {
+  size_t rounds = rounds_begun_;
+  for (const auto& row : exec_round_p_) {
+    rounds = std::max(rounds, row.size());
   }
+  for (const auto& row : exec_round_s_) {
+    rounds = std::max(rounds, row.size());
+  }
+  return static_cast<uint32_t>(rounds);
+}
+
+std::vector<std::vector<uint64_t>> Profiler::Transposed(
+    const std::vector<std::vector<uint64_t>>& exec_major) const {
+  std::vector<std::vector<uint64_t>> out(
+      rounds(), std::vector<uint64_t>(num_executors_, 0));
+  for (uint32_t e = 0; e < exec_major.size(); ++e) {
+    const auto& row = exec_major[e];
+    for (size_t r = 0; r < row.size(); ++r) {
+      out[r][e] = row[r];
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<uint64_t>> Profiler::round_processing_ns() const {
+  return Transposed(exec_round_p_);
+}
+
+std::vector<std::vector<uint64_t>> Profiler::round_sync_ns() const {
+  return Transposed(exec_round_s_);
 }
 
 void Profiler::AddLpRound(uint32_t executor, LpRoundCost cost) {

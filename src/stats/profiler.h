@@ -4,10 +4,17 @@
 // baselines, a worker thread for Unison) is split into processing time P,
 // synchronization time S, and messaging time M. Kernels accumulate these into
 // per-executor slots; optional per-round and per-(round, LP) records feed the
-// Fig. 5b/9b/13 benches and the parallel cost model.
+// Fig. 5b/9b/13 benches, the parallel cost model, and the run-trace
+// observability layer (src/stats/trace.h).
 //
 // All writes go to executor-private slots between barriers, so no locking is
-// needed; readers only inspect the data after Run() returns.
+// needed; readers only inspect the data after Run() returns. The per-round
+// matrices are stored executor-major for exactly this reason: each executor
+// appends to its own row vector with an explicit round index, so every
+// accounted nanosecond — including waits at the end-of-round barrier, which
+// overlap the coordinator's next prologue — can be attributed to its round
+// without sharing a row across threads. The round-major views used by benches
+// are built on demand after the run.
 #ifndef UNISON_SRC_STATS_PROFILER_H_
 #define UNISON_SRC_STATS_PROFILER_H_
 
@@ -49,16 +56,19 @@ class Profiler {
   ExecutorPhaseStats& executor(uint32_t i) { return executors_[i]; }
   const std::vector<ExecutorPhaseStats>& executors() const { return executors_; }
 
-  // Per-round matrices, indexed [round][executor]. Rows are appended by the
-  // coordinating thread at round boundaries (all workers parked).
+  // Per-round records. `round` is the kernel's zero-based round index;
+  // executors track it locally so their writes stay private (see file
+  // comment). BeginRound is called by the coordinating thread once per round
+  // and only maintains the round count.
   void BeginRound();
-  void AddRoundProcessing(uint32_t executor, uint64_t ns);
-  void AddRoundSync(uint32_t executor, uint64_t ns);
-  const std::vector<std::vector<uint64_t>>& round_processing_ns() const {
-    return round_p_;
-  }
-  const std::vector<std::vector<uint64_t>>& round_sync_ns() const { return round_s_; }
-  uint32_t rounds() const { return static_cast<uint32_t>(round_p_.size()); }
+  void AddRoundProcessing(uint32_t executor, uint32_t round, uint64_t ns);
+  void AddRoundSync(uint32_t executor, uint32_t round, uint64_t ns);
+
+  // Round-major [round][executor] views, built on demand; rows are padded
+  // with zeros up to rounds(). Intended for post-run consumers only.
+  std::vector<std::vector<uint64_t>> round_processing_ns() const;
+  std::vector<std::vector<uint64_t>> round_sync_ns() const;
+  uint32_t rounds() const;
 
   // Per-(round, LP) cost records; each executor owns a private buffer.
   void AddLpRound(uint32_t executor, LpRoundCost cost);
@@ -77,11 +87,16 @@ class Profiler {
   }
 
  private:
+  std::vector<std::vector<uint64_t>> Transposed(
+      const std::vector<std::vector<uint64_t>>& exec_major) const;
+
   std::vector<ExecutorPhaseStats> executors_;
-  std::vector<std::vector<uint64_t>> round_p_;
-  std::vector<std::vector<uint64_t>> round_s_;
+  // [executor][round]; each inner vector is written only by its executor.
+  std::vector<std::vector<uint64_t>> exec_round_p_;
+  std::vector<std::vector<uint64_t>> exec_round_s_;
   std::vector<std::vector<LpRoundCost>> lp_rounds_;
   uint32_t num_executors_ = 0;
+  uint32_t rounds_begun_ = 0;
 };
 
 }  // namespace unison

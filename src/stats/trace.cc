@@ -1,0 +1,218 @@
+#include "src/stats/trace.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace unison {
+
+namespace {
+
+void AppendU64(std::string* out, uint64_t v) { *out += std::to_string(v); }
+
+void AppendI64(std::string* out, int64_t v) { *out += std::to_string(v); }
+
+void AppendU64Array(std::string* out, const std::vector<uint64_t>& values) {
+  *out += '[';
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) {
+      *out += ',';
+    }
+    AppendU64(out, values[i]);
+  }
+  *out += ']';
+}
+
+void AppendU32Array(std::string* out, const std::vector<uint32_t>& values) {
+  *out += '[';
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) {
+      *out += ',';
+    }
+    AppendU64(out, values[i]);
+  }
+  *out += ']';
+}
+
+uint64_t RowSum(const std::vector<std::vector<uint64_t>>& matrix, size_t row) {
+  if (row >= matrix.size()) {
+    return 0;
+  }
+  uint64_t sum = 0;
+  for (uint64_t v : matrix[row]) {
+    sum += v;
+  }
+  return sum;
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool ok = written == content.size() && std::fclose(f) == 0;
+  if (!ok && written != content.size()) {
+    std::fclose(f);
+  }
+  return ok;
+}
+
+}  // namespace
+
+std::string RunSummary::ToJson() const {
+  std::string out;
+  out.reserve(256);
+  out += "{\"kernel\":\"";
+  out += kernel;  // Kernel names are fixed identifiers; no escaping needed.
+  out += "\",\"executors\":";
+  AppendU64(&out, executors);
+  out += ",\"lps\":";
+  AppendU64(&out, lps);
+  out += ",\"rounds\":";
+  AppendU64(&out, rounds);
+  out += ",\"events\":";
+  AppendU64(&out, events);
+  out += ",\"wall_ns\":";
+  AppendU64(&out, wall_ns);
+  out += ",\"processing_ns\":";
+  AppendU64(&out, processing_ns);
+  out += ",\"synchronization_ns\":";
+  AppendU64(&out, synchronization_ns);
+  out += ",\"messaging_ns\":";
+  AppendU64(&out, messaging_ns);
+  out += '}';
+  return out;
+}
+
+void RunTrace::BeginRun(std::string kernel, uint32_t executors, uint32_t lps) {
+  summary_ = RunSummary{};
+  summary_.kernel = std::move(kernel);
+  summary_.executors = executors;
+  summary_.lps = lps;
+  records_.clear();
+  executors_.clear();
+  round_p_.clear();
+  round_s_.clear();
+}
+
+void RunTrace::BeginRound(uint32_t round, Time lbts, Time window,
+                          uint64_t events_before) {
+  RoundTraceRecord rec;
+  rec.round = round;
+  rec.lbts_ps = lbts.ps();
+  rec.window_ps = window.ps();
+  rec.events_before = events_before;
+  records_.push_back(std::move(rec));
+}
+
+void RunTrace::RecordClaimOrder(const std::vector<uint32_t>& order) {
+  if (records_.empty()) {
+    return;
+  }
+  records_.back().resorted = true;
+  if (record_claim_order) {
+    records_.back().claim_order = order;
+  }
+}
+
+void RunTrace::EndRun(const RunSummary& summary, const Profiler* profiler) {
+  // Keep the kernel identity from BeginRun if the caller left it empty.
+  const std::string kernel =
+      summary.kernel.empty() ? summary_.kernel : summary.kernel;
+  summary_ = summary;
+  summary_.kernel = kernel;
+  if (profiler != nullptr && profiler->enabled) {
+    executors_ = profiler->executors();
+    if (profiler->per_round) {
+      round_p_ = profiler->round_processing_ns();
+      round_s_ = profiler->round_sync_ns();
+    }
+  }
+}
+
+std::string RunTrace::ToJson() const {
+  std::string out;
+  out.reserve(4096 + records_.size() * 96);
+  out += "{\"summary\":";
+  out += summary_.ToJson();
+  out += ",\"per_executor\":[";
+  for (size_t i = 0; i < executors_.size(); ++i) {
+    if (i > 0) {
+      out += ',';
+    }
+    out += "{\"processing_ns\":";
+    AppendU64(&out, executors_[i].processing_ns);
+    out += ",\"synchronization_ns\":";
+    AppendU64(&out, executors_[i].synchronization_ns);
+    out += ",\"messaging_ns\":";
+    AppendU64(&out, executors_[i].messaging_ns);
+    out += ",\"events\":";
+    AppendU64(&out, executors_[i].events);
+    out += '}';
+  }
+  out += "],\"rounds\":[";
+  for (size_t i = 0; i < records_.size(); ++i) {
+    const RoundTraceRecord& r = records_[i];
+    if (i > 0) {
+      out += ',';
+    }
+    out += "{\"round\":";
+    AppendU64(&out, r.round);
+    out += ",\"lbts_ps\":";
+    AppendI64(&out, r.lbts_ps);
+    out += ",\"window_ps\":";
+    AppendI64(&out, r.window_ps);
+    out += ",\"events_before\":";
+    AppendU64(&out, r.events_before);
+    out += ",\"resorted\":";
+    out += r.resorted ? "true" : "false";
+    if (!r.claim_order.empty()) {
+      out += ",\"claim_order\":";
+      AppendU32Array(&out, r.claim_order);
+    }
+    if (r.round < round_p_.size()) {
+      out += ",\"p_ns\":";
+      AppendU64Array(&out, round_p_[r.round]);
+    }
+    if (r.round < round_s_.size()) {
+      out += ",\"s_ns\":";
+      AppendU64Array(&out, round_s_[r.round]);
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string RunTrace::ToCsv() const {
+  std::string out;
+  out.reserve(64 + records_.size() * 64);
+  out += "round,lbts_ps,window_ps,events_before,resorted,p_total_ns,s_total_ns\n";
+  for (const RoundTraceRecord& r : records_) {
+    AppendU64(&out, r.round);
+    out += ',';
+    AppendI64(&out, r.lbts_ps);
+    out += ',';
+    AppendI64(&out, r.window_ps);
+    out += ',';
+    AppendU64(&out, r.events_before);
+    out += ',';
+    out += r.resorted ? '1' : '0';
+    out += ',';
+    AppendU64(&out, RowSum(round_p_, r.round));
+    out += ',';
+    AppendU64(&out, RowSum(round_s_, r.round));
+    out += '\n';
+  }
+  return out;
+}
+
+bool RunTrace::WriteJsonFile(const std::string& path) const {
+  return WriteFile(path, ToJson());
+}
+
+bool RunTrace::WriteCsvFile(const std::string& path) const {
+  return WriteFile(path, ToCsv());
+}
+
+}  // namespace unison

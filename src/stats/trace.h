@@ -1,0 +1,107 @@
+// Run-trace observability layer: structured per-round records of a kernel
+// run, plus a RunSummary aggregate emitted by every kernel.
+//
+// The paper's entire evaluation rests on the P/S/M time composition
+// (Figs. 5b, 9b, 13); this layer makes that measurement a first-class,
+// machine-readable artifact instead of numbers scraped from bench stdout.
+// The coordinating thread records one RoundTraceRecord per synchronization
+// round (round index, LBTS, window, cumulative events, and — on re-sort
+// rounds — the scheduler's claimed LP order); after the run, the per-round
+// P/S matrices are folded in from the Profiler and the whole trace can be
+// exported as JSON or CSV.
+//
+// Cost discipline mirrors the profiler: everything here is gated on
+// `enabled`, kernels check a cached `tracing_` flag next to the existing
+// `profiling_` gate, and a disabled trace costs nothing on the hot path.
+// Recording itself is coordinator-only (worker 0 / rank 0 between barriers),
+// so no locking is needed.
+#ifndef UNISON_SRC_STATS_TRACE_H_
+#define UNISON_SRC_STATS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/time.h"
+#include "src/stats/profiler.h"
+
+namespace unison {
+
+// End-of-run aggregate; every kernel fills one via Kernel::FinishRun, whether
+// or not tracing/profiling is enabled (the P/S/M fields are zero unless a
+// profiler was attached).
+struct RunSummary {
+  std::string kernel;             // "sequential", "barrier", "nullmsg", ...
+  uint32_t executors = 0;         // Worker threads / ranks.
+  uint32_t lps = 0;
+  uint64_t rounds = 0;
+  uint64_t events = 0;
+  uint64_t wall_ns = 0;           // Wall time of Run() itself.
+  uint64_t processing_ns = 0;     // Sums over executors (profiler-provided).
+  uint64_t synchronization_ns = 0;
+  uint64_t messaging_ns = 0;
+
+  std::string ToJson() const;
+};
+
+// One synchronization round as seen by the coordinator.
+struct RoundTraceRecord {
+  uint32_t round = 0;
+  int64_t lbts_ps = 0;
+  int64_t window_ps = 0;
+  uint64_t events_before = 0;  // Cumulative events at round start (best effort:
+                               // kernels without live counters report 0).
+  bool resorted = false;       // The scheduler re-sorted the claim order.
+  std::vector<uint32_t> claim_order;  // LP ids, priority order; re-sort rounds
+                                      // only (it is unchanged in between).
+};
+
+class RunTrace {
+ public:
+  // Opt-in, like Profiler::enabled. Kernels skip every Record* call when off.
+  bool enabled = false;
+  // Claim orders cost O(#LP) per re-sort round; disable to bound trace memory
+  // on very large runs while keeping the scalar per-round fields.
+  bool record_claim_order = true;
+
+  // --- Recording API (coordinating thread only) ---
+
+  void BeginRun(std::string kernel, uint32_t executors, uint32_t lps);
+  void BeginRound(uint32_t round, Time lbts, Time window, uint64_t events_before);
+  // Attaches the scheduler order to the most recent round record.
+  void RecordClaimOrder(const std::vector<uint32_t>& order);
+  // Folds in the final summary and, when the profiler recorded per-round
+  // matrices, copies them so the exported trace is self-contained.
+  void EndRun(const RunSummary& summary, const Profiler* profiler);
+
+  // --- Post-run inspection ---
+
+  const RunSummary& summary() const { return summary_; }
+  const std::vector<RoundTraceRecord>& records() const { return records_; }
+  // [round][executor]; empty unless the profiler ran with per_round.
+  const std::vector<std::vector<uint64_t>>& round_processing_ns() const {
+    return round_p_;
+  }
+  const std::vector<std::vector<uint64_t>>& round_sync_ns() const { return round_s_; }
+
+  // --- Exporters ---
+
+  // Full structured trace: summary, per-executor P/S/M, one object per round.
+  std::string ToJson() const;
+  // Flat per-round table: round,lbts_ps,window_ps,events_before,resorted,
+  // p_total_ns,s_total_ns.
+  std::string ToCsv() const;
+  bool WriteJsonFile(const std::string& path) const;
+  bool WriteCsvFile(const std::string& path) const;
+
+ private:
+  RunSummary summary_;
+  std::vector<RoundTraceRecord> records_;
+  std::vector<ExecutorPhaseStats> executors_;
+  std::vector<std::vector<uint64_t>> round_p_;
+  std::vector<std::vector<uint64_t>> round_s_;
+};
+
+}  // namespace unison
+
+#endif  // UNISON_SRC_STATS_TRACE_H_

@@ -22,6 +22,7 @@
 #include "src/stats/flow_monitor.h"
 #include "src/stats/histogram.h"
 #include "src/stats/profiler.h"
+#include "src/stats/trace.h"
 #include "src/topo/bcube.h"
 #include "src/topo/fat_tree.h"
 #include "src/topo/spine_leaf.h"

@@ -25,14 +25,35 @@ TEST(Profiler, RoundRecordsGrowPerRound) {
   p.per_round = true;
   p.BeginRun(2);
   p.BeginRound();
-  p.AddRoundProcessing(0, 10);
-  p.AddRoundSync(1, 20);
+  p.AddRoundProcessing(0, 0, 10);
+  p.AddRoundSync(1, 0, 20);
   p.BeginRound();
-  p.AddRoundProcessing(1, 30);
+  p.AddRoundProcessing(1, 1, 30);
   EXPECT_EQ(p.rounds(), 2u);
+  ASSERT_EQ(p.round_processing_ns().size(), 2u);
   EXPECT_EQ(p.round_processing_ns()[0][0], 10u);
   EXPECT_EQ(p.round_sync_ns()[0][1], 20u);
   EXPECT_EQ(p.round_processing_ns()[1][1], 30u);
+  // Executors that recorded nothing for a round read as zero in the
+  // round-major view (rows are padded, not ragged).
+  EXPECT_EQ(p.round_processing_ns()[1][0], 0u);
+  EXPECT_EQ(p.round_sync_ns()[1][0], 0u);
+}
+
+TEST(Profiler, RoundWritesAccumulateIntoSameSlot) {
+  // Executors add several deltas against the same (executor, round) key —
+  // e.g. the three barrier waits of one Unison round — and the slot sums them.
+  Profiler p;
+  p.enabled = true;
+  p.per_round = true;
+  p.BeginRun(1);
+  p.BeginRound();
+  p.AddRoundSync(0, 0, 5);
+  p.AddRoundSync(0, 0, 7);
+  p.AddRoundProcessing(0, 0, 11);
+  p.AddRoundProcessing(0, 0, 13);
+  EXPECT_EQ(p.round_sync_ns()[0][0], 12u);
+  EXPECT_EQ(p.round_processing_ns()[0][0], 24u);
 }
 
 TEST(Profiler, MergedLpRoundsSortedByRoundThenLp) {
@@ -82,6 +103,95 @@ TEST(Profiler, UnisonRunPopulatesAllPhases) {
   // The per-LP trace accounts for every event executed in phase 1; global
   // events (none here) are the only exception.
   EXPECT_EQ(trace_events, net.kernel().processed_events());
+}
+
+// The accounting invariant behind Figs. 5b/9b: summing an executor's
+// per-round P (resp. S) rows reproduces its end-of-run totals. Every
+// AddRoundProcessing/AddRoundSync call uses the exact delta that goes into
+// the executor accumulator, so this holds with equality, not just within
+// tolerance — a regression here means a phase's time stopped reaching the
+// per-round matrix (the old worker-0 phase-2 undercount).
+void CheckRoundRowsSumToTotals(const Profiler& p, uint32_t executors) {
+  const auto rp = p.round_processing_ns();
+  const auto rs = p.round_sync_ns();
+  ASSERT_EQ(rp.size(), p.rounds());
+  ASSERT_EQ(rs.size(), p.rounds());
+  std::vector<uint64_t> p_sum(executors, 0);
+  std::vector<uint64_t> s_sum(executors, 0);
+  for (const auto& row : rp) {
+    ASSERT_EQ(row.size(), executors);
+    for (uint32_t w = 0; w < executors; ++w) {
+      p_sum[w] += row[w];
+    }
+  }
+  for (const auto& row : rs) {
+    for (uint32_t w = 0; w < executors; ++w) {
+      s_sum[w] += row[w];
+    }
+  }
+  for (uint32_t w = 0; w < executors; ++w) {
+    EXPECT_EQ(p_sum[w], p.executors()[w].processing_ns) << "executor " << w;
+    EXPECT_EQ(s_sum[w], p.executors()[w].synchronization_ns) << "executor " << w;
+  }
+}
+
+TEST(Profiler, UnisonRoundRowsSumToExecutorTotals) {
+  KernelConfig k;
+  k.type = KernelType::kUnison;
+  k.threads = 2;
+  SimConfig cfg;
+  cfg.kernel = k;
+  cfg.profile = true;
+  cfg.profile_per_round = true;
+  Network net(cfg);
+  FatTreeTopo topo = BuildFatTree(net, 4, 10000000000ULL, Time::Microseconds(3));
+  net.Finalize();
+  GeneratePermutation(net, topo.hosts, 50000, Time::Zero());
+  net.Run(Time::Milliseconds(5));
+  CheckRoundRowsSumToTotals(net.profiler(), 2);
+}
+
+TEST(Profiler, HybridRoundRowsSumToExecutorTotals) {
+  KernelConfig k;
+  k.type = KernelType::kHybrid;
+  k.ranks = 2;
+  k.threads = 2;  // 2 ranks x 2 lanes = 4 executors.
+  SimConfig cfg;
+  cfg.kernel = k;
+  cfg.profile = true;
+  cfg.profile_per_round = true;
+  Network net(cfg);
+  FatTreeTopo topo = BuildFatTree(net, 4, 10000000000ULL, Time::Microseconds(3));
+  net.Finalize();
+  GeneratePermutation(net, topo.hosts, 50000, Time::Zero());
+  net.Run(Time::Milliseconds(5));
+  CheckRoundRowsSumToTotals(net.profiler(), 4);
+}
+
+TEST(Profiler, PhaseTimesBoundedByWallTime) {
+  // Each executor's P + S + M is a set of disjoint wall-clock segments nested
+  // inside Run(), so it can never exceed the run's wall time (small slack for
+  // clock reads landing across the FinishRun timestamp).
+  KernelConfig k;
+  k.type = KernelType::kUnison;
+  k.threads = 2;
+  SimConfig cfg;
+  cfg.kernel = k;
+  cfg.profile = true;
+  cfg.profile_per_round = true;
+  Network net(cfg);
+  FatTreeTopo topo = BuildFatTree(net, 4, 10000000000ULL, Time::Microseconds(3));
+  net.Finalize();
+  GeneratePermutation(net, topo.hosts, 50000, Time::Zero());
+  net.Run(Time::Milliseconds(5));
+
+  const RunSummary& summary = net.kernel().run_summary();
+  ASSERT_GT(summary.wall_ns, 0u);
+  const uint64_t slack = summary.wall_ns / 20 + 1000000;  // 5% + 1ms
+  for (const ExecutorPhaseStats& e : net.profiler().executors()) {
+    EXPECT_LE(e.processing_ns + e.synchronization_ns + e.messaging_ns,
+              summary.wall_ns + slack);
+  }
 }
 
 TEST(Profiler, SequentialRunAccountsAllEventsToWorkerZero) {

@@ -20,6 +20,17 @@ TEST(Lpt, SortIsDescendingAndStable) {
   EXPECT_EQ(order, (std::vector<uint32_t>{1, 4, 0, 2, 3}));
 }
 
+TEST(Lpt, TiedCostsBreakByAscendingId) {
+  // The order must be a pure function of the cost vector: ties resolve to
+  // ascending id regardless of how the input happens to be arranged, so
+  // repeated runs with identical costs claim LPs in the same order.
+  const std::vector<uint64_t> cost = {5, 7, 5, 7};
+  EXPECT_EQ(SortByCostDescending(cost), (std::vector<uint32_t>{1, 3, 0, 2}));
+
+  const std::vector<uint64_t> uniform = {3, 3, 3, 3, 3};
+  EXPECT_EQ(SortByCostDescending(uniform), (std::vector<uint32_t>{0, 1, 2, 3, 4}));
+}
+
 TEST(Lpt, MakespanSmallCases) {
   // Jobs {5,4,3,3,3} on 2 machines: LPT gives {5,3,3}=11 vs {4,3}=7 -> wait,
   // greedy: 5->A, 4->B, 3->B(7), 3->A(8), 3->B(10) => makespan 10.
