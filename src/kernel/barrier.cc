@@ -2,181 +2,95 @@
 
 #include <algorithm>
 
-#include "src/sched/thread_pool.h"
+#include "src/kernel/engine/phase_accountant.h"
 
 namespace unison {
 
-void BarrierKernel::Run(Time stop_time) {
-  stop_ = stop_time;
-  done_ = false;
-  profiling_ = profiler_ != nullptr && profiler_->enabled;
-  tracing_ = trace_ != nullptr && trace_->enabled;
+void BarrierKernel::Setup(const TopoGraph& graph, const Partition& partition) {
+  Kernel::Setup(graph, partition);
   const uint32_t ranks = num_lps();
-  if (profiling_) {
-    profiler_->BeginRun(ranks);
-  }
-  if (tracing_) {
-    trace_->BeginRun("barrier", ranks, num_lps());
-  }
-  const uint64_t run_t0 = Profiler::NowNs();
   barrier_ = std::make_unique<SpinBarrier>(ranks);
   rank_events_.assign(ranks, 0);
-  next_min_.Reset();
+  pool_.Ensure(ranks);
+}
 
-  WorkerTeam team(ranks);
-  team.Run([this](uint32_t rank) { RankLoop(rank); });
+void BarrierKernel::Run(Time stop_time) {
+  const uint32_t ranks = num_lps();
+  sync_.BeginRun("barrier", ranks, stop_time);
+  const uint64_t run_t0 = Profiler::NowNs();
+  rank_events_.assign(ranks, 0);
+
+  pool_.Run([this](uint32_t rank) { RankLoop(rank); });
 
   processed_events_ = 0;
   for (uint64_t n : rank_events_) {
     processed_events_ += n;
   }
+  rounds_ = sync_.round_index();
   FinishRun("barrier", ranks, Profiler::NowNs() - run_t0);
 }
 
 void BarrierKernel::RankLoop(uint32_t rank) {
   Lp* const lp = lps_[rank].get();
   uint64_t events = 0;
-  uint64_t rounds = 0;
-  ExecutorPhaseStats local{};
-  const bool timing = profiling_;
+  // Rank-local mirror of sync_.round_index(); keys the accountant's
+  // executor-private per-round rows (see unison.cc for why that is safe).
+  uint32_t round = 0;
+  PhaseAccountant acct(rank, sync_.profiling(), profiler_);
 
   for (;;) {
     // All-reduce the minimum next-event timestamp (MPI_Allreduce analogue).
-    next_min_.Update(lp->fel().NextTimestamp().ps());
-    uint64_t t = timing ? Profiler::NowNs() : 0;
-    // Prologue waits are buffered and attributed to the round only once the
-    // done check passes: on the termination iteration there is no round row
-    // to charge (they still land in the executor total).
-    uint64_t prologue_sync_ns = 0;
+    sync_.min().Update(lp->fel().NextTimestamp().ps());
+    acct.OpenInterval();
     barrier_->Arrive();
-    if (timing) {
-      const uint64_t now = Profiler::NowNs();
-      local.synchronization_ns += now - t;
-      prologue_sync_ns += now - t;
-      t = now;
-    }
-    if (rank == 0) {
-      const int64_t raw = next_min_.Get();
-      const Time min_next = raw == INT64_MAX ? Time::Max() : Time::Picoseconds(raw);
-      const Time npub = public_lp_->fel().NextTimestamp();
-      if (stop_requested_ || std::min(min_next, npub) >= stop_ ||
-          (min_next.IsMax() && npub.IsMax())) {
-        done_ = true;
-      } else {
-        if (min_next.IsMax() || partition_.lookahead.IsMax()) {
-          lbts_ = npub;
-        } else {
-          lbts_ = std::min(npub, min_next + partition_.lookahead);
-        }
-        window_ = std::min(lbts_, stop_);
-        next_min_.Reset();
-        if (profiling_) {
-          profiler_->BeginRound();
-        }
-        if (tracing_) {
-          // No live cross-rank event counter in this baseline: LiveEvents()
-          // reports the previous run's total, so events_before stays 0.
-          trace_->BeginRound(static_cast<uint32_t>(rounds), lbts_, window_, 0);
-        }
-      }
+    if (rank == 0 && sync_.ComputeWindow()) {
+      sync_.ResetMin();
+      // Counters were published by the barriers of the previous round, so
+      // the trace's events_before is a live cross-rank count.
+      sync_.CommitRound(LiveEvents());
     }
     barrier_->Arrive();
-    if (timing) {
-      const uint64_t now = Profiler::NowNs();
-      local.synchronization_ns += now - t;
-      prologue_sync_ns += now - t;
-      t = now;
+    if (sync_.done()) {
+      break;  // Termination waits stay unattributed: they have no round row.
     }
-    if (done_) {
-      break;
-    }
-    const uint32_t round = static_cast<uint32_t>(rounds);
-    ++rounds;
-    if (profiling_) {
-      profiler_->AddRoundSync(rank, round, prologue_sync_ns);
-    }
+    acct.BeginRound(round);
+    acct.CloseSync();
 
     // Process this rank's events inside the window.
-    const uint64_t n = lp->ProcessUntil(window_);
+    const uint64_t n = lp->ProcessUntil(sync_.window());
     events += n;
-    if (timing) {
-      const uint64_t now = Profiler::NowNs();
-      local.processing_ns += now - t;
-      if (profiling_) {
-        profiler_->AddRoundProcessing(rank, round, now - t);
-        if (profiler_->per_lp) {
-          profiler_->AddLpRound(rank, LpRoundCost{round, lp->id(),
-                                                  static_cast<uint32_t>(n),
-                                                  static_cast<uint32_t>(n), now - t});
-        }
-      }
-      t = now;
+    const uint64_t p_ns = acct.CloseProcessing();
+    if (acct.timing() && profiler_->per_lp) {
+      profiler_->AddLpRound(rank, LpRoundCost{round, lp->id(),
+                                              static_cast<uint32_t>(n),
+                                              static_cast<uint32_t>(n), p_ns});
     }
+    rank_events_[rank] = events;  // Published by the barrier for LiveEvents.
 
     // Rank 0 additionally handles global events at the window edge so that
     // simulation stop and progress reports work; stock ns-3 duplicates these
     // per rank, with the same observable effect. The surrounding barriers
     // keep the other ranks' FELs quiescent while rank 0 inserts into them.
     barrier_->Arrive();
-    if (timing) {
-      const uint64_t now = Profiler::NowNs();
-      local.synchronization_ns += now - t;
-      if (profiling_) {
-        profiler_->AddRoundSync(rank, round, now - t);
-      }
-      t = now;
-    }
+    acct.CloseSync();
     if (rank == 0) {
-      events += RunGlobalEvents(lbts_, stop_);
-      if (timing) {
-        const uint64_t now = Profiler::NowNs();
-        // Global-event time is rank 0's processing; previously it fell into
-        // an unmeasured gap between the two phase-2 barriers.
-        local.processing_ns += now - t;
-        if (profiling_) {
-          profiler_->AddRoundProcessing(rank, round, now - t);
-        }
-        t = now;
-      }
+      events += RunGlobalEvents(sync_.lbts(), sync_.stop());
+      rank_events_[rank] = events;
+      acct.CloseProcessing();
     }
     barrier_->Arrive();
-    if (timing) {
-      const uint64_t now = Profiler::NowNs();
-      local.synchronization_ns += now - t;
-      if (profiling_) {
-        profiler_->AddRoundSync(rank, round, now - t);
-      }
-      t = now;
-    }
+    acct.CloseSync();
 
     // Receive cross-LP events (M).
     lp->DrainInboxes();
-    if (timing) {
-      const uint64_t now = Profiler::NowNs();
-      local.messaging_ns += now - t;
-      t = now;
-    }
+    acct.CloseMessaging();
     barrier_->Arrive();
-    if (timing) {
-      const uint64_t now = Profiler::NowNs();
-      local.synchronization_ns += now - t;
-      if (profiling_) {
-        profiler_->AddRoundSync(rank, round, now - t);
-      }
-    }
+    acct.CloseSync();
+    ++round;
   }
 
   rank_events_[rank] = events;
-  if (rank == 0) {
-    rounds_ = rounds;
-  }
-  if (profiling_) {
-    auto& stats = profiler_->executor(rank);
-    stats.processing_ns = local.processing_ns;
-    stats.synchronization_ns = local.synchronization_ns;
-    stats.messaging_ns = local.messaging_ns;
-    stats.events = events;
-  }
+  acct.set_events(events);  // Destructor flushes the totals to the profiler.
 }
 
 }  // namespace unison

@@ -6,12 +6,16 @@
 // next-event timestamp to obtain the LBTS (Eq. 1), process events below it,
 // and barrier. Cross-LP events go through a locked per-rank inbox, mimicking
 // MPI message receipt — including its arrival-order indeterminism when the
-// kernel runs with deterministic=false.
+// kernel runs with deterministic=false. The prologue, P/S/M accounting, and
+// rank threads come from the shared engine (src/kernel/engine/).
 #ifndef UNISON_SRC_KERNEL_BARRIER_H_
 #define UNISON_SRC_KERNEL_BARRIER_H_
 
 #include <memory>
+#include <vector>
 
+#include "src/kernel/engine/executor_pool.h"
+#include "src/kernel/engine/round_sync.h"
 #include "src/kernel/kernel.h"
 #include "src/sched/barrier_sync.h"
 
@@ -21,7 +25,16 @@ class BarrierKernel : public Kernel {
  public:
   using Kernel::Kernel;
 
+  void Setup(const TopoGraph& graph, const Partition& partition) override;
   void Run(Time stop_time) override;
+
+  uint64_t LiveEvents() const override {
+    uint64_t sum = 0;
+    for (uint64_t n : rank_events_) {
+      sum += n;
+    }
+    return sum;
+  }
 
  protected:
   // Cross-LP transfer via the target's locked inbox: arrival order depends
@@ -34,15 +47,12 @@ class BarrierKernel : public Kernel {
  private:
   void RankLoop(uint32_t rank);
 
-  Time stop_;
-  Time window_;
-  Time lbts_;
-  bool done_ = false;
+  ExecutorPool pool_;    // Threads spawned once at Setup, reused across runs.
+  RoundSync sync_{this};
   std::unique_ptr<SpinBarrier> barrier_;
-  AtomicTimeMin next_min_;
+  // Per-rank event counters, published at each round barrier so LiveEvents()
+  // is live mid-run (global progress events see current counts).
   std::vector<uint64_t> rank_events_;
-  bool profiling_ = false;
-  bool tracing_ = false;
 };
 
 }  // namespace unison

@@ -1,0 +1,80 @@
+#include "src/kernel/engine/executor_pool.h"
+
+#include <utility>
+
+namespace unison {
+
+namespace {
+std::atomic<uint64_t> g_total_threads_spawned{0};
+}  // namespace
+
+uint64_t ExecutorPool::TotalThreadsSpawned() {
+  return g_total_threads_spawned.load(std::memory_order_relaxed);
+}
+
+ExecutorPool::~ExecutorPool() { Shutdown(); }
+
+void ExecutorPool::Shutdown() {
+  if (!threads_.empty()) {
+    shutdown_.store(true, std::memory_order_release);
+    epoch_.fetch_add(1, std::memory_order_acq_rel);
+    epoch_.notify_all();
+    for (auto& t : threads_) {
+      t.join();
+    }
+    threads_.clear();
+    shutdown_.store(false, std::memory_order_relaxed);
+  }
+  parties_ = 0;
+}
+
+void ExecutorPool::Ensure(uint32_t parties) {
+  if (parties == parties_) {
+    return;
+  }
+  Shutdown();
+  parties_ = parties;
+  threads_.reserve(parties - 1);
+  // New threads must baseline on the epoch as of spawn time: a thread that
+  // read the counter only after a later Run() bumped it would mistake that
+  // run's epoch for "already seen" and sleep through it.
+  const uint64_t seen = epoch_.load(std::memory_order_relaxed);
+  for (uint32_t id = 1; id < parties; ++id) {
+    threads_.emplace_back([this, id, seen] { Loop(id, seen); });
+    ++threads_spawned_;
+    g_total_threads_spawned.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ExecutorPool::Run(std::function<void(uint32_t)> body) {
+  body_ = std::move(body);
+  done_.store(0, std::memory_order_release);
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  epoch_.notify_all();
+  body_(0);
+  // Wait for the other workers.
+  uint32_t done = done_.load(std::memory_order_acquire);
+  while (done != parties_ - 1) {
+    done_.wait(done, std::memory_order_acquire);
+    done = done_.load(std::memory_order_acquire);
+  }
+}
+
+void ExecutorPool::Loop(uint32_t id, uint64_t seen) {
+  for (;;) {
+    uint64_t e = epoch_.load(std::memory_order_acquire);
+    while (e == seen) {
+      epoch_.wait(e, std::memory_order_acquire);
+      e = epoch_.load(std::memory_order_acquire);
+    }
+    seen = e;
+    if (shutdown_.load(std::memory_order_acquire)) {
+      return;
+    }
+    body_(id);
+    done_.fetch_add(1, std::memory_order_acq_rel);
+    done_.notify_all();
+  }
+}
+
+}  // namespace unison

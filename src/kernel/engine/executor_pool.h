@@ -1,0 +1,65 @@
+// A persistent team of workers that execute one body function in lockstep.
+//
+// The calling thread participates as worker 0, so a pool of N parties uses
+// N-1 OS threads. Unlike the per-run WorkerTeam it replaces, the pool is
+// created once (at Kernel::Setup) and its threads park in a futex wait
+// between Run() invocations, so back-to-back runs on one kernel instance —
+// and multi-run benches like bench_fig08b_speedup, which execute dozens of
+// short simulations per process — never pay thread spawn/join more than once.
+//
+// Kernels hand the pool their whole round loop once per run; phase
+// synchronization inside the loop is the kernel's job (SpinBarrier).
+#ifndef UNISON_SRC_KERNEL_ENGINE_EXECUTOR_POOL_H_
+#define UNISON_SRC_KERNEL_ENGINE_EXECUTOR_POOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace unison {
+
+class ExecutorPool {
+ public:
+  ExecutorPool() = default;
+  ~ExecutorPool();
+
+  ExecutorPool(const ExecutorPool&) = delete;
+  ExecutorPool& operator=(const ExecutorPool&) = delete;
+
+  // Ensures the pool has exactly `parties` workers, the caller counting as
+  // worker 0. A no-op when the size already matches (the running threads are
+  // reused); otherwise the old set is retired and a fresh one spawned.
+  void Ensure(uint32_t parties);
+
+  uint32_t parties() const { return parties_; }
+
+  // Runs body(worker_id) on all workers, the caller included as id 0.
+  // Returns when every worker has finished. Not reentrant.
+  void Run(std::function<void(uint32_t)> body);
+
+  // Cumulative OS threads spawned by this pool. Test hook: a second Run() on
+  // the same pool must not move it.
+  uint64_t threads_spawned() const { return threads_spawned_; }
+
+  // Process-wide spawn counter across all pools, for tests that only hold a
+  // Kernel and cannot reach its pool.
+  static uint64_t TotalThreadsSpawned();
+
+ private:
+  void Shutdown();
+  void Loop(uint32_t id, uint64_t seen);
+
+  uint32_t parties_ = 0;
+  std::function<void(uint32_t)> body_;
+  std::atomic<uint64_t> epoch_{0};
+  std::atomic<uint32_t> done_{0};
+  std::atomic<bool> shutdown_{false};
+  std::vector<std::thread> threads_;
+  uint64_t threads_spawned_ = 0;
+};
+
+}  // namespace unison
+
+#endif  // UNISON_SRC_KERNEL_ENGINE_EXECUTOR_POOL_H_

@@ -1,0 +1,71 @@
+#include "src/kernel/engine/round_sync.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/kernel/kernel.h"
+
+namespace unison {
+
+void RoundSync::BeginRun(const char* kernel_name, uint32_t executors, Time stop) {
+  stop_ = stop;
+  lbts_ = Time::Zero();
+  window_ = Time::Zero();
+  done_ = false;
+  round_index_ = 0;
+  next_min_.Reset();
+  Profiler* const profiler = kernel_->profiler();
+  RunTrace* const trace = kernel_->trace();
+  profiling_ = profiler != nullptr && profiler->enabled;
+  tracing_ = trace != nullptr && trace->enabled;
+  if (profiling_) {
+    profiler->BeginRun(executors);
+  }
+  if (tracing_) {
+    trace->BeginRun(kernel_name, executors, kernel_->num_lps());
+  }
+}
+
+void RoundSync::SeedMinFromLps() {
+  for (uint32_t i = 0; i < kernel_->num_lps(); ++i) {
+    next_min_.Update(kernel_->lp(i)->fel().NextTimestamp().ps());
+  }
+}
+
+bool RoundSync::ComputeWindow() {
+  const int64_t raw_min = next_min_.Get();
+  const Time min_next =
+      raw_min == INT64_MAX ? Time::Max() : Time::Picoseconds(raw_min);
+  const Time npub = kernel_->public_lp()->fel().NextTimestamp();
+  if (kernel_->stop_requested() || std::min(min_next, npub) >= stop_ ||
+      (min_next.IsMax() && npub.IsMax())) {
+    done_ = true;
+    return false;
+  }
+  const Time lookahead = kernel_->partition().lookahead;
+  if (min_next.IsMax() || lookahead.IsMax()) {
+    lbts_ = npub;
+  } else {
+    lbts_ = std::min(npub, min_next + lookahead);
+  }
+  window_ = std::min(lbts_, stop_);
+  return true;
+}
+
+void RoundSync::CommitRound(uint64_t events_before) {
+  if (profiling_) {
+    kernel_->profiler()->BeginRound();
+  }
+  if (tracing_) {
+    kernel_->trace()->BeginRound(round_index_, lbts_, window_, events_before);
+  }
+  ++round_index_;
+}
+
+void RoundSync::RecordClaimOrder(const std::vector<uint32_t>& order) {
+  if (tracing_) {
+    kernel_->trace()->RecordClaimOrder(order);
+  }
+}
+
+}  // namespace unison

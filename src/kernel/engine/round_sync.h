@@ -1,0 +1,82 @@
+// The shared coordinator prologue of the barrier-phase kernels.
+//
+// Barrier, Unison, and hybrid each used to carry a private copy of the same
+// start-of-round logic: fold the workers' min-reduction into the Eq. 2 LBTS,
+// run the stop/termination check, and open the profiler/trace round. Copies
+// drift — the cross-kernel time-composition comparisons (Figs. 5b/9b/13) are
+// only trustworthy when every kernel runs identically-audited machinery — so
+// RoundSync is the single implementation, parameterized by kernel name. The
+// null-message kernel keeps its channel-local windows (it has no global
+// rounds) but uses BeginRun for the same run-level bookkeeping.
+//
+// All methods are coordinator-only (worker 0 / rank 0, between barriers),
+// except min(): that is the atomic the workers' partial minima fold into
+// during the window-update phase.
+#ifndef UNISON_SRC_KERNEL_ENGINE_ROUND_SYNC_H_
+#define UNISON_SRC_KERNEL_ENGINE_ROUND_SYNC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/time.h"
+#include "src/sched/barrier_sync.h"
+
+namespace unison {
+
+class Kernel;
+
+class RoundSync {
+ public:
+  explicit RoundSync(Kernel* kernel) : kernel_(kernel) {}
+
+  RoundSync(const RoundSync&) = delete;
+  RoundSync& operator=(const RoundSync&) = delete;
+
+  // Once per Run: caches the profiling/tracing flags, begins the profiler and
+  // trace runs under `kernel_name`, and resets the round/termination state.
+  void BeginRun(const char* kernel_name, uint32_t executors, Time stop);
+
+  // Seeds the min-reduction with every LP's next event timestamp. Kernels
+  // whose workers fold partial minima at the *end* of each round need this
+  // before the first prologue.
+  void SeedMinFromLps();
+
+  // Folds the min-reduction into the Eq. 2 LBTS and runs the stop/termination
+  // check. Returns false — and latches done() — when the run is over.
+  bool ComputeWindow();
+
+  // Opens round round_index(): begins the profiler and trace rounds, then
+  // advances the index. `events_before` is the kernel's live event count.
+  void CommitRound(uint64_t events_before);
+
+  // Attaches a re-sorted scheduler claim order to the round just committed.
+  void RecordClaimOrder(const std::vector<uint32_t>& order);
+
+  bool profiling() const { return profiling_; }
+  bool tracing() const { return tracing_; }
+  bool done() const { return done_; }
+  Time stop() const { return stop_; }
+  Time lbts() const { return lbts_; }
+  Time window() const { return window_; }
+  uint32_t round_index() const { return round_index_; }
+
+  AtomicTimeMin& min() { return next_min_; }
+  void ResetMin() { next_min_.Reset(); }
+
+ private:
+  Kernel* const kernel_;
+  Time stop_;
+  Time lbts_;
+  Time window_;
+  // Written by the coordinator between barriers, read by every worker after
+  // the next barrier; the barrier's acquire/release ordering publishes it.
+  bool done_ = false;
+  bool profiling_ = false;
+  bool tracing_ = false;
+  uint32_t round_index_ = 0;
+  AtomicTimeMin next_min_;
+};
+
+}  // namespace unison
+
+#endif  // UNISON_SRC_KERNEL_ENGINE_ROUND_SYNC_H_

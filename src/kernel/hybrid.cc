@@ -4,6 +4,7 @@
 #include <bit>
 #include <numeric>
 
+#include "src/kernel/engine/phase_accountant.h"
 #include "src/sched/lpt.h"
 
 namespace unison {
@@ -40,60 +41,38 @@ void HybridKernel::Setup(const TopoGraph& graph, const Partition& partition) {
   const uint32_t n = std::max(2u, num_lps());
   period_ = config_.sched_period > 0 ? config_.sched_period : std::bit_width(n - 1);
   last_round_ns_.assign(num_lps(), 0);
-  round_index_ = 0;
+  const uint32_t workers = ranks_ * lanes_;
+  barrier_ = std::make_unique<SpinBarrier>(workers);
+  pool_.Ensure(workers);
 }
 
 void HybridKernel::Run(Time stop_time) {
-  stop_ = stop_time;
-  done_ = false;
-  profiling_ = profiler_ != nullptr && profiler_->enabled;
-  tracing_ = trace_ != nullptr && trace_->enabled;
-  timing_ = profiling_ || config_.metric == SchedulingMetric::kByLastRoundTime;
   const uint32_t workers = ranks_ * lanes_;
-  if (profiling_) {
-    profiler_->BeginRun(workers);
-  }
-  if (tracing_) {
-    trace_->BeginRun("hybrid", workers, num_lps());
-  }
+  sync_.BeginRun("hybrid", workers, stop_time);
+  timing_ =
+      sync_.profiling() || config_.metric == SchedulingMetric::kByLastRoundTime;
   const uint64_t run_t0 = Profiler::NowNs();
-  barrier_ = std::make_unique<SpinBarrier>(workers);
   worker_events_.assign(workers, 0);
 
-  next_min_.Reset();
-  for (const auto& lp : lps_) {
-    next_min_.Update(lp->fel().NextTimestamp().ps());
-  }
+  sync_.SeedMinFromLps();
 
-  WorkerTeam team(workers);
-  team.Run([this](uint32_t worker) { RoundLoop(worker); });
+  pool_.Run([this](uint32_t worker) { RoundLoop(worker); });
 
   processed_events_ = 0;
   for (uint64_t n : worker_events_) {
     processed_events_ += n;
   }
-  rounds_ = round_index_;
+  rounds_ = sync_.round_index();
   FinishRun("hybrid", workers, Profiler::NowNs() - run_t0);
 }
 
 void HybridKernel::Prologue() {
-  const int64_t raw_min = next_min_.Get();
-  const Time min_next = raw_min == INT64_MAX ? Time::Max() : Time::Picoseconds(raw_min);
-  const Time npub = public_lp_->fel().NextTimestamp();
-  if (stop_requested_ || std::min(min_next, npub) >= stop_ ||
-      (min_next.IsMax() && npub.IsMax())) {
-    done_ = true;
+  if (!sync_.ComputeWindow()) {
     return;
   }
-  if (min_next.IsMax() || partition_.lookahead.IsMax()) {
-    lbts_ = npub;
-  } else {
-    lbts_ = std::min(npub, min_next + partition_.lookahead);
-  }
-  window_ = std::min(lbts_, stop_);
-
   bool resorted = false;
-  if (round_index_ % period_ == 0 && config_.metric != SchedulingMetric::kNone) {
+  if (sync_.round_index() % period_ == 0 &&
+      config_.metric != SchedulingMetric::kNone) {
     // Per-rank re-sort. ByPendingEventCount degrades to ByLastRoundTime here:
     // counting FEL events cross-rank from the coordinator would be a remote
     // operation on a real deployment.
@@ -111,24 +90,18 @@ void HybridKernel::Prologue() {
     }
     resorted = true;
   }
-  if (tracing_) {
-    trace_->BeginRound(round_index_, lbts_, window_, LiveEvents());
-    if (resorted) {
-      // Flatten the per-rank orders (rank-major) into one claim order.
-      record_order_buf_.clear();
-      for (uint32_t r = 0; r < ranks_; ++r) {
-        record_order_buf_.insert(record_order_buf_.end(), rank_order_[r].begin(),
-                                 rank_order_[r].end());
-      }
-      trace_->RecordClaimOrder(record_order_buf_);
+  sync_.CommitRound(LiveEvents());
+  if (resorted && sync_.tracing()) {
+    // Flatten the per-rank orders (rank-major) into one claim order.
+    record_order_buf_.clear();
+    for (uint32_t r = 0; r < ranks_; ++r) {
+      record_order_buf_.insert(record_order_buf_.end(), rank_order_[r].begin(),
+                               rank_order_[r].end());
     }
+    sync_.RecordClaimOrder(record_order_buf_);
   }
-  ++round_index_;
   for (uint32_t r = 0; r < ranks_; ++r) {
     rank_claim_[r]->store(0, std::memory_order_relaxed);
-  }
-  if (profiling_) {
-    profiler_->BeginRound();
   }
 }
 
@@ -140,89 +113,54 @@ void HybridKernel::RoundLoop(uint32_t worker) {
   std::atomic<uint32_t>& claim = *rank_claim_[rank];
   std::atomic<uint32_t>& claim_recv = *rank_claim_recv_[rank];
   uint64_t events = 0;
-  // Worker-local mirror of round_index_; keys the profiler's executor-private
-  // per-round rows (see unison.cc).
+  // Worker-local mirror of sync_.round_index(); keys the accountant's
+  // executor-private per-round rows (see unison.cc).
   uint32_t round = 0;
-  ExecutorPhaseStats local{};
+  PhaseAccountant acct(worker, timing_, profiler_);
 
   for (;;) {
     if (worker == 0) {
       Prologue();
     }
-    uint64_t t = timing_ ? Profiler::NowNs() : 0;
+    acct.OpenInterval();
     barrier_->Arrive();
-    if (done_) {
-      break;
+    if (sync_.done()) {
+      break;  // Termination wait stays unattributed: it has no round row.
     }
-    if (timing_) {
-      const uint64_t now = Profiler::NowNs();
-      local.synchronization_ns += now - t;
-      if (profiling_) {
-        profiler_->AddRoundSync(worker, round, now - t);
-      }
-      t = now;
-    }
+    acct.BeginRound(round);
+    acct.CloseSync();
 
     // Phase 1: process this rank's LPs in scheduler order.
+    const Time window = sync_.window();
     for (;;) {
       const uint32_t i = claim.fetch_add(1, std::memory_order_relaxed);
       if (i >= my_order.size()) {
         break;
       }
       const LpId lp_id = my_order[i];
-      const uint64_t lp_t0 = timing_ ? Profiler::NowNs() : 0;
-      const uint64_t n = lps_[lp_id]->ProcessUntil(window_);
+      const uint64_t lp_t0 = acct.timing() ? Profiler::NowNs() : 0;
+      const uint64_t n = lps_[lp_id]->ProcessUntil(window);
       events += n;
-      if (timing_) {
+      if (acct.timing()) {
         last_round_ns_[lp_id] = Profiler::NowNs() - lp_t0;
       }
     }
-    if (timing_) {
-      const uint64_t now = Profiler::NowNs();
-      local.processing_ns += now - t;
-      if (profiling_) {
-        profiler_->AddRoundProcessing(worker, round, now - t);
-      }
-      t = now;
-    }
+    acct.CloseProcessing();
     worker_events_[worker] = events;  // Published by the barrier for LiveEvents.
     barrier_->Arrive();
-    if (timing_) {
-      const uint64_t now = Profiler::NowNs();
-      local.synchronization_ns += now - t;
-      if (profiling_) {
-        profiler_->AddRoundSync(worker, round, now - t);
-      }
-      t = now;
-    }
+    acct.CloseSync();
 
     // Phase 2: globals on the rank-0 main worker.
     if (worker == 0) {
-      events += RunGlobalEvents(lbts_, stop_);
+      events += RunGlobalEvents(sync_.lbts(), sync_.stop());
       for (uint32_t r = 0; r < ranks_; ++r) {
         rank_claim_recv_[r]->store(0, std::memory_order_relaxed);
       }
-      next_min_.Reset();
-      if (timing_) {
-        const uint64_t now = Profiler::NowNs();
-        local.processing_ns += now - t;
-        if (profiling_) {
-          // Global-event time is processing, not the synchronization it was
-          // previously lumped into (same undercount as unison.cc had).
-          profiler_->AddRoundProcessing(worker, round, now - t);
-        }
-        t = now;
-      }
+      sync_.ResetMin();
+      acct.CloseProcessing();
     }
     barrier_->Arrive();
-    if (timing_) {
-      const uint64_t now = Profiler::NowNs();
-      local.synchronization_ns += now - t;
-      if (profiling_) {
-        profiler_->AddRoundSync(worker, round, now - t);
-      }
-      t = now;
-    }
+    acct.CloseSync();
 
     // Phase 3: receive — intra-rank and inter-rank mailboxes alike.
     for (;;) {
@@ -232,52 +170,25 @@ void HybridKernel::RoundLoop(uint32_t worker) {
       }
       lps_[my_lps[i]]->DrainInboxes();
     }
-    if (timing_) {
-      const uint64_t now = Profiler::NowNs();
-      local.messaging_ns += now - t;
-      t = now;
-    }
+    acct.CloseMessaging();
     // Drains must complete (globally: inter-rank mailboxes too) before any
     // lane reads FELs for the all-reduce.
     barrier_->Arrive();
-    if (timing_) {
-      const uint64_t now = Profiler::NowNs();
-      local.synchronization_ns += now - t;
-      if (profiling_) {
-        profiler_->AddRoundSync(worker, round, now - t);
-      }
-      t = now;
-    }
+    acct.CloseSync();
 
     // Phase 4: all-reduce — each lane folds a strided slice of its rank's
     // LPs into the shared minimum.
     for (uint32_t i = lane; i < my_lps.size(); i += lanes_) {
-      next_min_.Update(lps_[my_lps[i]]->fel().NextTimestamp().ps());
+      sync_.min().Update(lps_[my_lps[i]]->fel().NextTimestamp().ps());
     }
-    if (timing_) {
-      const uint64_t now = Profiler::NowNs();
-      local.messaging_ns += now - t;
-      t = now;
-    }
+    acct.CloseMessaging();
     barrier_->Arrive();
-    if (timing_) {
-      const uint64_t now = Profiler::NowNs();
-      local.synchronization_ns += now - t;
-      if (profiling_) {
-        profiler_->AddRoundSync(worker, round, now - t);
-      }
-    }
+    acct.CloseSync();
     ++round;
   }
 
   worker_events_[worker] = events;
-  if (profiling_) {
-    auto& stats = profiler_->executor(worker);
-    stats.processing_ns = local.processing_ns;
-    stats.synchronization_ns = local.synchronization_ns;
-    stats.messaging_ns = local.messaging_ns;
-    stats.events = events;
-  }
+  acct.set_events(events);  // Destructor flushes the totals to the profiler.
 }
 
 }  // namespace unison

@@ -12,7 +12,9 @@
 // The semantic difference from plain Unison is that load balancing never
 // crosses a rank boundary: a rank's workers only ever claim that rank's LPs,
 // so skew between hosts shows up as synchronization time — which is what the
-// distributed experiments of the paper measure.
+// distributed experiments of the paper measure. The prologue, P/S/M
+// accounting, and worker threads come from the shared engine
+// (src/kernel/engine/).
 #ifndef UNISON_SRC_KERNEL_HYBRID_H_
 #define UNISON_SRC_KERNEL_HYBRID_H_
 
@@ -20,9 +22,10 @@
 #include <memory>
 #include <vector>
 
+#include "src/kernel/engine/executor_pool.h"
+#include "src/kernel/engine/round_sync.h"
 #include "src/kernel/kernel.h"
 #include "src/sched/barrier_sync.h"
-#include "src/sched/thread_pool.h"
 
 namespace unison {
 
@@ -51,14 +54,10 @@ class HybridKernel : public Kernel {
   uint32_t ranks_ = 2;
   uint32_t lanes_ = 1;  // Workers per rank.
   uint32_t period_ = 1;
-  Time stop_;
 
-  Time window_;
-  Time lbts_;
-  bool done_ = false;
-
+  ExecutorPool pool_;    // Threads spawned once at Setup, reused across runs.
+  RoundSync sync_{this};
   std::unique_ptr<SpinBarrier> barrier_;
-  AtomicTimeMin next_min_;
 
   std::vector<uint32_t> rank_of_lp_;
   std::vector<std::vector<uint32_t>> rank_lps_;    // LP ids per rank.
@@ -68,10 +67,7 @@ class HybridKernel : public Kernel {
   std::vector<uint64_t> last_round_ns_;
   std::vector<uint64_t> worker_events_;
   std::vector<uint32_t> record_order_buf_;  // Trace scratch: flattened order.
-  uint32_t round_index_ = 0;
   bool timing_ = false;
-  bool profiling_ = false;
-  bool tracing_ = false;
 };
 
 }  // namespace unison

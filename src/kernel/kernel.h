@@ -88,6 +88,9 @@ class Kernel {
 
   // Requests an early stop; takes effect at the next window boundary.
   void RequestStop() { stop_requested_ = true; }
+  bool stop_requested() const {
+    return stop_requested_.load(std::memory_order_relaxed);
+  }
 
   // --- Introspection ---
 

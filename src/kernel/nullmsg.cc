@@ -4,40 +4,36 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "src/sched/thread_pool.h"
+#include "src/kernel/engine/phase_accountant.h"
 
 namespace unison {
 
 void NullMessageKernel::Setup(const TopoGraph& graph, const Partition& partition) {
   Kernel::Setup(graph, partition);
   channels_.clear();
+  channel_of_pair_.clear();
   ctl_.clear();
   for (uint32_t i = 0; i < num_lps(); ++i) {
     ctl_.push_back(std::make_unique<LpCtl>());
   }
   // One channel per directed cut pair; its lookahead is the minimum delay of
-  // the cut links between the pair.
-  auto find = [this](LpId from, LpId to) -> Channel* {
-    for (auto& c : channels_) {
-      if (c->from == from && c->to == to) {
-        return c.get();
-      }
-    }
-    return nullptr;
-  };
+  // the cut links between the pair. The pair map makes wiring O(E) instead of
+  // O(E·C), and stays live for ScheduleRemote's channel lookups.
+  channel_of_pair_.reserve(partition_.cut_edges.size() * 2);
   for (const CutEdge& edge : partition_.cut_edges) {
     for (const auto& [src, dst] : {std::pair{edge.a, edge.b}, std::pair{edge.b, edge.a}}) {
-      Channel* c = find(src, dst);
-      if (c == nullptr) {
+      auto [it, inserted] = channel_of_pair_.try_emplace(PairKey(src, dst), nullptr);
+      if (inserted) {
         channels_.push_back(std::make_unique<Channel>());
-        c = channels_.back().get();
+        Channel* const c = channels_.back().get();
         c->from = src;
         c->to = dst;
         c->lookahead = edge.delay;
         ctl_[src]->out.push_back(c);
         ctl_[dst]->in.push_back(c);
+        it->second = c;
       } else {
-        c->lookahead = std::min(c->lookahead, edge.delay);
+        it->second->lookahead = std::min(it->second->lookahead, edge.delay);
       }
     }
   }
@@ -50,20 +46,16 @@ void NullMessageKernel::Setup(const TopoGraph& graph, const Partition& partition
       std::abort();
     }
   }
+  pool_.Ensure(num_lps());
 }
 
 void NullMessageKernel::ScheduleRemote(Lp* from, LpId target, Event ev) {
-  Channel* chan = nullptr;
-  for (Channel* c : ctl_[from->id()]->out) {
-    if (c->to == target) {
-      chan = c;
-      break;
-    }
-  }
-  if (chan == nullptr) {
+  const auto it = channel_of_pair_.find(PairKey(from->id(), target));
+  if (it == channel_of_pair_.end()) {
     std::fprintf(stderr, "NullMessageKernel: no channel %u->%u\n", from->id(), target);
     std::abort();
   }
+  Channel* const chan = it->second;
   // Piggy-backed promise: sender send-times are nondecreasing, so no future
   // message on this channel can carry a timestamp below now + lookahead.
   // (The message's own ts is not a valid promise — with several links pooled
@@ -87,7 +79,6 @@ void NullMessageKernel::Signal(LpId target) {
 }
 
 void NullMessageKernel::Run(Time stop_time) {
-  stop_ = stop_time;
   // Runtime global events are unsupported; drain setup-time (t = 0) globals
   // up front so initializers still work.
   if (!public_lp_->fel().Empty()) {
@@ -99,20 +90,24 @@ void NullMessageKernel::Run(Time stop_time) {
       std::abort();
     }
   }
-  const bool profiling = profiler_ != nullptr && profiler_->enabled;
-  if (profiling) {
-    profiler_->BeginRun(num_lps());
-  }
-  if (trace_ != nullptr && trace_->enabled) {
-    // No shared synchronization rounds in this algorithm: the trace carries
-    // the summary and per-executor P/S/M only.
-    trace_->BeginRun("nullmsg", num_lps(), num_lps());
-  }
+  // No shared synchronization rounds in this algorithm: BeginRun covers the
+  // run-level profiler/trace bookkeeping; the trace carries the summary and
+  // per-executor P/S/M only.
+  sync_.BeginRun("nullmsg", num_lps(), stop_time);
   const uint64_t run_t0 = Profiler::NowNs();
   lp_events_.assign(num_lps(), 0);
+  // Reset channel promises so back-to-back runs start conservative: run 1's
+  // final clocks (often latched at +inf once every FEL drained) would let
+  // run 2 process events below messages still to be sent. Undelivered events
+  // are kept — their timestamps are at or past the old stop, so they belong
+  // to this run.
+  for (const auto& c : channels_) {
+    std::lock_guard<std::mutex> lock(c->mu);
+    c->clock_ps = 0;
+    c->nulls = 0;
+  }
 
-  WorkerTeam team(num_lps());
-  team.Run([this](uint32_t id) { LpLoop(id); });
+  pool_.Run([this](uint32_t id) { LpLoop(id); });
 
   processed_events_ = 0;
   for (uint64_t n : lp_events_) {
@@ -128,10 +123,13 @@ void NullMessageKernel::Run(Time stop_time) {
 void NullMessageKernel::LpLoop(LpId id) {
   Lp* const lp = lps_[id].get();
   LpCtl& ctl = *ctl_[id];
-  const bool profiling = profiler_ != nullptr && profiler_->enabled;
-  ExecutorPhaseStats local{};
+  const Time stop = sync_.stop();
   uint64_t events = 0;
   uint64_t rounds = 0;
+  // "Rounds" are LP-local iterations here; they still key executor-private
+  // per-round rows so the rows-sum-to-totals invariant holds for this kernel
+  // too, even though iteration counts differ per executor.
+  PhaseAccountant acct(id, sync_.profiling(), profiler_);
 
   for (;;) {
     uint64_t sig;
@@ -139,7 +137,8 @@ void NullMessageKernel::LpLoop(LpId id) {
       std::lock_guard<std::mutex> lock(ctl.mu);
       sig = ctl.signal;
     }
-    uint64_t t = profiling ? Profiler::NowNs() : 0;
+    acct.BeginRound(static_cast<uint32_t>(rounds));
+    acct.OpenInterval();
 
     // Receive: drain input channels, note their clocks.
     Time safe_in = Time::Max();
@@ -154,22 +153,13 @@ void NullMessageKernel::LpLoop(LpId id) {
         lp->Insert(std::move(ev));
       }
     }
-    if (profiling) {
-      const uint64_t now = Profiler::NowNs();
-      local.messaging_ns += now - t;
-      t = now;
-    }
+    acct.CloseMessaging();
 
     // Process below the conservative bound.
-    const Time bound = std::min(safe_in, stop_);
-    const uint64_t n = lp->ProcessUntil(bound);
-    events += n;
+    const Time bound = std::min(safe_in, stop);
+    events += lp->ProcessUntil(bound);
     ++rounds;
-    if (profiling) {
-      const uint64_t now = Profiler::NowNs();
-      local.processing_ns += now - t;
-      t = now;
-    }
+    acct.CloseProcessing();
 
     // Refresh output promises (eager null messages).
     const Time horizon = std::min(lp->fel().NextTimestamp(), safe_in);
@@ -190,14 +180,10 @@ void NullMessageKernel::LpLoop(LpId id) {
         Signal(c->to);
       }
     }
-    if (profiling) {
-      const uint64_t now = Profiler::NowNs();
-      local.messaging_ns += now - t;
-      t = now;
-    }
+    acct.CloseMessaging();
 
-    if (stop_requested_.load(std::memory_order_relaxed) || bound >= stop_) {
-      break;  // Everything below stop_ is done; final promises already sent.
+    if (stop_requested() || bound >= stop) {
+      break;  // Everything below stop is done; final promises already sent.
     }
 
     // Block until some input channel changes.
@@ -205,22 +191,14 @@ void NullMessageKernel::LpLoop(LpId id) {
       std::unique_lock<std::mutex> lock(ctl.mu);
       ctl.cv.wait(lock, [&ctl, sig] { return ctl.signal != sig; });
     }
-    if (profiling) {
-      local.synchronization_ns += Profiler::NowNs() - t;
-    }
+    acct.CloseSync();
   }
 
   lp_events_[id] = events;
   if (id == 0) {
     rounds_ = rounds;
   }
-  if (profiling) {
-    auto& stats = profiler_->executor(id);
-    stats.processing_ns = local.processing_ns;
-    stats.synchronization_ns = local.synchronization_ns;
-    stats.messaging_ns = local.messaging_ns;
-    stats.events = events;
-  }
+  acct.set_events(events);  // Destructor flushes the totals to the profiler.
 }
 
 }  // namespace unison

@@ -10,14 +10,19 @@
 //
 // One executor per LP, as with the MPI-based implementations the paper
 // profiles; runtime global events are not supported (the paper's §4.2 makes
-// the same observation about existing PDES).
+// the same observation about existing PDES). There are no shared rounds, so
+// only the engine's ExecutorPool and PhaseAccountant apply; RoundSync is
+// used for its run-level profiler/trace bookkeeping.
 #ifndef UNISON_SRC_KERNEL_NULLMSG_H_
 #define UNISON_SRC_KERNEL_NULLMSG_H_
 
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 
+#include "src/kernel/engine/executor_pool.h"
+#include "src/kernel/engine/round_sync.h"
 #include "src/kernel/kernel.h"
 
 namespace unison {
@@ -29,7 +34,8 @@ class NullMessageKernel : public Kernel {
   void Setup(const TopoGraph& graph, const Partition& partition) override;
   void Run(Time stop_time) override;
 
-  // Total null messages exchanged; exposed for the overhead benches.
+  // Total null messages exchanged during the last run; exposed for the
+  // overhead benches.
   uint64_t null_messages() const { return null_messages_; }
 
  protected:
@@ -54,13 +60,21 @@ class NullMessageKernel : public Kernel {
     uint64_t signal = 0;  // Bumped under mu whenever an in-channel changes.
   };
 
+  static uint64_t PairKey(LpId from, LpId to) {
+    return (static_cast<uint64_t>(from) << 32) | to;
+  }
+
   void Signal(LpId target);
   void LpLoop(LpId id);
 
+  ExecutorPool pool_;    // Threads spawned once at Setup, reused across runs.
+  RoundSync sync_{this};
   std::vector<std::unique_ptr<Channel>> channels_;
+  // Directed pair → channel; built at Setup, reused by ScheduleRemote so the
+  // send path is one hash probe instead of a scan over the sender's fan-out.
+  std::unordered_map<uint64_t, Channel*> channel_of_pair_;
   std::vector<std::unique_ptr<LpCtl>> ctl_;
   std::vector<uint64_t> lp_events_;
-  Time stop_;
   uint64_t null_messages_ = 0;
 };
 

@@ -4,6 +4,7 @@
 #include <bit>
 #include <numeric>
 
+#include "src/kernel/engine/phase_accountant.h"
 #include "src/sched/lpt.h"
 #include "src/sched/metrics.h"
 
@@ -24,66 +25,42 @@ void UnisonKernel::Setup(const TopoGraph& graph, const Partition& partition) {
   std::iota(order_.begin(), order_.end(), 0);
   last_round_ns_.assign(num_lps(), 0);
   worker_events_.assign(num_workers_, 0);
-  round_index_ = 0;
+  barrier_ = std::make_unique<SpinBarrier>(num_workers_);
+  pool_.Ensure(num_workers_);
 }
 
 void UnisonKernel::Run(Time stop_time) {
-  stop_ = stop_time;
-  done_ = false;
-  profiling_ = profiler_ != nullptr && profiler_->enabled;
-  tracing_ = trace_ != nullptr && trace_->enabled;
-  timing_ = profiling_ || config_.metric == SchedulingMetric::kByLastRoundTime;
-  if (profiling_) {
-    profiler_->BeginRun(num_workers_);
-  }
-  if (tracing_) {
-    trace_->BeginRun("unison", num_workers_, num_lps());
-  }
+  sync_.BeginRun("unison", num_workers_, stop_time);
+  timing_ =
+      sync_.profiling() || config_.metric == SchedulingMetric::kByLastRoundTime;
   const uint64_t run_t0 = Profiler::NowNs();
-  barrier_ = std::make_unique<SpinBarrier>(num_workers_);
+  worker_events_.assign(num_workers_, 0);
 
   // Seed the min-reduction for the first prologue.
-  next_min_.Reset();
-  for (const auto& lp : lps_) {
-    next_min_.Update(lp->fel().NextTimestamp().ps());
-  }
+  sync_.SeedMinFromLps();
 
-  WorkerTeam team(num_workers_);
-  team.Run([this](uint32_t worker) { RoundLoop(worker); });
+  pool_.Run([this](uint32_t worker) { RoundLoop(worker); });
 
   processed_events_ = 0;
   for (uint64_t n : worker_events_) {
     processed_events_ += n;
   }
-  rounds_ = round_index_;
+  rounds_ = sync_.round_index();
   FinishRun("unison", num_workers_, Profiler::NowNs() - run_t0);
 }
 
 void UnisonKernel::Prologue() {
-  const int64_t raw_min = next_min_.Get();
-  const Time min_next =
-      raw_min == INT64_MAX ? Time::Max() : Time::Picoseconds(raw_min);
-  const Time npub = public_lp_->fel().NextTimestamp();
-  if (stop_requested_ || std::min(min_next, npub) >= stop_ ||
-      (min_next.IsMax() && npub.IsMax())) {
-    done_ = true;
+  if (!sync_.ComputeWindow()) {
     return;
   }
-  if (min_next.IsMax() || partition_.lookahead.IsMax()) {
-    lbts_ = npub;
-  } else {
-    lbts_ = std::min(npub, min_next + partition_.lookahead);
-  }
-  window_ = std::min(lbts_, stop_);
-
   // Load-adaptive scheduling: re-sort the claim order every `period_` rounds.
   bool resorted = false;
-  if (round_index_ % period_ == 0) {
+  if (sync_.round_index() % period_ == 0) {
     switch (config_.metric) {
       case SchedulingMetric::kNone:
         break;  // Keep id order: no scheduling.
       case SchedulingMetric::kByPendingEventCount:
-        EstimateByPendingEvents(lps_, window_, &cost_buf_);
+        EstimateByPendingEvents(lps_, sync_.window(), &cost_buf_);
         order_ = SortByCostDescending(cost_buf_);
         resorted = true;
         break;
@@ -93,71 +70,61 @@ void UnisonKernel::Prologue() {
         break;
     }
   }
-  if (tracing_) {
-    trace_->BeginRound(round_index_, lbts_, window_, LiveEvents());
-    if (resorted) {
-      trace_->RecordClaimOrder(order_);
-    }
+  sync_.CommitRound(LiveEvents());
+  if (resorted) {
+    sync_.RecordClaimOrder(order_);
   }
-  ++round_index_;
   claim_.store(0, std::memory_order_relaxed);
-  if (profiling_) {
-    profiler_->BeginRound();
-  }
 }
 
 void UnisonKernel::RoundLoop(uint32_t worker) {
   const uint32_t num = num_lps();
   uint64_t events = 0;
   // Worker-local round index: every worker executes the same loop iterations,
-  // so this mirrors round_index_ without reading shared state. It keys the
-  // profiler's executor-private per-round rows, which lets every sync wait —
-  // including the end-of-round barrier, which overlaps worker 0's next
+  // so this mirrors sync_.round_index() without reading shared state. It keys
+  // the accountant's executor-private per-round rows, which lets every sync
+  // wait — including the end-of-round barrier, which overlaps worker 0's next
   // prologue — be attributed to its round without data races.
   uint32_t round = 0;
-  ExecutorPhaseStats local{};
+  PhaseAccountant acct(worker, timing_, profiler_);
 
   for (;;) {
     if (worker == 0) {
       Prologue();
     }
-    uint64_t t = timing_ ? Profiler::NowNs() : 0;
+    acct.OpenInterval();
     barrier_->Arrive();
-    if (done_) {
-      break;
+    if (sync_.done()) {
+      break;  // Termination wait stays unattributed: it has no round row.
     }
-    if (timing_) {
-      const uint64_t now = Profiler::NowNs();
-      local.synchronization_ns += now - t;
-      if (profiling_) {
-        profiler_->AddRoundSync(worker, round, now - t);
-      }
-      t = now;
-    }
+    acct.BeginRound(round);
+    acct.CloseSync();
 
-    // Phase 1: process events. Claim LPs in scheduler priority order.
-    uint64_t phase_p_ns = 0;
+    // Phase 1: process events. Claim LPs in scheduler priority order. The
+    // whole phase closes into P, so claim-cursor and bookkeeping overhead is
+    // attributed alongside the per-LP work it exists to distribute.
+    const Time window = sync_.window();
     for (;;) {
       const uint32_t i = claim_.fetch_add(1, std::memory_order_relaxed);
       if (i >= num) {
         break;
       }
       const LpId lp_id = order_[i];
-      const bool record = profiling_ && profiler_->per_lp;
+      const bool record = profiler_ != nullptr && profiler_->enabled &&
+                          profiler_->per_lp;
       // Capped like EstimateByPendingEvents: an uncapped CountBefore is a
       // full recursive heap walk per LP per round, and the heatmap/cost-model
       // consumers only need "how busy", never exact counts past the cap.
       const uint32_t pending =
           record ? static_cast<uint32_t>(
-                       lps_[lp_id]->fel().CountBefore(window_, kPendingCountCap))
+                       lps_[lp_id]->fel().CountBefore(window, kPendingCountCap))
                  : 0;
-      const uint64_t lp_t0 = timing_ ? Profiler::NowNs() : 0;
-      const uint64_t n = lps_[lp_id]->ProcessUntil(window_);
+      const uint64_t lp_t0 = acct.timing() ? Profiler::NowNs() : 0;
+      const uint64_t n = lps_[lp_id]->ProcessUntil(window);
       events += n;
-      if (timing_) {
+      if (acct.timing()) {
         const uint64_t lp_ns = Profiler::NowNs() - lp_t0;
         last_round_ns_[lp_id] = lp_ns;
-        phase_p_ns += lp_ns;
         if (record) {
           profiler_->AddLpRound(worker,
                                 LpRoundCost{round, lp_id,
@@ -165,50 +132,21 @@ void UnisonKernel::RoundLoop(uint32_t worker) {
         }
       }
     }
-    if (timing_) {
-      local.processing_ns += phase_p_ns;
-      if (profiling_) {
-        profiler_->AddRoundProcessing(worker, round, phase_p_ns);
-      }
-      t = Profiler::NowNs();
-    }
+    acct.CloseProcessing();
     worker_events_[worker] = events;  // Published by the barrier for LiveEvents.
     barrier_->Arrive();
-    if (timing_) {
-      const uint64_t now = Profiler::NowNs();
-      local.synchronization_ns += now - t;
-      if (profiling_) {
-        profiler_->AddRoundSync(worker, round, now - t);
-      }
-      t = now;
-    }
+    acct.CloseSync();
 
     // Phase 2: global events, worker 0 only; everyone else is parked at the
     // next barrier, so direct cross-LP insertion is safe.
     if (worker == 0) {
-      events += RunGlobalEvents(lbts_, stop_);
+      events += RunGlobalEvents(sync_.lbts(), sync_.stop());
       claim_recv_.store(0, std::memory_order_relaxed);
-      next_min_.Reset();
-      if (timing_) {
-        const uint64_t now = Profiler::NowNs();
-        local.processing_ns += now - t;
-        if (profiling_) {
-          // Global-event time is processing; without this the per-round P
-          // matrix undercounts worker 0 relative to its executor total.
-          profiler_->AddRoundProcessing(worker, round, now - t);
-        }
-        t = now;
-      }
+      sync_.ResetMin();
+      acct.CloseProcessing();
     }
     barrier_->Arrive();
-    if (timing_) {
-      const uint64_t now = Profiler::NowNs();
-      local.synchronization_ns += now - t;
-      if (profiling_) {
-        profiler_->AddRoundSync(worker, round, now - t);
-      }
-      t = now;
-    }
+    acct.CloseSync();
 
     // Phase 3: receive events from mailboxes.
     for (;;) {
@@ -218,54 +156,27 @@ void UnisonKernel::RoundLoop(uint32_t worker) {
       }
       lps_[i]->DrainInboxes();
     }
-    if (timing_) {
-      const uint64_t now = Profiler::NowNs();
-      local.messaging_ns += now - t;
-      t = now;
-    }
+    acct.CloseMessaging();
     // Every drain must land before anyone reads FELs for the window update:
     // a min computed on a half-drained FEL could overshoot the next LBTS.
     barrier_->Arrive();
-    if (timing_) {
-      const uint64_t now = Profiler::NowNs();
-      local.synchronization_ns += now - t;
-      if (profiling_) {
-        profiler_->AddRoundSync(worker, round, now - t);
-      }
-      t = now;
-    }
+    acct.CloseSync();
 
     // Phase 4: update the window — per-worker partial min over a strided
     // slice of LPs, folded into one atomic.
     for (uint32_t i = worker; i < num; i += num_workers_) {
-      next_min_.Update(lps_[i]->fel().NextTimestamp().ps());
+      sync_.min().Update(lps_[i]->fel().NextTimestamp().ps());
     }
-    if (timing_) {
-      const uint64_t now = Profiler::NowNs();
-      local.messaging_ns += now - t;
-      t = now;
-    }
+    acct.CloseMessaging();
     // End-of-round barrier: all phase 4 min-updates must be visible before
-    // worker 0 reads next_min_ in the prologue.
+    // worker 0 reads the min-reduction in the prologue.
     barrier_->Arrive();
-    if (timing_) {
-      const uint64_t now = Profiler::NowNs();
-      local.synchronization_ns += now - t;
-      if (profiling_) {
-        profiler_->AddRoundSync(worker, round, now - t);
-      }
-    }
+    acct.CloseSync();
     ++round;
   }
 
   worker_events_[worker] = events;
-  if (profiling_) {
-    auto& stats = profiler_->executor(worker);
-    stats.processing_ns = local.processing_ns;
-    stats.synchronization_ns = local.synchronization_ns;
-    stats.messaging_ns = local.messaging_ns;
-    stats.events = events;
-  }
+  acct.set_events(events);  // Destructor flushes the totals to the profiler.
 }
 
 }  // namespace unison

@@ -1,5 +1,6 @@
 // The Unison kernel (§4, §5): fine-grained partition consumed through
-// load-adaptive scheduling, executed by a thread pool in lock-free rounds.
+// load-adaptive scheduling, executed by a persistent executor pool in
+// lock-free rounds.
 //
 // Each round has four phases separated by barriers (Fig. 7):
 //   1. Process events  — workers claim LPs from the scheduler's sorted order
@@ -12,10 +13,11 @@
 //                        into the FELs.
 //   4. Update window   — workers min-reduce the per-LP next-event timestamps
 //                        into an atomic; worker 0 derives the next LBTS from
-//                        Eq. 2.
+//                        Eq. 2 (RoundSync).
 //
 // The only shared-state mutations on the fast path are the claim cursors and
-// the time min-reduction, all single atomics.
+// the time min-reduction, all single atomics. The prologue, P/S/M accounting,
+// and worker threads all come from the shared engine (src/kernel/engine/).
 #ifndef UNISON_SRC_KERNEL_UNISON_H_
 #define UNISON_SRC_KERNEL_UNISON_H_
 
@@ -23,9 +25,10 @@
 #include <memory>
 #include <vector>
 
+#include "src/kernel/engine/executor_pool.h"
+#include "src/kernel/engine/round_sync.h"
 #include "src/kernel/kernel.h"
 #include "src/sched/barrier_sync.h"
-#include "src/sched/thread_pool.h"
 
 namespace unison {
 
@@ -52,26 +55,18 @@ class UnisonKernel : public Kernel {
 
   uint32_t num_workers_ = 1;
   uint32_t period_ = 1;
-  Time stop_;
 
-  // Round state published by worker 0 before the prologue barrier.
-  Time window_;  // Exclusive processing bound for phase 1.
-  Time lbts_;
-  bool done_ = false;
-
+  ExecutorPool pool_;    // Threads spawned once at Setup, reused across runs.
+  RoundSync sync_{this};
   std::unique_ptr<SpinBarrier> barrier_;
   std::atomic<uint32_t> claim_{0};
   std::atomic<uint32_t> claim_recv_{0};
-  AtomicTimeMin next_min_;
 
   std::vector<uint32_t> order_;          // LP ids, scheduler priority order.
   std::vector<uint64_t> last_round_ns_;  // Per-LP ByLastRoundTime estimates.
   std::vector<uint64_t> cost_buf_;
   std::vector<uint64_t> worker_events_;
-  uint32_t round_index_ = 0;
-  bool timing_ = false;     // Collect per-LP wall time this run.
-  bool profiling_ = false;  // Profiler attached and enabled.
-  bool tracing_ = false;    // Run-trace recorder attached and enabled.
+  bool timing_ = false;  // Collect per-LP wall time this run.
 };
 
 }  // namespace unison

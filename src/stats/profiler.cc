@@ -9,6 +9,7 @@ void Profiler::BeginRun(uint32_t num_executors) {
   executors_.assign(num_executors, ExecutorPhaseStats{});
   exec_round_p_.assign(num_executors, {});
   exec_round_s_.assign(num_executors, {});
+  exec_round_m_.assign(num_executors, {});
   lp_rounds_.assign(num_executors, {});
   rounds_begun_ = 0;
 }
@@ -41,12 +42,26 @@ void Profiler::AddRoundSync(uint32_t executor, uint32_t round, uint64_t ns) {
   row[round] += ns;
 }
 
+void Profiler::AddRoundMessaging(uint32_t executor, uint32_t round, uint64_t ns) {
+  if (!per_round) {
+    return;
+  }
+  auto& row = exec_round_m_[executor];
+  if (row.size() <= round) {
+    row.resize(round + 1, 0);
+  }
+  row[round] += ns;
+}
+
 uint32_t Profiler::rounds() const {
   size_t rounds = rounds_begun_;
   for (const auto& row : exec_round_p_) {
     rounds = std::max(rounds, row.size());
   }
   for (const auto& row : exec_round_s_) {
+    rounds = std::max(rounds, row.size());
+  }
+  for (const auto& row : exec_round_m_) {
     rounds = std::max(rounds, row.size());
   }
   return static_cast<uint32_t>(rounds);
@@ -71,6 +86,10 @@ std::vector<std::vector<uint64_t>> Profiler::round_processing_ns() const {
 
 std::vector<std::vector<uint64_t>> Profiler::round_sync_ns() const {
   return Transposed(exec_round_s_);
+}
+
+std::vector<std::vector<uint64_t>> Profiler::round_messaging_ns() const {
+  return Transposed(exec_round_m_);
 }
 
 void Profiler::AddLpRound(uint32_t executor, LpRoundCost cost) {

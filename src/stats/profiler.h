@@ -48,7 +48,7 @@ class Profiler {
   // Profiling is opt-in: timing calls are skipped entirely when disabled so
   // that production runs pay nothing.
   bool enabled = false;
-  bool per_round = false;  // Record per-round P and S for each executor.
+  bool per_round = false;  // Record per-round P/S/M for each executor.
   bool per_lp = false;     // Record per-(round, LP) costs.
 
   void BeginRun(uint32_t num_executors);
@@ -63,11 +63,13 @@ class Profiler {
   void BeginRound();
   void AddRoundProcessing(uint32_t executor, uint32_t round, uint64_t ns);
   void AddRoundSync(uint32_t executor, uint32_t round, uint64_t ns);
+  void AddRoundMessaging(uint32_t executor, uint32_t round, uint64_t ns);
 
   // Round-major [round][executor] views, built on demand; rows are padded
   // with zeros up to rounds(). Intended for post-run consumers only.
   std::vector<std::vector<uint64_t>> round_processing_ns() const;
   std::vector<std::vector<uint64_t>> round_sync_ns() const;
+  std::vector<std::vector<uint64_t>> round_messaging_ns() const;
   uint32_t rounds() const;
 
   // Per-(round, LP) cost records; each executor owns a private buffer.
@@ -94,6 +96,7 @@ class Profiler {
   // [executor][round]; each inner vector is written only by its executor.
   std::vector<std::vector<uint64_t>> exec_round_p_;
   std::vector<std::vector<uint64_t>> exec_round_s_;
+  std::vector<std::vector<uint64_t>> exec_round_m_;
   std::vector<std::vector<LpRoundCost>> lp_rounds_;
   uint32_t num_executors_ = 0;
   uint32_t rounds_begun_ = 0;

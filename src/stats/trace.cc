@@ -93,6 +93,7 @@ void RunTrace::BeginRun(std::string kernel, uint32_t executors, uint32_t lps) {
   executors_.clear();
   round_p_.clear();
   round_s_.clear();
+  round_m_.clear();
 }
 
 void RunTrace::BeginRound(uint32_t round, Time lbts, Time window,
@@ -126,6 +127,7 @@ void RunTrace::EndRun(const RunSummary& summary, const Profiler* profiler) {
     if (profiler->per_round) {
       round_p_ = profiler->round_processing_ns();
       round_s_ = profiler->round_sync_ns();
+      round_m_ = profiler->round_messaging_ns();
     }
   }
 }
@@ -178,6 +180,10 @@ std::string RunTrace::ToJson() const {
       out += ",\"s_ns\":";
       AppendU64Array(&out, round_s_[r.round]);
     }
+    if (r.round < round_m_.size()) {
+      out += ",\"m_ns\":";
+      AppendU64Array(&out, round_m_[r.round]);
+    }
     out += '}';
   }
   out += "]}";
@@ -187,7 +193,8 @@ std::string RunTrace::ToJson() const {
 std::string RunTrace::ToCsv() const {
   std::string out;
   out.reserve(64 + records_.size() * 64);
-  out += "round,lbts_ps,window_ps,events_before,resorted,p_total_ns,s_total_ns\n";
+  out += "round,lbts_ps,window_ps,events_before,resorted,p_total_ns,s_total_ns,"
+         "m_total_ns\n";
   for (const RoundTraceRecord& r : records_) {
     AppendU64(&out, r.round);
     out += ',';
@@ -202,6 +209,8 @@ std::string RunTrace::ToCsv() const {
     AppendU64(&out, RowSum(round_p_, r.round));
     out += ',';
     AppendU64(&out, RowSum(round_s_, r.round));
+    out += ',';
+    AppendU64(&out, RowSum(round_m_, r.round));
     out += '\n';
   }
   return out;

@@ -83,13 +83,16 @@ class RunTrace {
     return round_p_;
   }
   const std::vector<std::vector<uint64_t>>& round_sync_ns() const { return round_s_; }
+  const std::vector<std::vector<uint64_t>>& round_messaging_ns() const {
+    return round_m_;
+  }
 
   // --- Exporters ---
 
   // Full structured trace: summary, per-executor P/S/M, one object per round.
   std::string ToJson() const;
   // Flat per-round table: round,lbts_ps,window_ps,events_before,resorted,
-  // p_total_ns,s_total_ns.
+  // p_total_ns,s_total_ns,m_total_ns.
   std::string ToCsv() const;
   bool WriteJsonFile(const std::string& path) const;
   bool WriteCsvFile(const std::string& path) const;
@@ -100,6 +103,7 @@ class RunTrace {
   std::vector<ExecutorPhaseStats> executors_;
   std::vector<std::vector<uint64_t>> round_p_;
   std::vector<std::vector<uint64_t>> round_s_;
+  std::vector<std::vector<uint64_t>> round_m_;
 };
 
 }  // namespace unison

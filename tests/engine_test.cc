@@ -1,0 +1,263 @@
+// The shared round-execution engine: ExecutorPool, PhaseAccountant, and the
+// cross-kernel reuse guarantees they exist to provide.
+//
+// The load-bearing claims: a pool's OS threads are spawned once at Setup and
+// reused by every subsequent Run() on the same kernel instance; back-to-back
+// runs stay bit-deterministic; and every nanosecond the accountant times
+// lands in exactly one P/S/M bucket, with per-round rows summing to the
+// executor totals by construction.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "src/kernel/engine/executor_pool.h"
+#include "src/kernel/engine/phase_accountant.h"
+#include "src/kernel/kernel.h"
+#include "src/partition/manual.h"
+
+namespace unison {
+namespace {
+
+// --- ExecutorPool ---
+
+TEST(ExecutorPool, RunsEveryWorkerEachEpoch) {
+  ExecutorPool pool;
+  pool.Ensure(4);
+  std::vector<std::atomic<int>> hits(4);
+  for (int epoch = 0; epoch < 50; ++epoch) {
+    pool.Run([&hits](uint32_t id) { hits[id].fetch_add(1); });
+  }
+  for (auto& h : hits) {
+    EXPECT_EQ(h.load(), 50);
+  }
+}
+
+TEST(ExecutorPool, CallerIsWorkerZero) {
+  ExecutorPool pool;
+  pool.Ensure(3);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id seen;
+  pool.Run([&](uint32_t id) {
+    if (id == 0) {
+      seen = std::this_thread::get_id();
+    }
+  });
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(ExecutorPool, SpawnsOnceAndReusesThreadsAcrossRuns) {
+  ExecutorPool pool;
+  pool.Ensure(4);
+  EXPECT_EQ(pool.parties(), 4u);
+  EXPECT_EQ(pool.threads_spawned(), 3u);  // Caller is worker 0.
+  for (int i = 0; i < 10; ++i) {
+    pool.Run([](uint32_t) {});
+  }
+  EXPECT_EQ(pool.threads_spawned(), 3u);
+  pool.Ensure(4);  // Same size: no-op, running threads kept.
+  EXPECT_EQ(pool.threads_spawned(), 3u);
+  pool.Ensure(2);  // Resize: old set retired, one fresh thread.
+  EXPECT_EQ(pool.threads_spawned(), 4u);
+  pool.Run([](uint32_t) {});
+  EXPECT_EQ(pool.threads_spawned(), 4u);
+}
+
+TEST(ExecutorPool, SinglePartyRunsInline) {
+  ExecutorPool pool;
+  pool.Ensure(1);
+  EXPECT_EQ(pool.threads_spawned(), 0u);
+  int ran = 0;
+  pool.Run([&ran](uint32_t id) {
+    EXPECT_EQ(id, 0u);
+    ++ran;
+  });
+  EXPECT_EQ(ran, 1);
+}
+
+// --- PhaseAccountant ---
+
+TEST(PhaseAccountant, EveryIntervalLandsInExactlyOneBucket) {
+  Profiler prof;
+  prof.enabled = true;
+  prof.per_round = true;
+  prof.BeginRun(1);
+  uint64_t s0 = 0, p0 = 0, m1 = 0;
+  {
+    PhaseAccountant acct(0, true, &prof);
+    EXPECT_TRUE(acct.timing());
+    acct.BeginRound(0);
+    acct.OpenInterval();
+    s0 = acct.CloseSync();
+    p0 = acct.CloseProcessing();
+    acct.BeginRound(1);
+    m1 = acct.CloseMessaging();
+    acct.set_events(42);
+  }  // Destructor flushes the totals.
+
+  const ExecutorPhaseStats& e = prof.executors()[0];
+  EXPECT_EQ(e.events, 42u);
+  // Totals are exactly the closed intervals — nothing double-counted,
+  // nothing dropped.
+  EXPECT_EQ(e.synchronization_ns, s0);
+  EXPECT_EQ(e.processing_ns, p0);
+  EXPECT_EQ(e.messaging_ns, m1);
+  // Per-round rows carry the same deltas, keyed by BeginRound.
+  const auto rs = prof.round_sync_ns();
+  const auto rp = prof.round_processing_ns();
+  const auto rm = prof.round_messaging_ns();
+  ASSERT_EQ(prof.rounds(), 2u);
+  EXPECT_EQ(rs[0][0], s0);
+  EXPECT_EQ(rp[0][0], p0);
+  EXPECT_EQ(rm[0][0], 0u);
+  EXPECT_EQ(rs[1][0], 0u);
+  EXPECT_EQ(rm[1][0], m1);
+}
+
+TEST(PhaseAccountant, OpenIntervalDiscardsUnattributedTime) {
+  Profiler prof;
+  prof.enabled = true;
+  prof.per_round = true;
+  prof.BeginRun(1);
+  {
+    PhaseAccountant acct(0, true, &prof);
+    acct.BeginRound(0);
+    acct.OpenInterval();
+    acct.CloseSync();
+    // Time passing here must vanish: the next close measures from the
+    // re-opened cursor, not from the last close.
+    acct.OpenInterval();
+    const uint64_t p = acct.CloseProcessing();
+    EXPECT_EQ(prof.executors()[0].processing_ns, 0u);  // Not yet flushed.
+    acct.Flush();
+    EXPECT_EQ(prof.executors()[0].processing_ns, p);
+  }
+}
+
+TEST(PhaseAccountant, DisabledTimingIsFreeOfSideEffects) {
+  Profiler prof;
+  prof.enabled = true;
+  prof.per_round = true;
+  prof.BeginRun(1);
+  {
+    PhaseAccountant acct(0, /*timing=*/false, &prof);
+    acct.BeginRound(0);
+    acct.OpenInterval();
+    EXPECT_EQ(acct.CloseSync(), 0u);
+    EXPECT_EQ(acct.CloseProcessing(), 0u);
+    EXPECT_EQ(acct.CloseMessaging(), 0u);
+    acct.set_events(7);
+  }
+  const ExecutorPhaseStats& e = prof.executors()[0];
+  EXPECT_EQ(e.processing_ns, 0u);
+  EXPECT_EQ(e.synchronization_ns, 0u);
+  EXPECT_EQ(e.messaging_ns, 0u);
+  EXPECT_EQ(e.events, 7u);  // Event counts are not gated on timing.
+  EXPECT_EQ(prof.rounds(), 0u);
+}
+
+// --- Back-to-back Run() on one kernel instance ---
+
+// Two nodes ping-ponging across the cut edge; each node's log is written
+// only by the LP that owns it, so logs are race-free and comparable across
+// kernel instances.
+struct PingPong {
+  Kernel* kernel;
+  std::array<std::vector<int64_t>, 2> log;
+
+  void Hop(NodeId node, int64_t t_us, int64_t until_us) {
+    kernel->ScheduleOnNode(node, Time::Microseconds(t_us),
+                           [this, node, t_us, until_us] {
+                             log[node].push_back(t_us);
+                             if (t_us + 2 <= until_us) {
+                               Hop(1 - node, t_us + 2, until_us);
+                             }
+                           });
+  }
+};
+
+struct TwoRunOutcome {
+  std::array<std::vector<int64_t>, 2> log;
+  uint64_t spawned_setup = 0;  // Threads spawned by Setup (pool creation).
+  uint64_t spawned_run2 = 0;   // Threads spawned by the second Run: must be 0.
+  uint64_t events = 0;         // Total across both runs.
+};
+
+TwoRunOutcome RunTwice(KernelType type, uint32_t threads, uint32_t ranks = 2) {
+  TopoGraph graph;
+  graph.num_nodes = 2;
+  graph.edges.push_back(TopoEdge{0, 1, Time::Microseconds(1), true});
+  KernelConfig kc;
+  kc.type = type;
+  kc.threads = threads;
+  kc.ranks = ranks;
+  auto kernel = MakeKernel(kc);
+
+  const uint64_t before_setup = ExecutorPool::TotalThreadsSpawned();
+  kernel->Setup(graph, RangePartition(graph, 2));
+  TwoRunOutcome out;
+  out.spawned_setup = ExecutorPool::TotalThreadsSpawned() - before_setup;
+
+  PingPong pp{kernel.get(), {}};
+  // The chain spans both runs: events past the first stop stay pending and
+  // the second Run() picks them up (simulated time never rewinds).
+  pp.Hop(0, 1, 299);
+  kernel->Run(Time::Microseconds(100));
+  out.events = kernel->processed_events();
+
+  // New work injected between runs, at an absolute time in run 2's window.
+  kernel->ScheduleOnNode(0, Time::Microseconds(200), [&pp] {
+    pp.log[0].push_back(-200);
+  });
+  const uint64_t before_run2 = ExecutorPool::TotalThreadsSpawned();
+  kernel->Run(Time::Microseconds(300));
+  out.spawned_run2 = ExecutorPool::TotalThreadsSpawned() - before_run2;
+  out.events += kernel->processed_events();
+  out.log = std::move(pp.log);
+  return out;
+}
+
+class EngineReuseTest : public ::testing::TestWithParam<KernelType> {};
+
+TEST_P(EngineReuseTest, SecondRunReusesPoolThreadsAndStaysDeterministic) {
+  const KernelType type = GetParam();
+  const TwoRunOutcome a = RunTwice(type, /*threads=*/3);
+  const TwoRunOutcome b = RunTwice(type, /*threads=*/3);
+
+  // The ping-pong actually crossed the cut in both runs.
+  EXPECT_GT(a.events, 100u);
+  ASSERT_FALSE(a.log[0].empty());
+  ASSERT_FALSE(a.log[1].empty());
+  EXPECT_GT(a.log[1].back(), 100);  // Run 2 continued the chain.
+
+  // Setup spawned the pool; the second Run() spawned nothing.
+  EXPECT_GT(a.spawned_setup, 0u);
+  EXPECT_EQ(a.spawned_run2, 0u);
+  EXPECT_EQ(b.spawned_run2, 0u);
+
+  // Bit-determinism across instances, both runs included.
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.log[0], b.log[0]);
+  EXPECT_EQ(a.log[1], b.log[1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllParallelKernels, EngineReuseTest,
+                         ::testing::Values(KernelType::kBarrier,
+                                           KernelType::kNullMessage,
+                                           KernelType::kUnison,
+                                           KernelType::kHybrid),
+                         [](const ::testing::TestParamInfo<KernelType>& info) {
+                           switch (info.param) {
+                             case KernelType::kBarrier: return "Barrier";
+                             case KernelType::kNullMessage: return "NullMessage";
+                             case KernelType::kUnison: return "Unison";
+                             case KernelType::kHybrid: return "Hybrid";
+                             default: return "Sequential";
+                           }
+                         });
+
+}  // namespace
+}  // namespace unison

@@ -106,18 +106,22 @@ TEST(Profiler, UnisonRunPopulatesAllPhases) {
 }
 
 // The accounting invariant behind Figs. 5b/9b: summing an executor's
-// per-round P (resp. S) rows reproduces its end-of-run totals. Every
-// AddRoundProcessing/AddRoundSync call uses the exact delta that goes into
-// the executor accumulator, so this holds with equality, not just within
-// tolerance — a regression here means a phase's time stopped reaching the
-// per-round matrix (the old worker-0 phase-2 undercount).
+// per-round P/S/M rows reproduces its end-of-run totals. PhaseAccountant
+// routes each closed interval's exact delta into both the executor
+// accumulator and the per-round matrix in the same call, so this holds with
+// equality — by construction, for every kernel on the engine. A regression
+// here means a phase's time stopped reaching the per-round matrix (the old
+// worker-0 phase-2 undercount) or is counted twice.
 void CheckRoundRowsSumToTotals(const Profiler& p, uint32_t executors) {
   const auto rp = p.round_processing_ns();
   const auto rs = p.round_sync_ns();
+  const auto rm = p.round_messaging_ns();
   ASSERT_EQ(rp.size(), p.rounds());
   ASSERT_EQ(rs.size(), p.rounds());
+  ASSERT_EQ(rm.size(), p.rounds());
   std::vector<uint64_t> p_sum(executors, 0);
   std::vector<uint64_t> s_sum(executors, 0);
+  std::vector<uint64_t> m_sum(executors, 0);
   for (const auto& row : rp) {
     ASSERT_EQ(row.size(), executors);
     for (uint32_t w = 0; w < executors; ++w) {
@@ -129,26 +133,43 @@ void CheckRoundRowsSumToTotals(const Profiler& p, uint32_t executors) {
       s_sum[w] += row[w];
     }
   }
+  for (const auto& row : rm) {
+    ASSERT_EQ(row.size(), executors);
+    for (uint32_t w = 0; w < executors; ++w) {
+      m_sum[w] += row[w];
+    }
+  }
   for (uint32_t w = 0; w < executors; ++w) {
     EXPECT_EQ(p_sum[w], p.executors()[w].processing_ns) << "executor " << w;
     EXPECT_EQ(s_sum[w], p.executors()[w].synchronization_ns) << "executor " << w;
+    EXPECT_EQ(m_sum[w], p.executors()[w].messaging_ns) << "executor " << w;
   }
+}
+
+void RunAndCheckRoundRows(const KernelConfig& k, PartitionMode partition,
+                          uint32_t executors) {
+  SimConfig cfg;
+  cfg.kernel = k;
+  cfg.partition = partition;
+  cfg.profile = true;
+  cfg.profile_per_round = true;
+  Network net(cfg);
+  FatTreeTopo topo = BuildFatTree(net, 4, 10000000000ULL, Time::Microseconds(3));
+  if (partition == PartitionMode::kManual) {
+    net.SetManualPartition(4, FatTreePodPartition(topo, net.num_nodes()));
+  }
+  net.Finalize();
+  GeneratePermutation(net, topo.hosts, 50000, Time::Zero());
+  net.Run(Time::Milliseconds(5));
+  ASSERT_EQ(net.profiler().executors().size(), executors);
+  CheckRoundRowsSumToTotals(net.profiler(), executors);
 }
 
 TEST(Profiler, UnisonRoundRowsSumToExecutorTotals) {
   KernelConfig k;
   k.type = KernelType::kUnison;
   k.threads = 2;
-  SimConfig cfg;
-  cfg.kernel = k;
-  cfg.profile = true;
-  cfg.profile_per_round = true;
-  Network net(cfg);
-  FatTreeTopo topo = BuildFatTree(net, 4, 10000000000ULL, Time::Microseconds(3));
-  net.Finalize();
-  GeneratePermutation(net, topo.hosts, 50000, Time::Zero());
-  net.Run(Time::Milliseconds(5));
-  CheckRoundRowsSumToTotals(net.profiler(), 2);
+  RunAndCheckRoundRows(k, PartitionMode::kAuto, 2);
 }
 
 TEST(Profiler, HybridRoundRowsSumToExecutorTotals) {
@@ -156,16 +177,23 @@ TEST(Profiler, HybridRoundRowsSumToExecutorTotals) {
   k.type = KernelType::kHybrid;
   k.ranks = 2;
   k.threads = 2;  // 2 ranks x 2 lanes = 4 executors.
-  SimConfig cfg;
-  cfg.kernel = k;
-  cfg.profile = true;
-  cfg.profile_per_round = true;
-  Network net(cfg);
-  FatTreeTopo topo = BuildFatTree(net, 4, 10000000000ULL, Time::Microseconds(3));
-  net.Finalize();
-  GeneratePermutation(net, topo.hosts, 50000, Time::Zero());
-  net.Run(Time::Milliseconds(5));
-  CheckRoundRowsSumToTotals(net.profiler(), 4);
+  RunAndCheckRoundRows(k, PartitionMode::kAuto, 4);
+}
+
+TEST(Profiler, BarrierRoundRowsSumToExecutorTotals) {
+  KernelConfig k;
+  k.type = KernelType::kBarrier;
+  k.deterministic = true;
+  RunAndCheckRoundRows(k, PartitionMode::kManual, 4);  // One rank per pod.
+}
+
+TEST(Profiler, NullMessageRoundRowsSumToExecutorTotals) {
+  // "Rounds" are LP-local iterations for CMB, so row counts are ragged
+  // across executors; the invariant still holds row-sum by row-sum.
+  KernelConfig k;
+  k.type = KernelType::kNullMessage;
+  k.deterministic = true;
+  RunAndCheckRoundRows(k, PartitionMode::kManual, 4);
 }
 
 TEST(Profiler, PhaseTimesBoundedByWallTime) {

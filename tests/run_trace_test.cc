@@ -83,6 +83,14 @@ TEST(RunTraceKernels, BarrierEmitsSummaryAndRounds) {
     EXPECT_GT(run.records[i].window_ps, 0);
     EXPECT_LE(run.records[i].window_ps, run.records[i].lbts_ps);
   }
+  // Ranks publish their event counters at every round barrier, so
+  // events_before is a live cumulative count, not the hardcoded 0 of the
+  // pre-engine kernel.
+  for (size_t i = 1; i < run.records.size(); ++i) {
+    EXPECT_GE(run.records[i].events_before, run.records[i - 1].events_before);
+  }
+  EXPECT_GT(run.records.back().events_before, 0u);
+  EXPECT_LE(run.records.back().events_before, run.summary.events);
 }
 
 TEST(RunTraceKernels, NullMessageEmitsSummary) {
@@ -157,9 +165,10 @@ TEST(RunTraceExport, JsonIsBalancedAndCarriesSections) {
   EXPECT_NE(json.find("\"kernel\":\"unison\""), std::string::npos);
   EXPECT_NE(json.find("\"per_executor\":["), std::string::npos);
   EXPECT_NE(json.find("\"rounds\":["), std::string::npos);
-  // per_round profiling was on, so round records embed P/S vectors.
+  // per_round profiling was on, so round records embed P/S/M vectors.
   EXPECT_NE(json.find("\"p_ns\":["), std::string::npos);
   EXPECT_NE(json.find("\"s_ns\":["), std::string::npos);
+  EXPECT_NE(json.find("\"m_ns\":["), std::string::npos);
 }
 
 TEST(RunTraceExport, CsvHasHeaderAndOneLinePerRound) {
@@ -175,7 +184,7 @@ TEST(RunTraceExport, CsvHasHeaderAndOneLinePerRound) {
   ASSERT_GT(lines, 1u);
   EXPECT_EQ(lines, 1 + run.records.size());
   EXPECT_EQ(run.csv.rfind("round,lbts_ps,window_ps,events_before,resorted,"
-                          "p_total_ns,s_total_ns\n",
+                          "p_total_ns,s_total_ns,m_total_ns\n",
                           0),
             0u);
 }

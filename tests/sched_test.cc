@@ -1,4 +1,5 @@
-// Load-adaptive scheduling machinery: LPT bounds, the worker team, barriers.
+// Load-adaptive scheduling machinery: LPT bounds and the barrier primitives.
+// The executor pool that replaced the worker team lives in engine_test.cc.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -9,7 +10,6 @@
 #include "src/core/rng.h"
 #include "src/sched/barrier_sync.h"
 #include "src/sched/lpt.h"
-#include "src/sched/thread_pool.h"
 
 namespace unison {
 namespace {
@@ -130,29 +130,6 @@ TEST(AtomicTimeMin, ReducesConcurrently) {
     t.join();
   }
   EXPECT_EQ(m.Get(), 0);
-}
-
-TEST(WorkerTeam, RunsEveryWorkerEachEpoch) {
-  WorkerTeam team(4);
-  std::vector<std::atomic<int>> hits(4);
-  for (int epoch = 0; epoch < 50; ++epoch) {
-    team.Run([&hits](uint32_t id) { hits[id].fetch_add(1); });
-  }
-  for (auto& h : hits) {
-    EXPECT_EQ(h.load(), 50);
-  }
-}
-
-TEST(WorkerTeam, CallerIsWorkerZero) {
-  WorkerTeam team(3);
-  const auto caller = std::this_thread::get_id();
-  std::thread::id seen;
-  team.Run([&](uint32_t id) {
-    if (id == 0) {
-      seen = std::this_thread::get_id();
-    }
-  });
-  EXPECT_EQ(seen, caller);
 }
 
 }  // namespace
