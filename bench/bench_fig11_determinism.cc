@@ -22,7 +22,10 @@ struct Epoch {
   double mean_fct_ms = 0;
 };
 
-Epoch RunEpoch(KernelType type, uint32_t threads, bool deterministic) {
+// When windows > 1, the 3 ms horizon is reached via that many consecutive
+// Run() calls on one warm session instead of a single monolithic Run().
+Epoch RunEpoch(KernelType type, uint32_t threads, bool deterministic,
+               int windows = 1) {
   SimConfig cfg;
   cfg.kernel.type = type;
   cfg.kernel.threads = threads;
@@ -48,8 +51,11 @@ Epoch RunEpoch(KernelType type, uint32_t threads, bool deterministic) {
   traffic.duration = Time::Milliseconds(3);
   traffic.incast_ratio = 0.2;
   GenerateTraffic(net, traffic);
-  net.Run(Time::Milliseconds(3));
-  return Epoch{net.kernel().processed_events(), net.flow_monitor().Fingerprint(),
+  const int64_t horizon_us = 3000;
+  for (int w = 1; w <= windows; ++w) {
+    net.Run(Time::Microseconds(horizon_us * w / windows));
+  }
+  return Epoch{net.kernel().session_events(), net.flow_monitor().Fingerprint(),
                net.flow_monitor().Summarize().mean_fct_ms};
 }
 
@@ -102,6 +108,19 @@ int main(int argc, char** argv) {
   t2.Print();
   std::printf("\ndistinct results across thread counts: %zu (expected 1)\n",
               cross_thread.size());
+
+  std::printf("\nUnison across session windows (must be 1 distinct result):\n\n");
+  Table t3({"windows", "events", "fingerprint"});
+  std::set<uint64_t> cross_window;
+  for (int windows : {1, 2, 3, 6}) {
+    const Epoch ep = RunEpoch(KernelType::kUnison, 4, true, windows);
+    cross_window.insert(ep.fingerprint);
+    t3.Row({Fmt("%d", windows), Fmt("%lu", (unsigned long)ep.events),
+            Fmt("%016lx", (unsigned long)ep.fingerprint)});
+  }
+  t3.Print();
+  std::printf("\ndistinct results across window splits: %zu (expected 1)\n",
+              cross_window.size());
   std::printf("\nShape check: Unison rows are constant; the stock-tie baselines may\n"
               "fluctuate from run to run (arrival-order races). On a single-core\n"
               "host races are rarer than on the paper's testbed but the mechanism\n"

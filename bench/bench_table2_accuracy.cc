@@ -28,12 +28,12 @@ Metrics FromSummary(const FlowSummary& s) {
   return Metrics{s.mean_fct_ms, s.mean_rtt_ms, s.mean_throughput_mbps};
 }
 
-struct RunResult {
+struct FabricResult {
   Metrics metrics;
   std::vector<FlowRecord> flows;
 };
 
-RunResult RunFabric(uint32_t clusters, KernelType kernel, uint64_t seed, Time sim) {
+FabricResult RunFabric(uint32_t clusters, KernelType kernel, uint64_t seed, Time sim) {
   SimConfig cfg;
   cfg.kernel.type = kernel;
   cfg.kernel.threads = 4;
@@ -64,7 +64,7 @@ RunResult RunFabric(uint32_t clusters, KernelType kernel, uint64_t seed, Time si
   GenerateTraffic(net, traffic);
   net.Run(sim + Time::Seconds(0.5));  // Drain tail flows.
 
-  RunResult out;
+  FabricResult out;
   out.metrics = FromSummary(net.flow_monitor().Summarize());
   out.flows = net.flow_monitor().flows();
   return out;
@@ -87,7 +87,7 @@ int main(int argc, char** argv) {
 
   // Train the MimicNet surrogate: full-fidelity 2-cluster run (training
   // seed), flows sourced in cluster 0 only.
-  const RunResult train = RunFabric(2, KernelType::kSequential, train_seed, sim);
+  const FabricResult train = RunFabric(2, KernelType::kSequential, train_seed, sim);
   // Node ids are deterministic: rebuild the topology shape to identify the
   // hosts of cluster 0.
   std::vector<FlowRecord> cluster0_flows;
@@ -108,8 +108,8 @@ int main(int argc, char** argv) {
   mimic.Train(cluster0_flows);
 
   for (uint32_t clusters : {2u, 4u}) {
-    const RunResult seq = RunFabric(clusters, KernelType::kSequential, eval_seed, sim);
-    const RunResult uni = RunFabric(clusters, KernelType::kUnison, eval_seed, sim);
+    const FabricResult seq = RunFabric(clusters, KernelType::kSequential, eval_seed, sim);
+    const FabricResult uni = RunFabric(clusters, KernelType::kUnison, eval_seed, sim);
     Rng rng(eval_seed, 999);
     const MimicPrediction mp = mimic.Predict(seq.flows, rng);
 

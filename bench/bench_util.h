@@ -49,13 +49,27 @@ inline std::string GetOpt(int argc, char** argv, const char* key,
 }
 
 // Run-trace export knob shared by the benches: when set (from --trace=PATH),
-// every InstrumentedRun enables the kernel run trace and dumps it as JSON to
-// PATH (plus PATH.csv), overwriting earlier passes — the machine-readable
-// sibling of the BENCH_*.json artifacts.
+// every InstrumentedRun enables the kernel run trace and dumps it as JSON —
+// the machine-readable sibling of the BENCH_*.json artifacts. Benches with
+// several instrumented passes get one file per pass instead of each pass
+// clobbering the last: the first pass writes exactly PATH (what CI and
+// scripts consume), pass N > 0 writes PATH.pass<N>.json, and every JSON file
+// gets a .csv sibling of the same stem.
 inline std::string g_trace_path;  // Empty = tracing off.
+inline uint32_t g_trace_pass = 0;  // Instrumented passes completed so far.
 
 inline void SetTraceFromArgs(int argc, char** argv) {
   g_trace_path = GetOpt(argc, argv, "--trace", "");
+  g_trace_pass = 0;
+}
+
+// Path for the next instrumented pass's JSON trace, advancing the counter.
+inline std::string NextTracePassPath() {
+  const uint32_t pass = g_trace_pass++;
+  if (pass == 0) {
+    return g_trace_path;
+  }
+  return g_trace_path + ".pass" + std::to_string(pass) + ".json";
 }
 
 inline std::string Fmt(const char* fmt, ...) {
@@ -133,11 +147,12 @@ inline TraceResult InstrumentedRun(SimConfig cfg,
   const uint64_t t0 = Profiler::NowNs();
   net.Run(stop);
   if (cfg.trace) {
-    if (net.run_trace().WriteJsonFile(g_trace_path) &&
-        net.run_trace().WriteCsvFile(g_trace_path + ".csv")) {
-      std::printf("[trace] wrote %s (+.csv)\n", g_trace_path.c_str());
+    const std::string path = NextTracePassPath();
+    if (net.run_trace().WriteJsonFile(path) &&
+        net.run_trace().WriteCsvFile(path + ".csv")) {
+      std::printf("[trace] wrote %s (+.csv)\n", path.c_str());
     } else {
-      std::fprintf(stderr, "[trace] FAILED to write %s\n", g_trace_path.c_str());
+      std::fprintf(stderr, "[trace] FAILED to write %s\n", path.c_str());
     }
   }
   TraceResult out;

@@ -14,7 +14,7 @@ void BarrierKernel::Setup(const TopoGraph& graph, const Partition& partition) {
   pool_.Ensure(ranks);
 }
 
-void BarrierKernel::Run(Time stop_time) {
+RunResult BarrierKernel::Run(Time stop_time) {
   const uint32_t ranks = num_lps();
   sync_.BeginRun("barrier", ranks, stop_time);
   const uint64_t run_t0 = Profiler::NowNs();
@@ -27,7 +27,8 @@ void BarrierKernel::Run(Time stop_time) {
     processed_events_ += n;
   }
   rounds_ = sync_.round_index();
-  FinishRun("barrier", ranks, Profiler::NowNs() - run_t0);
+  return FinishRun("barrier", ranks, Profiler::NowNs() - run_t0, stop_time,
+                   sync_.reason());
 }
 
 void BarrierKernel::RankLoop(uint32_t rank) {

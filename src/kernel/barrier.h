@@ -26,7 +26,7 @@ class BarrierKernel : public Kernel {
   using Kernel::Kernel;
 
   void Setup(const TopoGraph& graph, const Partition& partition) override;
-  void Run(Time stop_time) override;
+  RunResult Run(Time stop_time) override;
 
   uint64_t LiveEvents() const override {
     uint64_t sum = 0;

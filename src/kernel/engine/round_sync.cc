@@ -8,10 +8,12 @@
 namespace unison {
 
 void RoundSync::BeginRun(const char* kernel_name, uint32_t executors, Time stop) {
+  kernel_->BeginWindow();
   stop_ = stop;
   lbts_ = Time::Zero();
   window_ = Time::Zero();
   done_ = false;
+  reason_ = RunReason::kExhausted;
   round_index_ = 0;
   next_min_.Reset();
   Profiler* const profiler = kernel_->profiler();
@@ -37,9 +39,21 @@ bool RoundSync::ComputeWindow() {
   const Time min_next =
       raw_min == INT64_MAX ? Time::Max() : Time::Picoseconds(raw_min);
   const Time npub = kernel_->public_lp()->fel().NextTimestamp();
-  if (kernel_->stop_requested() || std::min(min_next, npub) >= stop_ ||
-      (min_next.IsMax() && npub.IsMax())) {
+  if (kernel_->stop_requested()) {
     done_ = true;
+    reason_ = RunReason::kStopRequested;
+    return false;
+  }
+  if (min_next.IsMax() && npub.IsMax()) {
+    done_ = true;
+    reason_ = RunReason::kExhausted;
+    return false;
+  }
+  if (std::min(min_next, npub) >= stop_) {
+    // Events remain at or past the stop time: a window boundary, not
+    // termination — the next Run() on this session picks them up.
+    done_ = true;
+    reason_ = RunReason::kWindowReached;
     return false;
   }
   const Time lookahead = kernel_->partition().lookahead;

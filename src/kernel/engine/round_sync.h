@@ -19,11 +19,10 @@
 #include <vector>
 
 #include "src/core/time.h"
+#include "src/kernel/kernel.h"
 #include "src/sched/barrier_sync.h"
 
 namespace unison {
-
-class Kernel;
 
 class RoundSync {
  public:
@@ -32,8 +31,11 @@ class RoundSync {
   RoundSync(const RoundSync&) = delete;
   RoundSync& operator=(const RoundSync&) = delete;
 
-  // Once per Run: caches the profiling/tracing flags, begins the profiler and
-  // trace runs under `kernel_name`, and resets the round/termination state.
+  // Once per Run window: caches the profiling/tracing flags, begins the
+  // profiler and trace runs under `kernel_name`, clears any stale stop
+  // request (Kernel::BeginWindow), and resets the round/termination state.
+  // Session state — LP clocks, FELs, mailboxes — is deliberately untouched:
+  // a window continues the session, it does not restart it.
   void BeginRun(const char* kernel_name, uint32_t executors, Time stop);
 
   // Seeds the min-reduction with every LP's next event timestamp. Kernels
@@ -42,7 +44,10 @@ class RoundSync {
   void SeedMinFromLps();
 
   // Folds the min-reduction into the Eq. 2 LBTS and runs the stop/termination
-  // check. Returns false — and latches done() — when the run is over.
+  // check. Returns false — and latches done() with a reason() — when the
+  // window is over. "Window boundary reached" (events remain past the stop
+  // time; the session can continue) is distinguished from genuine
+  // termination (every FEL empty, or an early stop request).
   bool ComputeWindow();
 
   // Opens round round_index(): begins the profiler and trace rounds, then
@@ -55,6 +60,8 @@ class RoundSync {
   bool profiling() const { return profiling_; }
   bool tracing() const { return tracing_; }
   bool done() const { return done_; }
+  // Why done() latched; meaningful only once it has.
+  RunReason reason() const { return reason_; }
   Time stop() const { return stop_; }
   Time lbts() const { return lbts_; }
   Time window() const { return window_; }
@@ -71,6 +78,7 @@ class RoundSync {
   // Written by the coordinator between barriers, read by every worker after
   // the next barrier; the barrier's acquire/release ordering publishes it.
   bool done_ = false;
+  RunReason reason_ = RunReason::kExhausted;
   bool profiling_ = false;
   bool tracing_ = false;
   uint32_t round_index_ = 0;

@@ -1,4 +1,5 @@
 #include <memory>
+#include <string>
 
 #include "src/kernel/barrier.h"
 #include "src/kernel/hybrid.h"
@@ -10,6 +11,9 @@
 namespace unison {
 
 std::unique_ptr<Kernel> MakeKernel(const KernelConfig& config) {
+  if (std::string error = config.Validate(); !error.empty()) {
+    FatalConfigError(error);
+  }
   switch (config.type) {
     case KernelType::kSequential:
       return std::make_unique<SequentialKernel>(config);

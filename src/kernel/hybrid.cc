@@ -46,7 +46,7 @@ void HybridKernel::Setup(const TopoGraph& graph, const Partition& partition) {
   pool_.Ensure(workers);
 }
 
-void HybridKernel::Run(Time stop_time) {
+RunResult HybridKernel::Run(Time stop_time) {
   const uint32_t workers = ranks_ * lanes_;
   sync_.BeginRun("hybrid", workers, stop_time);
   timing_ =
@@ -63,7 +63,8 @@ void HybridKernel::Run(Time stop_time) {
     processed_events_ += n;
   }
   rounds_ = sync_.round_index();
-  FinishRun("hybrid", workers, Profiler::NowNs() - run_t0);
+  return FinishRun("hybrid", workers, Profiler::NowNs() - run_t0, stop_time,
+                   sync_.reason());
 }
 
 void HybridKernel::Prologue() {

@@ -34,7 +34,7 @@ class HybridKernel : public Kernel {
   using Kernel::Kernel;
 
   void Setup(const TopoGraph& graph, const Partition& partition) override;
-  void Run(Time stop_time) override;
+  RunResult Run(Time stop_time) override;
 
   uint32_t ranks() const { return ranks_; }
   const std::vector<uint32_t>& rank_of_lp() const { return rank_of_lp_; }

@@ -1,8 +1,45 @@
 #include "src/kernel/kernel.h"
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 namespace unison {
+
+const char* RunReasonName(RunReason reason) {
+  switch (reason) {
+    case RunReason::kWindowReached:
+      return "window";
+    case RunReason::kExhausted:
+      return "exhausted";
+    case RunReason::kStopRequested:
+      return "stop";
+  }
+  return "unknown";
+}
+
+void FatalConfigError(const std::string& message) {
+  std::fprintf(stderr, "unison: %s\n", message.c_str());
+  std::abort();
+}
+
+std::string KernelConfig::Validate() const {
+  if (threads == 0) {
+    return "KernelConfig.threads must be >= 1 (0 workers cannot make "
+           "progress; use threads=1 for a single-executor run)";
+  }
+  if (type == KernelType::kHybrid && ranks < 1) {
+    return "KernelConfig.ranks must be >= 1 for the hybrid kernel (each "
+           "rank models one simulated host)";
+  }
+  if (sched_period > kMaxSchedPeriod) {
+    return "KernelConfig.sched_period is implausibly large (> 2^20 rounds "
+           "between re-sorts); it counts rounds, not time — use 0 for the "
+           "ceil(log2 n) default";
+  }
+  return {};
+}
 
 void Kernel::Setup(const TopoGraph& graph, const Partition& partition) {
   graph_ = &graph;
@@ -15,8 +52,20 @@ void Kernel::Setup(const TopoGraph& graph, const Partition& partition) {
   public_lp_ = std::make_unique<Lp>(kPublicLp, config_.deterministic);
   processed_events_ = 0;
   rounds_ = 0;
+  session_now_ = Time::Zero();
+  resume_floor_ = Time::Zero();
+  session_events_ = 0;
+  session_rounds_ = 0;
+  session_windows_ = 0;
   stop_requested_ = false;
+  if (trace_ != nullptr) {
+    trace_->BeginSession();
+  }
   WireMailboxes();
+}
+
+void Kernel::BeginWindow() {
+  stop_requested_.store(false, std::memory_order_relaxed);
 }
 
 void Kernel::ScheduleOnNode(NodeId node, Time abs, EventFn fn) {
@@ -96,8 +145,8 @@ uint64_t Kernel::RunGlobalEvents(Time upto, Time stop) {
   return public_lp_->ProcessUntil(bound);
 }
 
-void Kernel::FinishRun(const char* kernel_name, uint32_t executors,
-                       uint64_t wall_ns) {
+RunResult Kernel::FinishRun(const char* kernel_name, uint32_t executors,
+                            uint64_t wall_ns, Time stop, RunReason reason) {
   run_summary_ = RunSummary{};
   run_summary_.kernel = kernel_name;
   run_summary_.executors = executors;
@@ -105,14 +154,34 @@ void Kernel::FinishRun(const char* kernel_name, uint32_t executors,
   run_summary_.rounds = rounds_;
   run_summary_.events = processed_events_;
   run_summary_.wall_ns = wall_ns;
+  run_summary_.window_index = session_windows_;
+  run_summary_.window_start_ps = session_now_.ps();
+  run_summary_.window_stop_ps = stop.ps();
+  run_summary_.reason = RunReasonName(reason);
   if (profiler_ != nullptr && profiler_->enabled) {
     run_summary_.processing_ns = profiler_->TotalProcessingNs();
     run_summary_.synchronization_ns = profiler_->TotalSyncNs();
     run_summary_.messaging_ns = profiler_->TotalMessagingNs();
   }
+
+  // Roll the window into the session. An early stop leaves events below
+  // `stop` unexecuted, so it advances neither the session clock nor the
+  // resume floor (the floor additionally rewinds to zero: fully conservative
+  // restart state for the null-message kernel's channel clocks).
+  session_events_ += processed_events_;
+  session_rounds_ += rounds_;
+  ++session_windows_;
+  if (reason == RunReason::kStopRequested) {
+    resume_floor_ = Time::Zero();
+  } else {
+    session_now_ = std::max(session_now_, stop);
+    resume_floor_ = session_now_;
+  }
+
   if (trace_ != nullptr && trace_->enabled) {
     trace_->EndRun(run_summary_, profiler_);
   }
+  return RunResult{reason, session_now_, processed_events_, rounds_};
 }
 
 }  // namespace unison

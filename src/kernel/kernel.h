@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "src/core/event.h"
@@ -38,6 +39,27 @@ enum class SchedulingMetric {
   kByLastRoundTime,      // Estimate = measured processing time of last round.
 };
 
+// Why a Run() window ended. The distinction matters for sessions: a window
+// boundary is a pause (events remain, the next Run continues the same
+// simulation), exhaustion and stop requests are terminal for the workload
+// installed so far — though more work may still be injected and run.
+enum class RunReason {
+  kWindowReached,  // The stop time was hit with events still pending.
+  kExhausted,      // Every FEL drained: nothing left to execute anywhere.
+  kStopRequested,  // Early stop via RequestStop/Simulator::Stop.
+};
+
+// Returns a stable identifier ("window", "exhausted", "stop") for traces.
+const char* RunReasonName(RunReason reason);
+
+// Outcome of one Run() window on a session.
+struct RunResult {
+  RunReason reason = RunReason::kExhausted;
+  Time end;            // Session time after this window.
+  uint64_t events = 0; // Events executed in this window alone.
+  uint64_t rounds = 0; // Synchronization rounds in this window alone.
+};
+
 struct KernelConfig {
   KernelType type = KernelType::kSequential;
   uint32_t threads = 1;
@@ -49,7 +71,22 @@ struct KernelConfig {
   bool deterministic = true;
   // Hybrid kernel only: number of simulated hosts ("ranks").
   uint32_t ranks = 2;
+
+  // Largest accepted sched_period: ceil(log2 n) tops out near 32 for any
+  // representable topology, so a period beyond this is a unit error (e.g.
+  // nanoseconds pasted into a round count), not a tuning choice.
+  static constexpr uint32_t kMaxSchedPeriod = 1u << 20;
+
+  // Returns an empty string when the config is usable, otherwise a
+  // human-readable description of the first problem found. MakeKernel calls
+  // this and treats a non-empty result as fatal.
+  std::string Validate() const;
 };
+
+// Prints "unison: <message>" to stderr and aborts. The single error path for
+// unusable configurations and API misuse (bad KernelConfig, AddLink after
+// Finalize, ...), so every such failure looks the same to the user.
+[[noreturn]] void FatalConfigError(const std::string& message);
 
 class Kernel {
  public:
@@ -60,12 +97,17 @@ class Kernel {
   Kernel& operator=(const Kernel&) = delete;
 
   // Builds LPs and mailbox wiring. `graph` must outlive the kernel; it is
-  // re-read when a global event reports a topology change.
+  // re-read when a global event reports a topology change. Starts a fresh
+  // session: session counters reset and session time rewinds to zero.
   virtual void Setup(const TopoGraph& graph, const Partition& partition);
 
-  // Runs the simulation until `stop_time` (events with ts < stop_time are
-  // executed) or until every FEL is empty.
-  virtual void Run(Time stop_time) = 0;
+  // Runs one window of the session: executes events with ts < `stop_time`,
+  // then parks. May be called repeatedly with increasing stop times; model
+  // and event state (LP clocks, FELs, tie-break sequence counters, pending
+  // cross-LP messages) carries across windows, and the executor-pool threads
+  // stay parked in between — no respawn per window. K windowed runs are
+  // bit-identical to one monolithic run to the same stop time.
+  virtual RunResult Run(Time stop_time) = 0;
 
   // --- Scheduling API used by the Simulator facade ---
 
@@ -86,7 +128,9 @@ class Kernel {
   // lookahead values and adds mailbox wiring for new cut edges.
   void NotifyTopologyChanged();
 
-  // Requests an early stop; takes effect at the next window boundary.
+  // Requests an early stop; takes effect at the next safe point of the
+  // current window. A stop request ends one Run() — it does not poison the
+  // session; the next Run() clears it and continues.
   void RequestStop() { stop_requested_ = true; }
   bool stop_requested() const {
     return stop_requested_.load(std::memory_order_relaxed);
@@ -101,8 +145,19 @@ class Kernel {
   const Partition& partition() const { return partition_; }
   const KernelConfig& config() const { return config_; }
 
+  // Per-window counters: what the most recent Run() executed.
   uint64_t processed_events() const { return processed_events_; }
   uint64_t rounds() const { return rounds_; }
+
+  // --- Session introspection (cumulative across Run() windows) ---
+
+  // Simulated time up to which the session has been run: the stop time of
+  // the last completed window (unchanged by an early stop, whose precise
+  // progress point is kernel-internal).
+  Time session_now() const { return session_now_; }
+  uint64_t session_events() const { return session_events_; }
+  uint64_t session_rounds() const { return session_rounds_; }
+  uint32_t session_windows() const { return session_windows_; }
 
   // Events executed so far; safe to call from a global event mid-run (the
   // worker counters are quiescent during the global-event phase).
@@ -136,12 +191,26 @@ class Kernel {
   // number of global events run.
   uint64_t RunGlobalEvents(Time upto, Time stop);
 
+  // Start-of-window bookkeeping shared by every kernel: clears a stale stop
+  // request (a stop ends one window, not the session) and records the window
+  // start for the summary. RoundSync::BeginRun calls it for the engine
+  // kernels; the sequential kernel calls it directly.
+  void BeginWindow();
+
   // Fills run_summary_ from processed_events_/rounds_ and the profiler's
-  // totals (when attached and enabled), then hands the completed run to the
-  // trace recorder. Every kernel calls this at the end of Run().
-  void FinishRun(const char* kernel_name, uint32_t executors, uint64_t wall_ns);
+  // totals (when attached and enabled), rolls the window into the session
+  // aggregates, and hands the completed window to the trace recorder. Every
+  // kernel calls this at the end of Run(); the return value is Run()'s.
+  RunResult FinishRun(const char* kernel_name, uint32_t executors,
+                      uint64_t wall_ns, Time stop, RunReason reason);
+
+  // Conservative lower bound for resuming conservative-synchronization state
+  // (null-message channel clocks): no event pending anywhere in the session
+  // lies below it. Zero for a fresh session or after an early stop.
+  Time resume_floor() const { return resume_floor_; }
 
   friend class Simulator;
+  friend class RoundSync;
 
   KernelConfig config_;
   const TopoGraph* graph_ = nullptr;
@@ -153,6 +222,12 @@ class Kernel {
   RunSummary run_summary_;
   uint64_t processed_events_ = 0;
   uint64_t rounds_ = 0;
+  // Session aggregates across Run() windows; reset by Setup.
+  Time session_now_;
+  Time resume_floor_;
+  uint64_t session_events_ = 0;
+  uint64_t session_rounds_ = 0;
+  uint32_t session_windows_ = 0;
   std::atomic<bool> stop_requested_{false};
   std::mutex public_mu_;
 };

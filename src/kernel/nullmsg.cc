@@ -78,15 +78,16 @@ void NullMessageKernel::Signal(LpId target) {
   ctl.cv.notify_one();
 }
 
-void NullMessageKernel::Run(Time stop_time) {
-  // Runtime global events are unsupported; drain setup-time (t = 0) globals
-  // up front so initializers still work.
+RunResult NullMessageKernel::Run(Time stop_time) {
+  // Runtime global events are unsupported; drain globals up to the session
+  // resume point (setup-time t = 0 initializers, and anything injected
+  // between windows at or below the previous stop) so they still work.
   if (!public_lp_->fel().Empty()) {
-    public_lp_->ProcessUntil(Time::Picoseconds(1));
+    public_lp_->ProcessUntil(resume_floor() + Time::Picoseconds(1));
     if (!public_lp_->fel().Empty()) {
       std::fprintf(stderr,
-                   "NullMessageKernel: global events at t > 0 are not "
-                   "supported by this baseline\n");
+                   "NullMessageKernel: global events beyond the session "
+                   "resume point are not supported by this baseline\n");
       std::abort();
     }
   }
@@ -96,14 +97,28 @@ void NullMessageKernel::Run(Time stop_time) {
   sync_.BeginRun("nullmsg", num_lps(), stop_time);
   const uint64_t run_t0 = Profiler::NowNs();
   lp_events_.assign(num_lps(), 0);
-  // Reset channel promises so back-to-back runs start conservative: run 1's
-  // final clocks (often latched at +inf once every FEL drained) would let
-  // run 2 process events below messages still to be sent. Undelivered events
-  // are kept — their timestamps are at or past the old stop, so they belong
-  // to this run.
+  // Reset channel promises so consecutive windows start conservative: the
+  // previous window's final clocks (often latched at +inf once every FEL
+  // drained) would let this window process events below messages still to be
+  // sent. The baseline is the session's resume floor — after a clean window
+  // every pending event sits at or past the previous stop, so no future send
+  // can promise less — refined down to the earliest pending event anywhere in
+  // case work was injected below the floor between windows. Undelivered
+  // channel events are kept: they belong to this window.
+  Time floor = resume_floor();
+  for (const auto& lp : lps_) {
+    floor = std::min(floor, lp->fel().NextTimestamp());
+  }
   for (const auto& c : channels_) {
     std::lock_guard<std::mutex> lock(c->mu);
-    c->clock_ps = 0;
+    for (const Event& ev : c->events) {
+      floor = std::min(floor, ev.key.ts);
+    }
+  }
+  const int64_t floor_ps = floor.IsMax() ? 0 : floor.ps();
+  for (const auto& c : channels_) {
+    std::lock_guard<std::mutex> lock(c->mu);
+    c->clock_ps = floor_ps;
     c->nulls = 0;
   }
 
@@ -117,7 +132,24 @@ void NullMessageKernel::Run(Time stop_time) {
   for (const auto& c : channels_) {
     null_messages_ += c->nulls;
   }
-  FinishRun("nullmsg", num_lps(), Profiler::NowNs() - run_t0);
+
+  // This kernel has no coordinator prologue to classify the exit, so decide
+  // here: all events below the stop time were executed, hence anything left
+  // pending marks a window boundary rather than exhaustion.
+  RunReason reason = RunReason::kStopRequested;
+  if (!stop_requested()) {
+    bool pending = !public_lp_->fel().Empty();
+    for (const auto& lp : lps_) {
+      pending = pending || !lp->fel().Empty();
+    }
+    for (const auto& c : channels_) {
+      std::lock_guard<std::mutex> lock(c->mu);
+      pending = pending || !c->events.empty();
+    }
+    reason = pending ? RunReason::kWindowReached : RunReason::kExhausted;
+  }
+  return FinishRun("nullmsg", num_lps(), Profiler::NowNs() - run_t0, stop_time,
+                   reason);
 }
 
 void NullMessageKernel::LpLoop(LpId id) {

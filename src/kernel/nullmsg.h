@@ -32,7 +32,7 @@ class NullMessageKernel : public Kernel {
   using Kernel::Kernel;
 
   void Setup(const TopoGraph& graph, const Partition& partition) override;
-  void Run(Time stop_time) override;
+  RunResult Run(Time stop_time) override;
 
   // Total null messages exchanged during the last run; exposed for the
   // overhead benches.

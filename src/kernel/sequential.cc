@@ -4,11 +4,12 @@
 
 namespace unison {
 
-void SequentialKernel::Run(Time stop_time) {
+RunResult SequentialKernel::Run(Time stop_time) {
   // The sequential kernel is always set up with the single-LP partition; a
   // larger partition would still execute correctly but pay mailbox overhead
   // for nothing.
   Lp* const lp = lps_[0].get();
+  BeginWindow();
   const bool profiling = profiler_ != nullptr && profiler_->enabled;
   if (profiling) {
     profiler_->BeginRun(1);
@@ -19,11 +20,17 @@ void SequentialKernel::Run(Time stop_time) {
   const uint64_t t0 = Profiler::NowNs();
 
   processed_events_ = 0;
+  RunReason reason = RunReason::kStopRequested;
   while (!stop_requested_) {
     const Time npub = public_lp_->fel().NextTimestamp();
     const Time nloc = lp->fel().NextTimestamp();
     const Time next = std::min(npub, nloc);
-    if (next >= stop_time || next.IsMax()) {
+    if (next.IsMax()) {
+      reason = RunReason::kExhausted;
+      break;
+    }
+    if (next >= stop_time) {
+      reason = RunReason::kWindowReached;
       break;
     }
     if (npub <= nloc) {
@@ -42,7 +49,7 @@ void SequentialKernel::Run(Time stop_time) {
     stats.processing_ns = wall_ns;
     stats.events = count;
   }
-  FinishRun("sequential", 1, wall_ns);
+  return FinishRun("sequential", 1, wall_ns, stop_time, reason);
 }
 
 }  // namespace unison

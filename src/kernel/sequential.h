@@ -13,7 +13,7 @@ class SequentialKernel : public Kernel {
  public:
   using Kernel::Kernel;
 
-  void Run(Time stop_time) override;
+  RunResult Run(Time stop_time) override;
 };
 
 }  // namespace unison

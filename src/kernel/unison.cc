@@ -29,7 +29,7 @@ void UnisonKernel::Setup(const TopoGraph& graph, const Partition& partition) {
   pool_.Ensure(num_workers_);
 }
 
-void UnisonKernel::Run(Time stop_time) {
+RunResult UnisonKernel::Run(Time stop_time) {
   sync_.BeginRun("unison", num_workers_, stop_time);
   timing_ =
       sync_.profiling() || config_.metric == SchedulingMetric::kByLastRoundTime;
@@ -46,7 +46,8 @@ void UnisonKernel::Run(Time stop_time) {
     processed_events_ += n;
   }
   rounds_ = sync_.round_index();
-  FinishRun("unison", num_workers_, Profiler::NowNs() - run_t0);
+  return FinishRun("unison", num_workers_, Profiler::NowNs() - run_t0,
+                   stop_time, sync_.reason());
 }
 
 void UnisonKernel::Prologue() {

@@ -37,7 +37,7 @@ class UnisonKernel : public Kernel {
   using Kernel::Kernel;
 
   void Setup(const TopoGraph& graph, const Partition& partition) override;
-  void Run(Time stop_time) override;
+  RunResult Run(Time stop_time) override;
 
   uint64_t LiveEvents() const override {
     uint64_t sum = 0;

@@ -62,9 +62,9 @@ uint32_t Network::AddLink(NodeId a, NodeId b, uint64_t bps, Time delay) {
 uint32_t Network::AddLink(NodeId a, NodeId b, uint64_t bps, Time delay,
                           const QueueConfig& queue, bool stateless) {
   if (finalized()) {
-    std::fprintf(stderr, "Network: AddLink after Finalize is not supported; "
-                         "use SetLinkUp from a global event for dynamics\n");
-    std::abort();
+    FatalConfigError(
+        "Network: AddLink after Finalize is not supported; use SetLinkUp "
+        "from a global event for dynamics");
   }
   const uint32_t id = static_cast<uint32_t>(links_.size());
   Device* da = nodes_[a]->AddDevice(b, bps, delay, MakeQueue(queue, 2 * id));
@@ -138,8 +138,7 @@ void Network::Finalize() {
       break;
     case PartitionMode::kManual:
       if (!has_manual_partition_) {
-        std::fprintf(stderr, "Network: manual partition requested but none set\n");
-        std::abort();
+        FatalConfigError("Network: manual partition requested but none set");
       }
       partition = manual_partition_;
       FinalizePartition(graph_, &partition);
@@ -163,9 +162,9 @@ void Network::Finalize() {
   }
 }
 
-void Network::Run(Time stop) {
+RunResult Network::Run(Time stop) {
   Finalize();
-  kernel_->Run(stop);
+  return kernel_->Run(stop);
 }
 
 void Network::SetLinkUp(uint32_t link, bool up) {

@@ -113,13 +113,27 @@ class Network {
   void EnableProgressReport(Time interval,
                             std::function<void(Time now, uint64_t events)> callback = {});
 
-  // Builds the partition, kernel and routing tables. Implicit in Run; after
-  // this point flows may be installed and events scheduled.
+  // Builds the partition, kernel and routing tables, producing a warm
+  // session: executor threads spawn here and stay parked between windows.
+  // Implicit in Run; after this point flows may be installed and events
+  // scheduled.
   void Finalize();
   bool finalized() const { return kernel_ != nullptr; }
 
-  // Runs the simulation until `stop` (events with ts < stop execute).
-  void Run(Time stop);
+  // Runs one window of the session: events with ts < `stop` execute, then
+  // the kernel parks. Call repeatedly with increasing stop times to advance
+  // the same simulation in windows — model and event state carries across
+  // calls, more flows may be installed in between (see InjectTraffic), and K
+  // windowed runs are bit-identical to one monolithic run to the same stop
+  // time. The result says whether the window boundary was reached, the
+  // workload ran dry, or an early stop fired.
+  RunResult Run(Time stop);
+
+  // Simulated time up to which the session has run (last completed window's
+  // stop); zero before the first Run.
+  Time session_time() const {
+    return kernel_ != nullptr ? kernel_->session_now() : Time::Zero();
+  }
 
   // --- Runtime topology operations (call from global events only) ---
 

@@ -6,7 +6,9 @@ namespace unison {
 
 RunDigest DigestOf(Network& net) {
   RunDigest d;
-  d.event_count = net.kernel().processed_events();
+  // Session total, not last-window count: a digest describes the whole
+  // simulation whether it ran as one window or many.
+  d.event_count = net.kernel().session_events();
   d.flow_fingerprint = net.flow_monitor().Fingerprint();
   d.mean_fct_ms = net.flow_monitor().Summarize().mean_fct_ms;
   d.mean_delay_us = net.AggregateQueueStats().mean_delay_us();

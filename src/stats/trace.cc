@@ -80,9 +80,19 @@ std::string RunSummary::ToJson() const {
   AppendU64(&out, synchronization_ns);
   out += ",\"messaging_ns\":";
   AppendU64(&out, messaging_ns);
-  out += '}';
+  out += ",\"window_index\":";
+  AppendU64(&out, window_index);
+  out += ",\"window_start_ps\":";
+  AppendI64(&out, window_start_ps);
+  out += ",\"window_stop_ps\":";
+  AppendI64(&out, window_stop_ps);
+  out += ",\"reason\":\"";
+  out += reason;  // One of the fixed RunReasonName strings; no escaping needed.
+  out += "\"}";
   return out;
 }
+
+void RunTrace::BeginSession() { segments_.clear(); }
 
 void RunTrace::BeginRun(std::string kernel, uint32_t executors, uint32_t lps) {
   summary_ = RunSummary{};
@@ -130,60 +140,152 @@ void RunTrace::EndRun(const RunSummary& summary, const Profiler* profiler) {
       round_m_ = profiler->round_messaging_ns();
     }
   }
+  // Archive this window so a later Run() on the same session cannot erase it.
+  WindowTraceSegment seg;
+  seg.summary = summary_;
+  seg.records = records_;
+  seg.executors = executors_;
+  seg.round_p = round_p_;
+  seg.round_s = round_s_;
+  seg.round_m = round_m_;
+  segments_.push_back(std::move(seg));
 }
+
+RunSummary RunTrace::Cumulative() const {
+  if (segments_.empty()) {
+    return summary_;
+  }
+  RunSummary total = segments_.back().summary;
+  total.rounds = 0;
+  total.events = 0;
+  total.wall_ns = 0;
+  total.processing_ns = 0;
+  total.synchronization_ns = 0;
+  total.messaging_ns = 0;
+  for (const WindowTraceSegment& seg : segments_) {
+    total.rounds += seg.summary.rounds;
+    total.events += seg.summary.events;
+    total.wall_ns += seg.summary.wall_ns;
+    total.processing_ns += seg.summary.processing_ns;
+    total.synchronization_ns += seg.summary.synchronization_ns;
+    total.messaging_ns += seg.summary.messaging_ns;
+  }
+  total.window_start_ps = segments_.front().summary.window_start_ps;
+  return total;
+}
+
+namespace {
+
+// Serializes one window's body — "summary", "per_executor", "rounds" — shared
+// by the top-level (latest-window) view and each archived segment.
+void AppendTraceBody(std::string* out, const RunSummary& summary,
+                     const std::vector<RoundTraceRecord>& records,
+                     const std::vector<ExecutorPhaseStats>& executors,
+                     const std::vector<std::vector<uint64_t>>& round_p,
+                     const std::vector<std::vector<uint64_t>>& round_s,
+                     const std::vector<std::vector<uint64_t>>& round_m) {
+  *out += "\"summary\":";
+  *out += summary.ToJson();
+  *out += ",\"per_executor\":[";
+  for (size_t i = 0; i < executors.size(); ++i) {
+    if (i > 0) {
+      *out += ',';
+    }
+    *out += "{\"processing_ns\":";
+    AppendU64(out, executors[i].processing_ns);
+    *out += ",\"synchronization_ns\":";
+    AppendU64(out, executors[i].synchronization_ns);
+    *out += ",\"messaging_ns\":";
+    AppendU64(out, executors[i].messaging_ns);
+    *out += ",\"events\":";
+    AppendU64(out, executors[i].events);
+    *out += '}';
+  }
+  *out += "],\"rounds\":[";
+  for (size_t i = 0; i < records.size(); ++i) {
+    const RoundTraceRecord& r = records[i];
+    if (i > 0) {
+      *out += ',';
+    }
+    *out += "{\"round\":";
+    AppendU64(out, r.round);
+    *out += ",\"lbts_ps\":";
+    AppendI64(out, r.lbts_ps);
+    *out += ",\"window_ps\":";
+    AppendI64(out, r.window_ps);
+    *out += ",\"events_before\":";
+    AppendU64(out, r.events_before);
+    *out += ",\"resorted\":";
+    *out += r.resorted ? "true" : "false";
+    if (!r.claim_order.empty()) {
+      *out += ",\"claim_order\":";
+      AppendU32Array(out, r.claim_order);
+    }
+    if (r.round < round_p.size()) {
+      *out += ",\"p_ns\":";
+      AppendU64Array(out, round_p[r.round]);
+    }
+    if (r.round < round_s.size()) {
+      *out += ",\"s_ns\":";
+      AppendU64Array(out, round_s[r.round]);
+    }
+    if (r.round < round_m.size()) {
+      *out += ",\"m_ns\":";
+      AppendU64Array(out, round_m[r.round]);
+    }
+    *out += '}';
+  }
+  *out += ']';
+}
+
+void AppendCsvRows(std::string* out, uint32_t window,
+                   const std::vector<RoundTraceRecord>& records,
+                   const std::vector<std::vector<uint64_t>>& round_p,
+                   const std::vector<std::vector<uint64_t>>& round_s,
+                   const std::vector<std::vector<uint64_t>>& round_m) {
+  for (const RoundTraceRecord& r : records) {
+    AppendU64(out, window);
+    *out += ',';
+    AppendU64(out, r.round);
+    *out += ',';
+    AppendI64(out, r.lbts_ps);
+    *out += ',';
+    AppendI64(out, r.window_ps);
+    *out += ',';
+    AppendU64(out, r.events_before);
+    *out += ',';
+    *out += r.resorted ? '1' : '0';
+    *out += ',';
+    AppendU64(out, RowSum(round_p, r.round));
+    *out += ',';
+    AppendU64(out, RowSum(round_s, r.round));
+    *out += ',';
+    AppendU64(out, RowSum(round_m, r.round));
+    *out += '\n';
+  }
+}
+
+}  // namespace
 
 std::string RunTrace::ToJson() const {
   std::string out;
   out.reserve(4096 + records_.size() * 96);
-  out += "{\"summary\":";
-  out += summary_.ToJson();
-  out += ",\"per_executor\":[";
-  for (size_t i = 0; i < executors_.size(); ++i) {
+  out += '{';
+  AppendTraceBody(&out, summary_, records_, executors_, round_p_, round_s_,
+                  round_m_);
+  out += ",\"windows\":";
+  AppendU64(&out, segments_.size());
+  out += ",\"cumulative\":";
+  out += Cumulative().ToJson();
+  out += ",\"segments\":[";
+  for (size_t i = 0; i < segments_.size(); ++i) {
     if (i > 0) {
       out += ',';
     }
-    out += "{\"processing_ns\":";
-    AppendU64(&out, executors_[i].processing_ns);
-    out += ",\"synchronization_ns\":";
-    AppendU64(&out, executors_[i].synchronization_ns);
-    out += ",\"messaging_ns\":";
-    AppendU64(&out, executors_[i].messaging_ns);
-    out += ",\"events\":";
-    AppendU64(&out, executors_[i].events);
-    out += '}';
-  }
-  out += "],\"rounds\":[";
-  for (size_t i = 0; i < records_.size(); ++i) {
-    const RoundTraceRecord& r = records_[i];
-    if (i > 0) {
-      out += ',';
-    }
-    out += "{\"round\":";
-    AppendU64(&out, r.round);
-    out += ",\"lbts_ps\":";
-    AppendI64(&out, r.lbts_ps);
-    out += ",\"window_ps\":";
-    AppendI64(&out, r.window_ps);
-    out += ",\"events_before\":";
-    AppendU64(&out, r.events_before);
-    out += ",\"resorted\":";
-    out += r.resorted ? "true" : "false";
-    if (!r.claim_order.empty()) {
-      out += ",\"claim_order\":";
-      AppendU32Array(&out, r.claim_order);
-    }
-    if (r.round < round_p_.size()) {
-      out += ",\"p_ns\":";
-      AppendU64Array(&out, round_p_[r.round]);
-    }
-    if (r.round < round_s_.size()) {
-      out += ",\"s_ns\":";
-      AppendU64Array(&out, round_s_[r.round]);
-    }
-    if (r.round < round_m_.size()) {
-      out += ",\"m_ns\":";
-      AppendU64Array(&out, round_m_[r.round]);
-    }
+    const WindowTraceSegment& seg = segments_[i];
+    out += '{';
+    AppendTraceBody(&out, seg.summary, seg.records, seg.executors, seg.round_p,
+                    seg.round_s, seg.round_m);
     out += '}';
   }
   out += "]}";
@@ -193,25 +295,16 @@ std::string RunTrace::ToJson() const {
 std::string RunTrace::ToCsv() const {
   std::string out;
   out.reserve(64 + records_.size() * 64);
-  out += "round,lbts_ps,window_ps,events_before,resorted,p_total_ns,s_total_ns,"
-         "m_total_ns\n";
-  for (const RoundTraceRecord& r : records_) {
-    AppendU64(&out, r.round);
-    out += ',';
-    AppendI64(&out, r.lbts_ps);
-    out += ',';
-    AppendI64(&out, r.window_ps);
-    out += ',';
-    AppendU64(&out, r.events_before);
-    out += ',';
-    out += r.resorted ? '1' : '0';
-    out += ',';
-    AppendU64(&out, RowSum(round_p_, r.round));
-    out += ',';
-    AppendU64(&out, RowSum(round_s_, r.round));
-    out += ',';
-    AppendU64(&out, RowSum(round_m_, r.round));
-    out += '\n';
+  out += "window,round,lbts_ps,window_ps,events_before,resorted,p_total_ns,"
+         "s_total_ns,m_total_ns\n";
+  if (segments_.empty()) {
+    // Export mid-window (EndRun not yet reached): show the live records.
+    AppendCsvRows(&out, 0, records_, round_p_, round_s_, round_m_);
+    return out;
+  }
+  for (const WindowTraceSegment& seg : segments_) {
+    AppendCsvRows(&out, seg.summary.window_index, seg.records, seg.round_p,
+                  seg.round_s, seg.round_m);
   }
   return out;
 }

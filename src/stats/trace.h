@@ -40,6 +40,13 @@ struct RunSummary {
   uint64_t processing_ns = 0;     // Sums over executors (profiler-provided).
   uint64_t synchronization_ns = 0;
   uint64_t messaging_ns = 0;
+  // Windowed-session placement: which Run() window of the session this
+  // summary covers, its [start, stop) bounds in simulated time, and why the
+  // window ended ("window" | "exhausted" | "stop", see RunReasonName).
+  uint32_t window_index = 0;
+  int64_t window_start_ps = 0;
+  int64_t window_stop_ps = 0;
+  std::string reason;
 
   std::string ToJson() const;
 };
@@ -56,6 +63,17 @@ struct RoundTraceRecord {
                                       // only (it is unchanged in between).
 };
 
+// One completed Run() window of a session, archived verbatim by EndRun so a
+// multi-window session exports every window, not just the last one.
+struct WindowTraceSegment {
+  RunSummary summary;
+  std::vector<RoundTraceRecord> records;
+  std::vector<ExecutorPhaseStats> executors;
+  std::vector<std::vector<uint64_t>> round_p;
+  std::vector<std::vector<uint64_t>> round_s;
+  std::vector<std::vector<uint64_t>> round_m;
+};
+
 class RunTrace {
  public:
   // Opt-in, like Profiler::enabled. Kernels skip every Record* call when off.
@@ -66,6 +84,10 @@ class RunTrace {
 
   // --- Recording API (coordinating thread only) ---
 
+  // Discards all archived window segments. Called by Kernel::Setup so a fresh
+  // session starts with an empty trace; Run()-level BeginRun only clears the
+  // *current* window's state and leaves prior segments intact.
+  void BeginSession();
   void BeginRun(std::string kernel, uint32_t executors, uint32_t lps);
   void BeginRound(uint32_t round, Time lbts, Time window, uint64_t events_before);
   // Attaches the scheduler order to the most recent round record.
@@ -76,8 +98,15 @@ class RunTrace {
 
   // --- Post-run inspection ---
 
+  // Latest window's summary/rounds (the pre-session accessors; a single-window
+  // run sees exactly the old behaviour).
   const RunSummary& summary() const { return summary_; }
   const std::vector<RoundTraceRecord>& records() const { return records_; }
+  // Completed windows of the session, in Run() order.
+  const std::vector<WindowTraceSegment>& segments() const { return segments_; }
+  // Session-wide aggregate: rounds/events/wall/P/S/M summed over all archived
+  // segments, bounds spanning first window start to last window stop.
+  RunSummary Cumulative() const;
   // [round][executor]; empty unless the profiler ran with per_round.
   const std::vector<std::vector<uint64_t>>& round_processing_ns() const {
     return round_p_;
@@ -89,9 +118,12 @@ class RunTrace {
 
   // --- Exporters ---
 
-  // Full structured trace: summary, per-executor P/S/M, one object per round.
+  // Full structured trace: latest-window summary, per-executor P/S/M, one
+  // object per round — plus session keys: "windows" (count), "cumulative"
+  // (session aggregate), and "segments" (one full trace object per window).
   std::string ToJson() const;
-  // Flat per-round table: round,lbts_ps,window_ps,events_before,resorted,
+  // Flat per-round table across every window of the session:
+  // window,round,lbts_ps,window_ps,events_before,resorted,
   // p_total_ns,s_total_ns,m_total_ns.
   std::string ToCsv() const;
   bool WriteJsonFile(const std::string& path) const;
@@ -104,6 +136,7 @@ class RunTrace {
   std::vector<std::vector<uint64_t>> round_p_;
   std::vector<std::vector<uint64_t>> round_s_;
   std::vector<std::vector<uint64_t>> round_m_;
+  std::vector<WindowTraceSegment> segments_;
 };
 
 }  // namespace unison

@@ -46,7 +46,7 @@ GeneratedTraffic GenerateTraffic(Network& net, const TrafficSpec& spec) {
         flow.src = spec.hosts[h];
         flow.dst = spec.hosts[dst_idx];
         flow.bytes = spec.sizes->Sample(rng);
-        flow.start = Time::Seconds(t);
+        flow.start = spec.start + Time::Seconds(t);
         out.flow_ids.push_back(InstallFlow(net, flow));
         out.total_bytes += flow.bytes;
       }
@@ -54,6 +54,12 @@ GeneratedTraffic GenerateTraffic(Network& net, const TrafficSpec& spec) {
     }
   }
   return out;
+}
+
+GeneratedTraffic InjectTraffic(Network& net, const TrafficSpec& spec) {
+  TrafficSpec shifted = spec;
+  shifted.start = net.session_time() + spec.start;
+  return GenerateTraffic(net, shifted);
 }
 
 GeneratedTraffic GeneratePermutation(Network& net, const std::vector<NodeId>& hosts,

@@ -26,7 +26,8 @@ struct TrafficSpec {
   const EmpiricalCdf* sizes = &EmpiricalCdf::WebSearch();
   double load = 0.3;                // Fraction of bisection bandwidth.
   uint64_t bisection_bps = 0;       // From the topology builder.
-  Time duration;                    // Arrival window [0, duration).
+  Time start;                       // Arrival window offset (default t = 0).
+  Time duration;                    // Arrival window [start, start+duration).
   double incast_ratio = 0.0;        // P(redirect to the victim host).
   uint32_t victim_index = 0;        // Index into hosts.
   uint64_t rng_stream = 100;        // Stream id under the network seed.
@@ -43,6 +44,13 @@ struct GeneratedTraffic {
 
 // Draws and installs all flows. Requires a finalized network.
 GeneratedTraffic GenerateTraffic(Network& net, const TrafficSpec& spec);
+
+// Incremental injection for windowed sessions: installs `spec`'s flows with
+// the arrival window re-anchored at the session's current time, i.e. arrivals
+// fall in [session_time + spec.start, session_time + spec.start + duration).
+// Call between Run() windows to add load to a live session; use a fresh
+// rng_stream per injection or the draws repeat the previous batch.
+GeneratedTraffic InjectTraffic(Network& net, const TrafficSpec& spec);
 
 // Permutation traffic: every host sends one `bytes` flow to a fixed distinct
 // partner (host i -> host (i + stride) mod n), all starting at `start`.

@@ -184,6 +184,10 @@ struct TwoRunOutcome {
   uint64_t spawned_setup = 0;  // Threads spawned by Setup (pool creation).
   uint64_t spawned_run2 = 0;   // Threads spawned by the second Run: must be 0.
   uint64_t events = 0;         // Total across both runs.
+  RunResult first;             // Window results reported by each Run().
+  RunResult second;
+  uint64_t session_events = 0;  // Kernel's session accumulator after run 2.
+  uint32_t session_windows = 0;
 };
 
 TwoRunOutcome RunTwice(KernelType type, uint32_t threads, uint32_t ranks = 2) {
@@ -205,7 +209,7 @@ TwoRunOutcome RunTwice(KernelType type, uint32_t threads, uint32_t ranks = 2) {
   // The chain spans both runs: events past the first stop stay pending and
   // the second Run() picks them up (simulated time never rewinds).
   pp.Hop(0, 1, 299);
-  kernel->Run(Time::Microseconds(100));
+  out.first = kernel->Run(Time::Microseconds(100));
   out.events = kernel->processed_events();
 
   // New work injected between runs, at an absolute time in run 2's window.
@@ -213,9 +217,11 @@ TwoRunOutcome RunTwice(KernelType type, uint32_t threads, uint32_t ranks = 2) {
     pp.log[0].push_back(-200);
   });
   const uint64_t before_run2 = ExecutorPool::TotalThreadsSpawned();
-  kernel->Run(Time::Microseconds(300));
+  out.second = kernel->Run(Time::Microseconds(300));
   out.spawned_run2 = ExecutorPool::TotalThreadsSpawned() - before_run2;
   out.events += kernel->processed_events();
+  out.session_events = kernel->session_events();
+  out.session_windows = kernel->session_windows();
   out.log = std::move(pp.log);
   return out;
 }
@@ -237,6 +243,15 @@ TEST_P(EngineReuseTest, SecondRunReusesPoolThreadsAndStaysDeterministic) {
   EXPECT_GT(a.spawned_setup, 0u);
   EXPECT_EQ(a.spawned_run2, 0u);
   EXPECT_EQ(b.spawned_run2, 0u);
+
+  // Window classification: run 1 hit its stop time with the chain still
+  // pending (a window boundary), run 2 drained the chain (exhaustion).
+  EXPECT_EQ(a.first.reason, RunReason::kWindowReached);
+  EXPECT_EQ(a.first.end, Time::Microseconds(100));
+  EXPECT_EQ(a.second.reason, RunReason::kExhausted);
+  EXPECT_EQ(a.session_windows, 2u);
+  EXPECT_EQ(a.session_events, a.first.events + a.second.events);
+  EXPECT_EQ(a.events, a.session_events);
 
   // Bit-determinism across instances, both runs included.
   EXPECT_EQ(a.events, b.events);

@@ -169,6 +169,11 @@ TEST(RunTraceExport, JsonIsBalancedAndCarriesSections) {
   EXPECT_NE(json.find("\"p_ns\":["), std::string::npos);
   EXPECT_NE(json.find("\"s_ns\":["), std::string::npos);
   EXPECT_NE(json.find("\"m_ns\":["), std::string::npos);
+  // Session keys: window count, session aggregate, archived segments.
+  EXPECT_NE(json.find("\"windows\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"cumulative\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"segments\":["), std::string::npos);
+  EXPECT_NE(json.find("\"reason\":\""), std::string::npos);
 }
 
 TEST(RunTraceExport, CsvHasHeaderAndOneLinePerRound) {
@@ -183,10 +188,16 @@ TEST(RunTraceExport, CsvHasHeaderAndOneLinePerRound) {
   }
   ASSERT_GT(lines, 1u);
   EXPECT_EQ(lines, 1 + run.records.size());
-  EXPECT_EQ(run.csv.rfind("round,lbts_ps,window_ps,events_before,resorted,"
-                          "p_total_ns,s_total_ns,m_total_ns\n",
+  EXPECT_EQ(run.csv.rfind("window,round,lbts_ps,window_ps,events_before,"
+                          "resorted,p_total_ns,s_total_ns,m_total_ns\n",
                           0),
             0u);
+  // Single-window session: every row belongs to window 0.
+  for (size_t pos = run.csv.find('\n'); pos + 1 < run.csv.size();
+       pos = run.csv.find('\n', pos + 1)) {
+    EXPECT_EQ(run.csv[pos + 1], '0');
+    EXPECT_EQ(run.csv[pos + 2], ',');
+  }
 }
 
 TEST(RunTraceExport, WriteFilesRoundTrip) {

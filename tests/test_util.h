@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "src/kernel/engine/executor_pool.h"
 #include "src/net/app.h"
 #include "src/net/network.h"
 #include "src/topo/fat_tree.h"
@@ -54,6 +55,63 @@ inline RunOutcome RunFatTreeScenario(const KernelConfig& kcfg, PartitionMode par
   out.fingerprint = net.flow_monitor().Fingerprint();
   out.summary = net.flow_monitor().Summarize();
   out.rounds = net.kernel().rounds();
+  out.lps = net.kernel().num_lps();
+  return out;
+}
+
+// The same scenario advanced as a windowed session: `windows` consecutive
+// Run() calls covering [0, sim_ms) in equal slices. Per the session
+// invariant, the outcome must be bit-identical to RunFatTreeScenario with the
+// same parameters for any window count. When `spawned_delta` is non-null it
+// receives the number of OS threads spawned process-wide *between* the first
+// and last window — zero when the pool parks its workers as promised.
+inline RunOutcome RunFatTreeScenarioWindowed(
+    const KernelConfig& kcfg, PartitionMode partition, uint32_t windows,
+    uint32_t k = 4, uint64_t gbps = 10, int sim_ms = 5, uint64_t seed = 1,
+    uint64_t* spawned_delta = nullptr) {
+  SimConfig cfg;
+  cfg.kernel = kcfg;
+  cfg.partition = partition;
+  cfg.seed = seed;
+  Network net(cfg);
+  FatTreeTopo topo =
+      BuildFatTree(net, k, gbps * 1000000000ULL, Time::Microseconds(3));
+  if (partition == PartitionMode::kManual) {
+    auto lp = FatTreePodPartition(topo, net.num_nodes());
+    net.SetManualPartition(k, std::move(lp));
+  }
+  net.Finalize();
+
+  GeneratePermutation(net, topo.hosts, 200 * 1024, Time::Zero());
+  TrafficSpec traffic;
+  traffic.hosts = topo.hosts;
+  traffic.bisection_bps = topo.bisection_bps;
+  traffic.load = 0.1;
+  traffic.duration = Time::Milliseconds(sim_ms);
+  GenerateTraffic(net, traffic);
+
+  const int64_t total_ps = Time::Milliseconds(sim_ms).ps();
+  uint64_t spawned_before = 0;
+  for (uint32_t w = 1; w <= windows; ++w) {
+    if (w == 2 && spawned_delta != nullptr) {
+      spawned_before = ExecutorPool::TotalThreadsSpawned();
+    }
+    const Time stop = w == windows
+                          ? Time::Milliseconds(sim_ms)
+                          : Time::Picoseconds(total_ps * w / windows);
+    net.Run(stop);
+  }
+  if (spawned_delta != nullptr) {
+    *spawned_delta = windows > 1
+                         ? ExecutorPool::TotalThreadsSpawned() - spawned_before
+                         : 0;
+  }
+
+  RunOutcome out;
+  out.events = net.kernel().session_events();
+  out.fingerprint = net.flow_monitor().Fingerprint();
+  out.summary = net.flow_monitor().Summarize();
+  out.rounds = net.kernel().session_rounds();
   out.lps = net.kernel().num_lps();
   return out;
 }
