@@ -10,11 +10,17 @@
 // stores the capture inline and the FEL sifts with hole-based moves, so the
 // same workload runs allocation-free.
 //
-// Emits BENCH_event_hotpath.json with both throughputs, the speedup, and
-// the inline-buffer fallback rate (must be 0 for packet closures).
+// Emits BENCH_event_hotpath.json with both throughputs, the speedup, the
+// inline-buffer fallback rate (must be 0 for packet closures), and the
+// steady-state heap allocation counts (must be 0: the whole point of the
+// inline representation and the drain-into-scratch receive path is that the
+// warm hot path never touches the allocator).
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
+#include <new>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -23,12 +29,64 @@
 #include "bench/bench_util.h"
 #include "src/core/fel.h"
 #include "src/core/inline_function.h"
+#include "src/kernel/lp.h"
 #include "src/net/packet.h"
+
+// Counting operator new replacements: every heap allocation in the process
+// bumps the counter, so a delta of zero around a measured region proves the
+// region is allocation-free — closures, FEL growth, scratch buffers, all of
+// it. Deletes are not counted; steady state is defined by allocations alone.
+namespace {
+std::atomic<uint64_t> g_heap_allocs{0};
+
+inline void* CountedAlloc(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+void* operator new(std::size_t size, std::align_val_t al) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t align = static_cast<std::size_t>(al);
+  void* p = std::aligned_alloc(align, (size + align - 1) / align * align);
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t al) {
+  return operator new(size, al);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 using namespace unison;
 using namespace unison::bench;
 
 namespace {
+
+uint64_t HeapAllocs() {
+  return g_heap_allocs.load(std::memory_order_relaxed);
+}
+
+// Allocations inside the most recent RunScheduleDispatch timed loop.
+uint64_t g_timed_allocs = 0;
 
 // Defeats dead-code elimination of the dispatched closures.
 volatile uint64_t g_sink = 0;
@@ -119,6 +177,15 @@ double RunScheduleDispatch(size_t depth, uint64_t ops, const MakeEv& make_event)
     heap.Push(make_event(MakeKey(1000 + 7 * seq, seq), seq));
     ++seq;
   }
+  {
+    // One untimed cycle reaches the true steady state before the allocation
+    // snapshot: the FEL's slot free list grows on the very first Pop.
+    auto ev = heap.Pop();
+    ev.fn();
+    heap.Push(make_event(MakeKey(1000 + 7 * seq, seq), seq));
+    ++seq;
+  }
+  const uint64_t allocs0 = HeapAllocs();
   const uint64_t t0 = Profiler::NowNs();
   for (uint64_t i = 0; i < ops; ++i) {
     auto ev = heap.Pop();
@@ -127,6 +194,7 @@ double RunScheduleDispatch(size_t depth, uint64_t ops, const MakeEv& make_event)
     ++seq;
   }
   const uint64_t dt = Profiler::NowNs() - t0;
+  g_timed_allocs = HeapAllocs() - allocs0;
   while (!heap.Empty()) {
     heap.Pop();
   }
@@ -179,6 +247,32 @@ double RunDrain(size_t depth, size_t batch, uint64_t reps, bool bulk) {
              : static_cast<double>(batch * reps) * 1e9 / static_cast<double>(total_ns);
 }
 
+// Overflow slow path at steady state: Push a batch into the LP's OverflowBox,
+// DrainInto the LP's reusable scratch, bulk-push into the FEL, dispatch.
+// After warm cycles every buffer (box, scratch, FEL) sits at its high-water
+// capacity, so the measured cycles must not allocate at all.
+uint64_t OverflowDrainSteadyStateAllocs(size_t batch, int warm_cycles,
+                                        int measured_cycles) {
+  Lp lp(0, /*deterministic=*/true);
+  uint64_t seq = 0;
+  auto cycle = [&] {
+    for (size_t i = 0; i < batch; ++i) {
+      lp.overflow().Push(MakeInlineEvent(MakeKey(1000 + 7 * seq, seq), seq));
+      ++seq;
+    }
+    lp.DrainInboxes();
+    lp.ProcessUntil(Time::Picoseconds(INT64_MAX));
+  };
+  for (int i = 0; i < warm_cycles; ++i) {
+    cycle();
+  }
+  const uint64_t allocs0 = HeapAllocs();
+  for (int i = 0; i < measured_cycles; ++i) {
+    cycle();
+  }
+  return HeapAllocs() - allocs0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -204,11 +298,12 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(ops));
 
   Table table({"fel depth", "std::function Mev/s", "inline Mev/s", "speedup",
-               "fallbacks"});
+               "fallbacks", "allocs"});
   double worst_speedup = 1e30;
   double baseline_mops = 0;
   double inline_mops = 0;
   uint64_t packet_fallbacks = 0;
+  uint64_t steady_state_allocs = 0;
   for (const size_t depth : depths) {
     // Warm up both paths once so allocator and cache state are comparable.
     RunScheduleDispatch<SwapHeap<BaselineEvent>>(depth, ops / 10, MakeBaselineEvent);
@@ -220,6 +315,11 @@ int main(int argc, char** argv) {
     const double inl =
         RunScheduleDispatch<FutureEventList>(depth, ops, MakeInlineEvent);
     const uint64_t fallbacks = InlineFunctionStats::alloc_fallbacks();
+    // The inline timed loop pops and re-pushes at a fixed depth: the FEL is
+    // at its high-water capacity and every closure fits the inline buffer,
+    // so the loop must be allocation-free.
+    const uint64_t allocs = g_timed_allocs;
+    steady_state_allocs += allocs;
 
     const double speedup = base == 0 ? 0 : inl / base;
     worst_speedup = std::min(worst_speedup, speedup);
@@ -229,7 +329,8 @@ int main(int argc, char** argv) {
       packet_fallbacks = fallbacks;
     }
     table.Row({Fmt("%zu", depth), Fmt("%.2f", base * 1e-6), Fmt("%.2f", inl * 1e-6),
-               Fmt("%.2fx", speedup), Fmt("%llu", static_cast<unsigned long long>(fallbacks))});
+               Fmt("%.2fx", speedup), Fmt("%llu", static_cast<unsigned long long>(fallbacks)),
+               Fmt("%llu", static_cast<unsigned long long>(allocs))});
   }
   table.Print();
 
@@ -255,12 +356,22 @@ int main(int argc, char** argv) {
   drain.Row({"bulk PushAll", Fmt("%.2f", drain_bulk * 1e-6)});
   drain.Print();
 
-  std::printf("\noversize-capture fallbacks counted: %llu (expected 1)\n",
+  const uint64_t overflow_allocs =
+      OverflowDrainSteadyStateAllocs(/*batch=*/256, /*warm_cycles=*/4,
+                                     /*measured_cycles=*/32);
+  std::printf("\noverflow Push -> DrainInto -> PushAll steady-state allocations: "
+              "%llu (expected 0)\n",
+              static_cast<unsigned long long>(overflow_allocs));
+
+  std::printf("oversize-capture fallbacks counted: %llu (expected 1)\n",
               static_cast<unsigned long long>(oversize_fallbacks));
-  const bool pass = worst_speedup >= 1.2 && packet_fallbacks == 0;
-  std::printf("%s: worst speedup %.2fx (target >= 1.20x), packet fallback rate %llu\n",
+  const bool pass = worst_speedup >= 1.2 && packet_fallbacks == 0 &&
+                    steady_state_allocs == 0 && overflow_allocs == 0;
+  std::printf("%s: worst speedup %.2fx (target >= 1.20x), packet fallback rate "
+              "%llu, steady-state allocs %llu\n",
               pass ? "PASS" : "FAIL", worst_speedup,
-              static_cast<unsigned long long>(packet_fallbacks));
+              static_cast<unsigned long long>(packet_fallbacks),
+              static_cast<unsigned long long>(steady_state_allocs + overflow_allocs));
 
   FILE* out = std::fopen("BENCH_event_hotpath.json", "w");
   if (out != nullptr) {
@@ -275,6 +386,8 @@ int main(int argc, char** argv) {
                  "  \"packet_closure_fallbacks\": %llu,\n"
                  "  \"packet_closure_fallback_rate\": %.6f,\n"
                  "  \"oversize_capture_fallbacks\": %llu,\n"
+                 "  \"steady_state_allocs\": %llu,\n"
+                 "  \"overflow_drain_allocs\": %llu,\n"
                  "  \"drain_per_event_mops\": %.3f,\n"
                  "  \"drain_bulk_mops\": %.3f,\n"
                  "  \"event_inline_bytes\": %zu,\n"
@@ -285,6 +398,8 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(packet_fallbacks),
                  static_cast<double>(packet_fallbacks) / static_cast<double>(ops),
                  static_cast<unsigned long long>(oversize_fallbacks),
+                 static_cast<unsigned long long>(steady_state_allocs),
+                 static_cast<unsigned long long>(overflow_allocs),
                  drain_per_event * 1e-6, drain_bulk * 1e-6, kEventFnInlineBytes,
                  pass ? "true" : "false");
     std::fclose(out);

@@ -20,6 +20,7 @@ struct Epoch {
   uint64_t events = 0;
   uint64_t fingerprint = 0;
   double mean_fct_ms = 0;
+  uint64_t run_loop_ns = 0;  // Wall time of the Run() calls alone (warm net).
 };
 
 // When windows > 1, the 3 ms horizon is reached via that many consecutive
@@ -52,11 +53,13 @@ Epoch RunEpoch(KernelType type, uint32_t threads, bool deterministic,
   traffic.incast_ratio = 0.2;
   GenerateTraffic(net, traffic);
   const int64_t horizon_us = 3000;
+  const uint64_t t0 = Profiler::NowNs();
   for (int w = 1; w <= windows; ++w) {
     net.Run(Time::Microseconds(horizon_us * w / windows));
   }
+  const uint64_t run_loop_ns = Profiler::NowNs() - t0;
   return Epoch{net.kernel().session_events(), net.flow_monitor().Fingerprint(),
-               net.flow_monitor().Summarize().mean_fct_ms};
+               net.flow_monitor().Summarize().mean_fct_ms, run_loop_ns};
 }
 
 }  // namespace
@@ -121,6 +124,52 @@ int main(int argc, char** argv) {
   t3.Print();
   std::printf("\ndistinct results across window splits: %zu (expected 1)\n",
               cross_window.size());
+
+  // Warm-restart cost: splitting one horizon into w windows adds w-1 extra
+  // session boundaries, each of which re-enters the executor pool (parking
+  // and unparking every worker at the pool's futex). The per-window overhead
+  // column isolates that boundary cost: (wall_w - wall_1) / (w - 1), over
+  // the Run() loop alone — topology build and traffic generation excluded.
+  std::printf("\nWarm-restart overhead per window boundary (Unison, 4 threads):\n\n");
+  const int window_counts[] = {1, 2, 5, 20};
+  double run_loop_ms[4] = {0, 0, 0, 0};
+  double overhead_ms[4] = {0, 0, 0, 0};
+  Table t4({"windows", "run loop (ms)", "per-window overhead (ms)"});
+  for (int i = 0; i < 4; ++i) {
+    const int w = window_counts[i];
+    // Best of 3: boundary cost is microseconds, scheduler noise is not.
+    uint64_t best_ns = ~0ull;
+    for (int rep = 0; rep < 3; ++rep) {
+      best_ns = std::min(best_ns, RunEpoch(KernelType::kUnison, 4, true, w).run_loop_ns);
+    }
+    run_loop_ms[i] = static_cast<double>(best_ns) * 1e-6;
+    overhead_ms[i] = w == 1 ? 0.0 : (run_loop_ms[i] - run_loop_ms[0]) / (w - 1);
+    t4.Row({Fmt("%d", w), Fmt("%.3f", run_loop_ms[i]),
+            w == 1 ? std::string("-") : Fmt("%.4f", overhead_ms[i])});
+  }
+  t4.Print();
+
+  FILE* out = std::fopen("BENCH_fig11_determinism.json", "w");
+  if (out != nullptr) {
+    std::fprintf(out,
+                 "{\n"
+                 "  \"distinct_results_across_threads\": %zu,\n"
+                 "  \"distinct_results_across_windows\": %zu,\n"
+                 "  \"warm_restart\": {\n"
+                 "    \"kernel\": \"unison\",\n"
+                 "    \"threads\": 4,\n"
+                 "    \"windows\": [%d, %d, %d, %d],\n"
+                 "    \"run_loop_ms\": [%.3f, %.3f, %.3f, %.3f],\n"
+                 "    \"per_window_overhead_ms\": [%.4f, %.4f, %.4f, %.4f]\n"
+                 "  }\n"
+                 "}\n",
+                 cross_thread.size(), cross_window.size(), window_counts[0],
+                 window_counts[1], window_counts[2], window_counts[3],
+                 run_loop_ms[0], run_loop_ms[1], run_loop_ms[2], run_loop_ms[3],
+                 overhead_ms[0], overhead_ms[1], overhead_ms[2], overhead_ms[3]);
+    std::fclose(out);
+    std::printf("\nwrote BENCH_fig11_determinism.json\n");
+  }
   std::printf("\nShape check: Unison rows are constant; the stock-tie baselines may\n"
               "fluctuate from run to run (arrival-order races). On a single-core\n"
               "host races are rarer than on the paper's testbed but the mechanism\n"

@@ -9,14 +9,16 @@ namespace unison {
 void BarrierKernel::Setup(const TopoGraph& graph, const Partition& partition) {
   Kernel::Setup(graph, partition);
   const uint32_t ranks = num_lps();
-  barrier_ = std::make_unique<SpinBarrier>(ranks);
+  barrier_ = std::make_unique<CombiningBarrier>(ranks);
   rank_events_.assign(ranks, 0);
+  pool_.SetPlacement(config_.affinity);
   pool_.Ensure(ranks);
 }
 
 RunResult BarrierKernel::Run(Time stop_time) {
   const uint32_t ranks = num_lps();
   sync_.BeginRun("barrier", ranks, stop_time);
+  sync_.SetParkBaseline(barrier_->parks());
   const uint64_t run_t0 = Profiler::NowNs();
   rank_events_.assign(ranks, 0);
 
@@ -40,17 +42,30 @@ void BarrierKernel::RankLoop(uint32_t rank) {
   PhaseAccountant acct(rank, sync_.profiling(), profiler_);
 
   for (;;) {
-    // All-reduce the minimum next-event timestamp (MPI_Allreduce analogue).
-    sync_.min().Update(lp->fel().NextTimestamp().ps());
+    // All-reduce (MPI_Allreduce analogue): each rank contributes its next
+    // event timestamp, event count, and stop vote to the barrier's fused
+    // reduction — one tree pass instead of a CAS fold plus a separate
+    // barrier word.
     acct.OpenInterval();
-    barrier_->Arrive();
-    if (rank == 0 && sync_.ComputeWindow()) {
-      sync_.ResetMin();
-      // Counters were published by the barriers of the previous round, so
-      // the trace's events_before is a live cross-rank count.
-      sync_.CommitRound(LiveEvents());
+    const uint64_t barrier_t0 =
+        rank == 0 && sync_.tracing() ? Profiler::NowNs() : 0;
+    barrier_->Arrive(rank, lp->fel().NextTimestamp().ps(), events,
+                     stop_requested() ? CombiningBarrier::kStopFlag : 0);
+    if (rank == 0) {
+      sync_.Absorb(*barrier_);
+      if (sync_.tracing()) {
+        // Attributed to the round this reduction closes (a no-op before
+        // round 0 exists).
+        sync_.RecordBarrierWait(Profiler::NowNs() - barrier_t0,
+                                barrier_->parks());
+      }
+      if (sync_.ComputeWindow()) {
+        // The reduced count is the live cross-rank total as of this
+        // barrier, so the trace's events_before stays live.
+        sync_.CommitRound(sync_.reduced_events());
+      }
     }
-    barrier_->Arrive();
+    barrier_->Arrive(rank);
     if (sync_.done()) {
       break;  // Termination waits stay unattributed: they have no round row.
     }
@@ -72,20 +87,20 @@ void BarrierKernel::RankLoop(uint32_t rank) {
     // simulation stop and progress reports work; stock ns-3 duplicates these
     // per rank, with the same observable effect. The surrounding barriers
     // keep the other ranks' FELs quiescent while rank 0 inserts into them.
-    barrier_->Arrive();
+    barrier_->Arrive(rank);
     acct.CloseSync();
     if (rank == 0) {
       events += RunGlobalEvents(sync_.lbts(), sync_.stop());
       rank_events_[rank] = events;
       acct.CloseProcessing();
     }
-    barrier_->Arrive();
+    barrier_->Arrive(rank);
     acct.CloseSync();
 
     // Receive cross-LP events (M).
     lp->DrainInboxes();
     acct.CloseMessaging();
-    barrier_->Arrive();
+    barrier_->Arrive(rank);
     acct.CloseSync();
     ++round;
   }

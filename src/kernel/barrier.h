@@ -17,7 +17,7 @@
 #include "src/kernel/engine/executor_pool.h"
 #include "src/kernel/engine/round_sync.h"
 #include "src/kernel/kernel.h"
-#include "src/sched/barrier_sync.h"
+#include "src/sched/combining_barrier.h"
 
 namespace unison {
 
@@ -49,7 +49,7 @@ class BarrierKernel : public Kernel {
 
   ExecutorPool pool_;    // Threads spawned once at Setup, reused across runs.
   RoundSync sync_{this};
-  std::unique_ptr<SpinBarrier> barrier_;
+  std::unique_ptr<CombiningBarrier> barrier_;
   // Per-rank event counters, published at each round barrier so LiveEvents()
   // is live mid-run (global progress events see current counts).
   std::vector<uint64_t> rank_events_;

@@ -32,15 +32,35 @@ void ExecutorPool::Ensure(uint32_t parties) {
   if (parties == parties_) {
     return;
   }
-  Shutdown();
   parties_ = parties;
-  threads_.reserve(parties - 1);
+  if (!caller_pinned_ && placement_ != AffinityPolicy::kNone) {
+    // Detect once per pool; the order is a pure function of the machine and
+    // the policy, and re-detection mid-session would tear running pins.
+    cpu_order_ = CpuTopology::Detect().PlacementOrder(placement_);
+    if (!cpu_order_.empty()) {
+      PinCurrentThreadToCpu(cpu_order_[0]);  // The caller is worker 0.
+    }
+    caller_pinned_ = true;
+  }
+  const uint32_t want_threads = parties == 0 ? 0 : parties - 1;
+  if (want_threads <= threads_.size()) {
+    // Shrink (or re-grow within the high-water set): the excess threads stay
+    // parked — Loop gates on parties_ — and nothing is retired or spawned.
+    return;
+  }
+  threads_.reserve(want_threads);
   // New threads must baseline on the epoch as of spawn time: a thread that
   // read the counter only after a later Run() bumped it would mistake that
   // run's epoch for "already seen" and sleep through it.
   const uint64_t seen = epoch_.load(std::memory_order_relaxed);
-  for (uint32_t id = 1; id < parties; ++id) {
-    threads_.emplace_back([this, id, seen] { Loop(id, seen); });
+  for (uint32_t id = static_cast<uint32_t>(threads_.size()) + 1;
+       id <= want_threads; ++id) {
+    threads_.emplace_back([this, id, seen] {
+      if (!cpu_order_.empty()) {
+        PinCurrentThreadToCpu(cpu_order_[id % cpu_order_.size()]);
+      }
+      Loop(id, seen);
+    });
     ++threads_spawned_;
     g_total_threads_spawned.fetch_add(1, std::memory_order_relaxed);
   }
@@ -52,9 +72,10 @@ void ExecutorPool::Run(std::function<void(uint32_t)> body) {
   epoch_.fetch_add(1, std::memory_order_acq_rel);
   epoch_.notify_all();
   body_(0);
-  // Wait for the other workers.
+  // Wait for the other active workers (parked excess threads don't report).
+  const uint32_t expected = parties_ - 1;
   uint32_t done = done_.load(std::memory_order_acquire);
-  while (done != parties_ - 1) {
+  while (done != expected) {
     done_.wait(done, std::memory_order_acquire);
     done = done_.load(std::memory_order_acquire);
   }
@@ -71,9 +92,11 @@ void ExecutorPool::Loop(uint32_t id, uint64_t seen) {
     if (shutdown_.load(std::memory_order_acquire)) {
       return;
     }
-    body_(id);
-    done_.fetch_add(1, std::memory_order_acq_rel);
-    done_.notify_all();
+    if (id < parties_) {  // Excess (parked) workers sit this epoch out.
+      body_(id);
+      done_.fetch_add(1, std::memory_order_acq_rel);
+      done_.notify_all();
+    }
   }
 }
 

@@ -7,8 +7,17 @@
 // and multi-run benches like bench_fig08b_speedup, which execute dozens of
 // short simulations per process — never pay thread spawn/join more than once.
 //
+// The thread set is a high-water mark: Ensure() grows it by spawning only the
+// missing workers and shrinks it in place by parking the excess (they skip
+// run epochs until a later Ensure re-enlists them), so alternating kernel
+// configurations in one process never churn OS threads.
+//
+// With a placement policy set (SetPlacement, before the first Ensure), the
+// caller and every spawned worker are pinned to cores per the policy's CPU
+// order (see cpu_topology.h); worker w gets order[w % order.size()].
+//
 // Kernels hand the pool their whole round loop once per run; phase
-// synchronization inside the loop is the kernel's job (SpinBarrier).
+// synchronization inside the loop is the kernel's job (CombiningBarrier).
 #ifndef UNISON_SRC_KERNEL_ENGINE_EXECUTOR_POOL_H_
 #define UNISON_SRC_KERNEL_ENGINE_EXECUTOR_POOL_H_
 
@@ -17,6 +26,8 @@
 #include <functional>
 #include <thread>
 #include <vector>
+
+#include "src/kernel/engine/cpu_topology.h"
 
 namespace unison {
 
@@ -28,9 +39,14 @@ class ExecutorPool {
   ExecutorPool(const ExecutorPool&) = delete;
   ExecutorPool& operator=(const ExecutorPool&) = delete;
 
-  // Ensures the pool has exactly `parties` workers, the caller counting as
-  // worker 0. A no-op when the size already matches (the running threads are
-  // reused); otherwise the old set is retired and a fresh one spawned.
+  // Selects the worker placement policy. Takes effect at the next Ensure()
+  // that spawns or (for the caller pin) first activates placement; call it
+  // before the first Ensure — kernels do so in Setup.
+  void SetPlacement(AffinityPolicy policy) { placement_ = policy; }
+
+  // Ensures the pool runs `parties` workers, the caller counting as worker 0.
+  // Growth beyond the high-water mark spawns only the missing threads;
+  // shrinking parks the excess in place (no retire/respawn).
   void Ensure(uint32_t parties);
 
   uint32_t parties() const { return parties_; }
@@ -40,7 +56,8 @@ class ExecutorPool {
   void Run(std::function<void(uint32_t)> body);
 
   // Cumulative OS threads spawned by this pool. Test hook: a second Run() on
-  // the same pool must not move it.
+  // the same pool — or an Ensure() at or below the high-water mark — must not
+  // move it.
   uint64_t threads_spawned() const { return threads_spawned_; }
 
   // Process-wide spawn counter across all pools, for tests that only hold a
@@ -51,13 +68,19 @@ class ExecutorPool {
   void Shutdown();
   void Loop(uint32_t id, uint64_t seen);
 
+  // Active party count for the current/next Run. Plain field: workers read it
+  // only after acquiring the run epoch, which the caller bumps (release)
+  // strictly after any Ensure() write.
   uint32_t parties_ = 0;
   std::function<void(uint32_t)> body_;
   std::atomic<uint64_t> epoch_{0};
   std::atomic<uint32_t> done_{0};
   std::atomic<bool> shutdown_{false};
-  std::vector<std::thread> threads_;
+  std::vector<std::thread> threads_;  // High-water set; ids 1..size().
   uint64_t threads_spawned_ = 0;
+  AffinityPolicy placement_ = AffinityPolicy::kNone;
+  std::vector<uint32_t> cpu_order_;  // Pin targets; empty = no pinning.
+  bool caller_pinned_ = false;
 };
 
 }  // namespace unison

@@ -15,7 +15,10 @@ void RoundSync::BeginRun(const char* kernel_name, uint32_t executors, Time stop)
   done_ = false;
   reason_ = RunReason::kExhausted;
   round_index_ = 0;
-  next_min_.Reset();
+  reduced_min_ps_ = INT64_MAX;
+  reduced_events_ = 0;
+  reduced_stop_ = false;
+  parks_baseline_ = 0;
   Profiler* const profiler = kernel_->profiler();
   RunTrace* const trace = kernel_->trace();
   profiling_ = profiler != nullptr && profiler->enabled;
@@ -30,16 +33,23 @@ void RoundSync::BeginRun(const char* kernel_name, uint32_t executors, Time stop)
 
 void RoundSync::SeedMinFromLps() {
   for (uint32_t i = 0; i < kernel_->num_lps(); ++i) {
-    next_min_.Update(kernel_->lp(i)->fel().NextTimestamp().ps());
+    reduced_min_ps_ =
+        std::min(reduced_min_ps_, kernel_->lp(i)->fel().NextTimestamp().ps());
   }
 }
 
+void RoundSync::Absorb(const CombiningBarrier& barrier) {
+  reduced_min_ps_ = barrier.reduced_min();
+  reduced_events_ = barrier.reduced_count();
+  reduced_stop_ = (barrier.reduced_flags() & CombiningBarrier::kStopFlag) != 0;
+}
+
 bool RoundSync::ComputeWindow() {
-  const int64_t raw_min = next_min_.Get();
-  const Time min_next =
-      raw_min == INT64_MAX ? Time::Max() : Time::Picoseconds(raw_min);
+  const Time min_next = reduced_min_ps_ == INT64_MAX
+                            ? Time::Max()
+                            : Time::Picoseconds(reduced_min_ps_);
   const Time npub = kernel_->public_lp()->fel().NextTimestamp();
-  if (kernel_->stop_requested()) {
+  if (reduced_stop_ || kernel_->stop_requested()) {
     done_ = true;
     reason_ = RunReason::kStopRequested;
     return false;
@@ -80,6 +90,15 @@ void RoundSync::RecordClaimOrder(const std::vector<uint32_t>& order) {
   if (tracing_) {
     kernel_->trace()->RecordClaimOrder(order);
   }
+}
+
+void RoundSync::RecordBarrierWait(uint64_t barrier_ns, uint64_t parks_cumulative) {
+  if (!tracing_) {
+    return;
+  }
+  const uint64_t parked = parks_cumulative - parks_baseline_;
+  parks_baseline_ = parks_cumulative;
+  kernel_->trace()->RecordBarrier(barrier_ns, parked);
 }
 
 }  // namespace unison

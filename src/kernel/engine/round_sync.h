@@ -9,9 +9,11 @@
 // null-message kernel keeps its channel-local windows (it has no global
 // rounds) but uses BeginRun for the same run-level bookkeeping.
 //
-// All methods are coordinator-only (worker 0 / rank 0, between barriers),
-// except min(): that is the atomic the workers' partial minima fold into
-// during the window-update phase.
+// The reduction inputs no longer arrive through a shared CAS line: workers
+// contribute their partial {min, event count, stop flag} to the
+// CombiningBarrier's fused arrival pass, and the coordinator Absorb()s the
+// tree's published result between barriers. Every method here is
+// coordinator-only (worker 0 / rank 0, between barriers).
 #ifndef UNISON_SRC_KERNEL_ENGINE_ROUND_SYNC_H_
 #define UNISON_SRC_KERNEL_ENGINE_ROUND_SYNC_H_
 
@@ -20,7 +22,7 @@
 
 #include "src/core/time.h"
 #include "src/kernel/kernel.h"
-#include "src/sched/barrier_sync.h"
+#include "src/sched/combining_barrier.h"
 
 namespace unison {
 
@@ -38,16 +40,22 @@ class RoundSync {
   // a window continues the session, it does not restart it.
   void BeginRun(const char* kernel_name, uint32_t executors, Time stop);
 
-  // Seeds the min-reduction with every LP's next event timestamp. Kernels
-  // whose workers fold partial minima at the *end* of each round need this
-  // before the first prologue.
+  // Seeds the reduced minimum with every LP's next event timestamp. Kernels
+  // whose workers contribute partial minima at the *end* of each round need
+  // this before the first prologue.
   void SeedMinFromLps();
 
-  // Folds the min-reduction into the Eq. 2 LBTS and runs the stop/termination
-  // check. Returns false — and latches done() with a reason() — when the
-  // window is over. "Window boundary reached" (events remain past the stop
-  // time; the session can continue) is distinguished from genuine
-  // termination (every FEL empty, or an early stop request).
+  // Copies the fused reduction the barrier published on its last release —
+  // min next-event timestamp, summed event count, OR'd stop flags — into the
+  // coordinator's window state. Call after the reduction barrier, before
+  // ComputeWindow.
+  void Absorb(const CombiningBarrier& barrier);
+
+  // Folds the reduced minimum into the Eq. 2 LBTS and runs the
+  // stop/termination check. Returns false — and latches done() with a
+  // reason() — when the window is over. "Window boundary reached" (events
+  // remain past the stop time; the session can continue) is distinguished
+  // from genuine termination (every FEL empty, or an early stop request).
   bool ComputeWindow();
 
   // Opens round round_index(): begins the profiler and trace rounds, then
@@ -56,6 +64,17 @@ class RoundSync {
 
   // Attaches a re-sorted scheduler claim order to the round just committed.
   void RecordClaimOrder(const std::vector<uint32_t>& order);
+
+  // Trace hook for the reduction barrier: the coordinator's observed
+  // arrive-to-release latency plus the barrier's cumulative park counter
+  // (converted to a per-round delta here). Attaches to the round most
+  // recently committed; gated on tracing().
+  void RecordBarrierWait(uint64_t barrier_ns, uint64_t parks_cumulative);
+  // Baselines the park-delta accounting; call once after BeginRun with the
+  // barrier's current cumulative count.
+  void SetParkBaseline(uint64_t parks_cumulative) {
+    parks_baseline_ = parks_cumulative;
+  }
 
   bool profiling() const { return profiling_; }
   bool tracing() const { return tracing_; }
@@ -66,9 +85,9 @@ class RoundSync {
   Time lbts() const { return lbts_; }
   Time window() const { return window_; }
   uint32_t round_index() const { return round_index_; }
-
-  AtomicTimeMin& min() { return next_min_; }
-  void ResetMin() { next_min_.Reset(); }
+  // Event count from the last Absorb(): the cross-worker total as of the
+  // reduction barrier — the live events_before input to CommitRound.
+  uint64_t reduced_events() const { return reduced_events_; }
 
  private:
   Kernel* const kernel_;
@@ -82,7 +101,11 @@ class RoundSync {
   bool profiling_ = false;
   bool tracing_ = false;
   uint32_t round_index_ = 0;
-  AtomicTimeMin next_min_;
+  // Last absorbed reduction (coordinator-only).
+  int64_t reduced_min_ps_ = INT64_MAX;
+  uint64_t reduced_events_ = 0;
+  bool reduced_stop_ = false;
+  uint64_t parks_baseline_ = 0;
 };
 
 }  // namespace unison

@@ -42,13 +42,19 @@ void HybridKernel::Setup(const TopoGraph& graph, const Partition& partition) {
   period_ = config_.sched_period > 0 ? config_.sched_period : std::bit_width(n - 1);
   last_round_ns_.assign(num_lps(), 0);
   const uint32_t workers = ranks_ * lanes_;
-  barrier_ = std::make_unique<SpinBarrier>(workers);
+  barrier_ = std::make_unique<CombiningBarrier>(workers);
+  // Worker ids are rank-major (worker = rank * lanes + lane), so compact
+  // placement lays ranks out socket-major: a rank's lanes fill one package
+  // before the next rank starts — intra-rank claim/mailbox traffic stays
+  // on-socket, matching how the real deployment maps hosts.
+  pool_.SetPlacement(config_.affinity);
   pool_.Ensure(workers);
 }
 
 RunResult HybridKernel::Run(Time stop_time) {
   const uint32_t workers = ranks_ * lanes_;
   sync_.BeginRun("hybrid", workers, stop_time);
+  sync_.SetParkBaseline(barrier_->parks());
   timing_ =
       sync_.profiling() || config_.metric == SchedulingMetric::kByLastRoundTime;
   const uint64_t run_t0 = Profiler::NowNs();
@@ -91,7 +97,8 @@ void HybridKernel::Prologue() {
     }
     resorted = true;
   }
-  sync_.CommitRound(LiveEvents());
+  // Live cross-worker total from the end-of-round barrier's fused count.
+  sync_.CommitRound(sync_.reduced_events());
   if (resorted && sync_.tracing()) {
     // Flatten the per-rank orders (rank-major) into one claim order.
     record_order_buf_.clear();
@@ -124,7 +131,7 @@ void HybridKernel::RoundLoop(uint32_t worker) {
       Prologue();
     }
     acct.OpenInterval();
-    barrier_->Arrive();
+    barrier_->Arrive(worker);
     if (sync_.done()) {
       break;  // Termination wait stays unattributed: it has no round row.
     }
@@ -148,7 +155,7 @@ void HybridKernel::RoundLoop(uint32_t worker) {
     }
     acct.CloseProcessing();
     worker_events_[worker] = events;  // Published by the barrier for LiveEvents.
-    barrier_->Arrive();
+    barrier_->Arrive(worker);
     acct.CloseSync();
 
     // Phase 2: globals on the rank-0 main worker.
@@ -157,10 +164,9 @@ void HybridKernel::RoundLoop(uint32_t worker) {
       for (uint32_t r = 0; r < ranks_; ++r) {
         rank_claim_recv_[r]->store(0, std::memory_order_relaxed);
       }
-      sync_.ResetMin();
       acct.CloseProcessing();
     }
-    barrier_->Arrive();
+    barrier_->Arrive(worker);
     acct.CloseSync();
 
     // Phase 3: receive — intra-rank and inter-rank mailboxes alike.
@@ -174,16 +180,29 @@ void HybridKernel::RoundLoop(uint32_t worker) {
     acct.CloseMessaging();
     // Drains must complete (globally: inter-rank mailboxes too) before any
     // lane reads FELs for the all-reduce.
-    barrier_->Arrive();
+    barrier_->Arrive(worker);
     acct.CloseSync();
 
     // Phase 4: all-reduce — each lane folds a strided slice of its rank's
-    // LPs into the shared minimum.
+    // LPs into a local minimum and contributes it (plus its event count and
+    // stop vote) to the end-of-round barrier's fused reduction.
+    int64_t local_min_ps = INT64_MAX;
     for (uint32_t i = lane; i < my_lps.size(); i += lanes_) {
-      sync_.min().Update(lps_[my_lps[i]]->fel().NextTimestamp().ps());
+      local_min_ps =
+          std::min(local_min_ps, lps_[my_lps[i]]->fel().NextTimestamp().ps());
     }
     acct.CloseMessaging();
-    barrier_->Arrive();
+    const uint64_t barrier_t0 =
+        worker == 0 && sync_.tracing() ? Profiler::NowNs() : 0;
+    barrier_->Arrive(worker, local_min_ps, events,
+                     stop_requested() ? CombiningBarrier::kStopFlag : 0);
+    if (worker == 0) {
+      sync_.Absorb(*barrier_);
+      if (sync_.tracing()) {
+        sync_.RecordBarrierWait(Profiler::NowNs() - barrier_t0,
+                                barrier_->parks());
+      }
+    }
     acct.CloseSync();
     ++round;
   }

@@ -25,7 +25,7 @@
 #include "src/kernel/engine/executor_pool.h"
 #include "src/kernel/engine/round_sync.h"
 #include "src/kernel/kernel.h"
-#include "src/sched/barrier_sync.h"
+#include "src/sched/combining_barrier.h"
 
 namespace unison {
 
@@ -57,7 +57,7 @@ class HybridKernel : public Kernel {
 
   ExecutorPool pool_;    // Threads spawned once at Setup, reused across runs.
   RoundSync sync_{this};
-  std::unique_ptr<SpinBarrier> barrier_;
+  std::unique_ptr<CombiningBarrier> barrier_;
 
   std::vector<uint32_t> rank_of_lp_;
   std::vector<std::vector<uint32_t>> rank_lps_;    // LP ids per rank.

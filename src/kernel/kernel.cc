@@ -38,6 +38,11 @@ std::string KernelConfig::Validate() const {
            "between re-sorts); it counts rounds, not time — use 0 for the "
            "ceil(log2 n) default";
   }
+  if (affinity != AffinityPolicy::kNone &&
+      affinity != AffinityPolicy::kCompact &&
+      affinity != AffinityPolicy::kScatter) {
+    return "KernelConfig.affinity must be one of none|compact|scatter";
+  }
   return {};
 }
 

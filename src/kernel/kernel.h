@@ -18,6 +18,7 @@
 
 #include "src/core/event.h"
 #include "src/core/time.h"
+#include "src/kernel/engine/cpu_topology.h"
 #include "src/kernel/lp.h"
 #include "src/partition/graph.h"
 #include "src/stats/profiler.h"
@@ -71,6 +72,11 @@ struct KernelConfig {
   bool deterministic = true;
   // Hybrid kernel only: number of simulated hosts ("ranks").
   uint32_t ranks = 2;
+  // Executor placement: pin pool workers to cores per this policy (compact =
+  // fill a socket before the next, hybrid ranks socket-major; scatter =
+  // round-robin across sockets). kNone leaves placement to the OS. When the
+  // party count exceeds the machine, placement wraps around the core list.
+  AffinityPolicy affinity = AffinityPolicy::kNone;
 
   // Largest accepted sched_period: ceil(log2 n) tops out near 32 for any
   // representable topology, so a period beyond this is a unit error (e.g.

@@ -39,12 +39,15 @@ uint64_t Lp::DrainInboxes() {
     fel_.PushAll(box->events);  // Clears the inbox, keeping its capacity.
   }
   if (!overflow_.EmptyUnlocked()) {
-    std::vector<Event> got = overflow_.Drain();
-    received += got.size();
+    // Reusable scratch: DrainInto appends and PushAll clears keeping
+    // capacity, so the slow path stops allocating once warm.
+    overflow_scratch_.clear();
+    overflow_.DrainInto(&overflow_scratch_);
+    received += overflow_scratch_.size();
     if (!deterministic_) {
-      RewriteArrivalKeys(got);
+      RewriteArrivalKeys(overflow_scratch_);
     }
-    fel_.PushAll(got);
+    fel_.PushAll(overflow_scratch_);
   }
   return received;
 }

@@ -130,6 +130,7 @@ class Lp {
   std::vector<Outbox*> outbox_index_;  // Dense LpId -> Outbox* lookup.
   std::vector<Outbox*> inboxes_;
   OverflowBox overflow_;
+  std::vector<Event> overflow_scratch_;  // Reused across DrainInboxes calls.
 
   static thread_local Lp* current_;
   static thread_local NodeId current_node_;

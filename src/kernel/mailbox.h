@@ -33,13 +33,18 @@ class OverflowBox {
     events_.push_back(std::move(ev));
   }
 
-  // Moves out all pending events. Called by the target LP's thread in the
-  // receiving phase.
-  std::vector<Event> Drain() {
+  // Moves all pending events into `out` (appending) and clears the box while
+  // keeping its capacity, so a steady-state drain cycle allocates nothing
+  // once both buffers have grown to their high-water mark. Called by the
+  // target LP's thread in the receiving phase; the caller owns `out` (the
+  // LP's reusable scratch buffer) so no vector is constructed per drain.
+  void DrainInto(std::vector<Event>* out) {
     std::lock_guard<std::mutex> lock(mu_);
-    std::vector<Event> out;
-    out.swap(events_);
-    return out;
+    out->reserve(out->size() + events_.size());
+    for (Event& ev : events_) {
+      out->push_back(std::move(ev));
+    }
+    events_.clear();  // Keeps capacity for the next overflow burst.
   }
 
   bool EmptyUnlocked() const { return events_.empty(); }

@@ -46,6 +46,7 @@ void NullMessageKernel::Setup(const TopoGraph& graph, const Partition& partition
       std::abort();
     }
   }
+  pool_.SetPlacement(config_.affinity);
   pool_.Ensure(num_lps());
 }
 

@@ -25,12 +25,14 @@ void UnisonKernel::Setup(const TopoGraph& graph, const Partition& partition) {
   std::iota(order_.begin(), order_.end(), 0);
   last_round_ns_.assign(num_lps(), 0);
   worker_events_.assign(num_workers_, 0);
-  barrier_ = std::make_unique<SpinBarrier>(num_workers_);
+  barrier_ = std::make_unique<CombiningBarrier>(num_workers_);
+  pool_.SetPlacement(config_.affinity);
   pool_.Ensure(num_workers_);
 }
 
 RunResult UnisonKernel::Run(Time stop_time) {
   sync_.BeginRun("unison", num_workers_, stop_time);
+  sync_.SetParkBaseline(barrier_->parks());
   timing_ =
       sync_.profiling() || config_.metric == SchedulingMetric::kByLastRoundTime;
   const uint64_t run_t0 = Profiler::NowNs();
@@ -71,7 +73,9 @@ void UnisonKernel::Prologue() {
         break;
     }
   }
-  sync_.CommitRound(LiveEvents());
+  // events_before comes from the end-of-round barrier's fused count — the
+  // live cross-worker total as of the last reduction (0 for round 0).
+  sync_.CommitRound(sync_.reduced_events());
   if (resorted) {
     sync_.RecordClaimOrder(order_);
   }
@@ -94,7 +98,7 @@ void UnisonKernel::RoundLoop(uint32_t worker) {
       Prologue();
     }
     acct.OpenInterval();
-    barrier_->Arrive();
+    barrier_->Arrive(worker);
     if (sync_.done()) {
       break;  // Termination wait stays unattributed: it has no round row.
     }
@@ -135,7 +139,7 @@ void UnisonKernel::RoundLoop(uint32_t worker) {
     }
     acct.CloseProcessing();
     worker_events_[worker] = events;  // Published by the barrier for LiveEvents.
-    barrier_->Arrive();
+    barrier_->Arrive(worker);
     acct.CloseSync();
 
     // Phase 2: global events, worker 0 only; everyone else is parked at the
@@ -143,10 +147,9 @@ void UnisonKernel::RoundLoop(uint32_t worker) {
     if (worker == 0) {
       events += RunGlobalEvents(sync_.lbts(), sync_.stop());
       claim_recv_.store(0, std::memory_order_relaxed);
-      sync_.ResetMin();
       acct.CloseProcessing();
     }
-    barrier_->Arrive();
+    barrier_->Arrive(worker);
     acct.CloseSync();
 
     // Phase 3: receive events from mailboxes.
@@ -160,18 +163,32 @@ void UnisonKernel::RoundLoop(uint32_t worker) {
     acct.CloseMessaging();
     // Every drain must land before anyone reads FELs for the window update:
     // a min computed on a half-drained FEL could overshoot the next LBTS.
-    barrier_->Arrive();
+    barrier_->Arrive(worker);
     acct.CloseSync();
 
-    // Phase 4: update the window — per-worker partial min over a strided
-    // slice of LPs, folded into one atomic.
+    // Phase 4: update the window — each worker folds a strided slice of LPs
+    // into a local minimum and contributes it, with its event count and stop
+    // vote, to the end-of-round barrier's fused reduction. No shared CAS
+    // line: the tree combine IS the all-reduce.
+    int64_t local_min_ps = INT64_MAX;
     for (uint32_t i = worker; i < num; i += num_workers_) {
-      sync_.min().Update(lps_[i]->fel().NextTimestamp().ps());
+      local_min_ps =
+          std::min(local_min_ps, lps_[i]->fel().NextTimestamp().ps());
     }
     acct.CloseMessaging();
-    // End-of-round barrier: all phase 4 min-updates must be visible before
-    // worker 0 reads the min-reduction in the prologue.
-    barrier_->Arrive();
+    // End-of-round barrier: releases with the reduced {min, count, flags}
+    // already published, which worker 0 absorbs for the next prologue.
+    const uint64_t barrier_t0 =
+        worker == 0 && sync_.tracing() ? Profiler::NowNs() : 0;
+    barrier_->Arrive(worker, local_min_ps, events,
+                     stop_requested() ? CombiningBarrier::kStopFlag : 0);
+    if (worker == 0) {
+      sync_.Absorb(*barrier_);
+      if (sync_.tracing()) {
+        sync_.RecordBarrierWait(Profiler::NowNs() - barrier_t0,
+                                barrier_->parks());
+      }
+    }
     acct.CloseSync();
     ++round;
   }

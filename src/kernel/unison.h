@@ -11,13 +11,17 @@
 //                        lookahead here.
 //   3. Receive events  — workers claim LPs again and drain their mailboxes
 //                        into the FELs.
-//   4. Update window   — workers min-reduce the per-LP next-event timestamps
-//                        into an atomic; worker 0 derives the next LBTS from
-//                        Eq. 2 (RoundSync).
+//   4. Update window   — each worker computes a local min over a strided LP
+//                        slice and contributes it (with its event count and
+//                        stop vote) to the end-of-round barrier's fused
+//                        reduction; worker 0 absorbs the tree's result and
+//                        derives the next LBTS from Eq. 2 (RoundSync).
 //
-// The only shared-state mutations on the fast path are the claim cursors and
-// the time min-reduction, all single atomics. The prologue, P/S/M accounting,
-// and worker threads all come from the shared engine (src/kernel/engine/).
+// The only shared-state mutation on the fast path besides the barrier tree
+// is the claim cursor — the min-reduction, event counting, and stop check
+// all ride the combining barrier's arrival pass instead of separate global
+// atomics. The prologue, P/S/M accounting, and worker threads all come from
+// the shared engine (src/kernel/engine/).
 #ifndef UNISON_SRC_KERNEL_UNISON_H_
 #define UNISON_SRC_KERNEL_UNISON_H_
 
@@ -28,7 +32,7 @@
 #include "src/kernel/engine/executor_pool.h"
 #include "src/kernel/engine/round_sync.h"
 #include "src/kernel/kernel.h"
-#include "src/sched/barrier_sync.h"
+#include "src/sched/combining_barrier.h"
 
 namespace unison {
 
@@ -58,7 +62,7 @@ class UnisonKernel : public Kernel {
 
   ExecutorPool pool_;    // Threads spawned once at Setup, reused across runs.
   RoundSync sync_{this};
-  std::unique_ptr<SpinBarrier> barrier_;
+  std::unique_ptr<CombiningBarrier> barrier_;
   std::atomic<uint32_t> claim_{0};
   std::atomic<uint32_t> claim_recv_{0};
 

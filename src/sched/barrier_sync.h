@@ -1,9 +1,16 @@
-// Centralized sense-reversing spin barrier used between kernel phases.
+// Flat (centralized) synchronization primitives, kept as the baseline the
+// combining tree is measured against.
 //
-// Built on C++20 atomic wait/notify: waiters block in the kernel futex after
-// a short spin, which keeps the barrier cheap when threads are balanced (the
-// common case after load-adaptive scheduling) and polite when they are not or
-// when the host has fewer cores than workers.
+// The round kernels no longer use these on their phase path — they arrive at
+// a CombiningBarrier (src/sched/combining_barrier.h), whose tree pass fuses
+// the barrier with the window min-reduction. SpinBarrier survives as the flat
+// contender in bench_round_sync and AtomicTimeMin as the reference
+// implementation the CombiningBarrier equivalence tests fold against.
+//
+// SpinBarrier is a centralized sense-reversing spin barrier built on C++20
+// atomic wait/notify: waiters block in the kernel futex after a short spin,
+// which keeps it cheap when threads are balanced and polite when they are
+// not, or when the host has fewer cores than parties.
 #ifndef UNISON_SRC_SCHED_BARRIER_SYNC_H_
 #define UNISON_SRC_SCHED_BARRIER_SYNC_H_
 

@@ -126,6 +126,14 @@ void RunTrace::RecordClaimOrder(const std::vector<uint32_t>& order) {
   }
 }
 
+void RunTrace::RecordBarrier(uint64_t barrier_ns, uint64_t parked) {
+  if (records_.empty()) {
+    return;
+  }
+  records_.back().barrier_ns = barrier_ns;
+  records_.back().parked = parked;
+}
+
 void RunTrace::EndRun(const RunSummary& summary, const Profiler* profiler) {
   // Keep the kernel identity from BeginRun if the caller left it empty.
   const std::string kernel =
@@ -215,6 +223,10 @@ void AppendTraceBody(std::string* out, const RunSummary& summary,
     AppendI64(out, r.window_ps);
     *out += ",\"events_before\":";
     AppendU64(out, r.events_before);
+    *out += ",\"barrier_ns\":";
+    AppendU64(out, r.barrier_ns);
+    *out += ",\"parked\":";
+    AppendU64(out, r.parked);
     *out += ",\"resorted\":";
     *out += r.resorted ? "true" : "false";
     if (!r.claim_order.empty()) {
@@ -261,6 +273,10 @@ void AppendCsvRows(std::string* out, uint32_t window,
     AppendU64(out, RowSum(round_s, r.round));
     *out += ',';
     AppendU64(out, RowSum(round_m, r.round));
+    *out += ',';
+    AppendU64(out, r.barrier_ns);
+    *out += ',';
+    AppendU64(out, r.parked);
     *out += '\n';
   }
 }
@@ -296,7 +312,7 @@ std::string RunTrace::ToCsv() const {
   std::string out;
   out.reserve(64 + records_.size() * 64);
   out += "window,round,lbts_ps,window_ps,events_before,resorted,p_total_ns,"
-         "s_total_ns,m_total_ns\n";
+         "s_total_ns,m_total_ns,barrier_ns,parked\n";
   if (segments_.empty()) {
     // Export mid-window (EndRun not yet reached): show the live records.
     AppendCsvRows(&out, 0, records_, round_p_, round_s_, round_m_);

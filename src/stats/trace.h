@@ -58,6 +58,10 @@ struct RoundTraceRecord {
   int64_t window_ps = 0;
   uint64_t events_before = 0;  // Cumulative events at round start (best effort:
                                // kernels without live counters report 0).
+  uint64_t barrier_ns = 0;     // Coordinator-observed arrive-to-release latency
+                               // of the round's reduction barrier.
+  uint64_t parked = 0;         // Futex parks across all workers at that barrier
+                               // (delta of the barrier's cumulative counter).
   bool resorted = false;       // The scheduler re-sorted the claim order.
   std::vector<uint32_t> claim_order;  // LP ids, priority order; re-sort rounds
                                       // only (it is unchanged in between).
@@ -92,6 +96,9 @@ class RunTrace {
   void BeginRound(uint32_t round, Time lbts, Time window, uint64_t events_before);
   // Attaches the scheduler order to the most recent round record.
   void RecordClaimOrder(const std::vector<uint32_t>& order);
+  // Attaches the reduction-barrier latency and park count to the most recent
+  // round record (the coordinator measures them at the round's end barrier).
+  void RecordBarrier(uint64_t barrier_ns, uint64_t parked);
   // Folds in the final summary and, when the profiler recorded per-round
   // matrices, copies them so the exported trace is self-contained.
   void EndRun(const RunSummary& summary, const Profiler* profiler);
@@ -124,7 +131,7 @@ class RunTrace {
   std::string ToJson() const;
   // Flat per-round table across every window of the session:
   // window,round,lbts_ps,window_ps,events_before,resorted,
-  // p_total_ns,s_total_ns,m_total_ns.
+  // p_total_ns,s_total_ns,m_total_ns,barrier_ns,parked.
   std::string ToCsv() const;
   bool WriteJsonFile(const std::string& path) const;
   bool WriteCsvFile(const std::string& path) const;

@@ -14,6 +14,9 @@
 #include <thread>
 #include <vector>
 
+#include <set>
+
+#include "src/kernel/engine/cpu_topology.h"
 #include "src/kernel/engine/executor_pool.h"
 #include "src/kernel/engine/phase_accountant.h"
 #include "src/kernel/kernel.h"
@@ -60,10 +63,47 @@ TEST(ExecutorPool, SpawnsOnceAndReusesThreadsAcrossRuns) {
   EXPECT_EQ(pool.threads_spawned(), 3u);
   pool.Ensure(4);  // Same size: no-op, running threads kept.
   EXPECT_EQ(pool.threads_spawned(), 3u);
-  pool.Ensure(2);  // Resize: old set retired, one fresh thread.
-  EXPECT_EQ(pool.threads_spawned(), 4u);
+  pool.Ensure(2);  // Shrink: excess threads park in place, none retired.
+  EXPECT_EQ(pool.parties(), 2u);
+  EXPECT_EQ(pool.threads_spawned(), 3u);
   pool.Run([](uint32_t) {});
-  EXPECT_EQ(pool.threads_spawned(), 4u);
+  EXPECT_EQ(pool.threads_spawned(), 3u);
+  pool.Ensure(4);  // Grow back within the high-water mark: no new spawns.
+  EXPECT_EQ(pool.parties(), 4u);
+  EXPECT_EQ(pool.threads_spawned(), 3u);
+  pool.Ensure(6);  // Beyond the high-water mark: only the delta spawns.
+  EXPECT_EQ(pool.threads_spawned(), 5u);
+  pool.Run([](uint32_t) {});
+  EXPECT_EQ(pool.threads_spawned(), 5u);
+}
+
+TEST(ExecutorPool, ShrinkParksExcessWorkersAndGrowReenlistsThem) {
+  ExecutorPool pool;
+  pool.Ensure(4);
+  std::vector<std::atomic<int>> hits(6);
+  pool.Run([&hits](uint32_t id) { hits[id].fetch_add(1); });
+  pool.Ensure(2);
+  // Parked workers (ids 2, 3) must not execute the body — and must not be
+  // counted toward epoch completion either, or Run would hang.
+  for (int i = 0; i < 20; ++i) {
+    pool.Run([&hits](uint32_t id) { hits[id].fetch_add(1); });
+  }
+  EXPECT_EQ(hits[0].load(), 21);
+  EXPECT_EQ(hits[1].load(), 21);
+  EXPECT_EQ(hits[2].load(), 1);
+  EXPECT_EQ(hits[3].load(), 1);
+  // Alternating sizes never churns OS threads once the high-water set exists.
+  const uint64_t spawned = pool.threads_spawned();
+  for (int i = 0; i < 5; ++i) {
+    pool.Ensure(6);
+    pool.Run([&hits](uint32_t id) { hits[id].fetch_add(1); });
+    pool.Ensure(2);
+    pool.Run([&hits](uint32_t id) { hits[id].fetch_add(1); });
+  }
+  EXPECT_EQ(pool.threads_spawned(), 5u);
+  EXPECT_GE(pool.threads_spawned(), spawned);
+  EXPECT_EQ(hits[0].load(), 31);
+  EXPECT_EQ(hits[5].load(), 5);  // Only alive in the 6-party epochs.
 }
 
 TEST(ExecutorPool, SinglePartyRunsInline) {
@@ -76,6 +116,35 @@ TEST(ExecutorPool, SinglePartyRunsInline) {
     ++ran;
   });
   EXPECT_EQ(ran, 1);
+}
+
+// --- CpuTopology ---
+
+TEST(CpuTopology, PlacementOrderIsAPermutationOfAllowedCpus) {
+  const CpuTopology topo = CpuTopology::Detect();
+  ASSERT_FALSE(topo.cpus.empty());  // Detect never returns empty.
+  std::set<uint32_t> allowed;
+  for (const auto& cpu : topo.cpus) {
+    allowed.insert(cpu.id);
+  }
+  EXPECT_TRUE(topo.PlacementOrder(AffinityPolicy::kNone).empty());
+  for (auto policy : {AffinityPolicy::kCompact, AffinityPolicy::kScatter}) {
+    const std::vector<uint32_t> order = topo.PlacementOrder(policy);
+    EXPECT_EQ(std::set<uint32_t>(order.begin(), order.end()), allowed);
+    EXPECT_EQ(order.size(), allowed.size());  // Each CPU exactly once.
+  }
+}
+
+TEST(CpuTopology, PolicyNamesRoundTrip) {
+  for (auto policy : {AffinityPolicy::kNone, AffinityPolicy::kCompact,
+                      AffinityPolicy::kScatter}) {
+    AffinityPolicy parsed = AffinityPolicy::kNone;
+    ASSERT_TRUE(AffinityPolicyFromName(AffinityPolicyName(policy), &parsed));
+    EXPECT_EQ(parsed, policy);
+  }
+  AffinityPolicy parsed = AffinityPolicy::kScatter;
+  EXPECT_FALSE(AffinityPolicyFromName("numa", &parsed));
+  EXPECT_EQ(parsed, AffinityPolicy::kScatter);  // Untouched on failure.
 }
 
 // --- PhaseAccountant ---

@@ -165,6 +165,9 @@ TEST(RunTraceExport, JsonIsBalancedAndCarriesSections) {
   EXPECT_NE(json.find("\"kernel\":\"unison\""), std::string::npos);
   EXPECT_NE(json.find("\"per_executor\":["), std::string::npos);
   EXPECT_NE(json.find("\"rounds\":["), std::string::npos);
+  // Round records carry the combining-barrier wait/park telemetry.
+  EXPECT_NE(json.find("\"barrier_ns\":"), std::string::npos);
+  EXPECT_NE(json.find("\"parked\":"), std::string::npos);
   // per_round profiling was on, so round records embed P/S/M vectors.
   EXPECT_NE(json.find("\"p_ns\":["), std::string::npos);
   EXPECT_NE(json.find("\"s_ns\":["), std::string::npos);
@@ -189,7 +192,8 @@ TEST(RunTraceExport, CsvHasHeaderAndOneLinePerRound) {
   ASSERT_GT(lines, 1u);
   EXPECT_EQ(lines, 1 + run.records.size());
   EXPECT_EQ(run.csv.rfind("window,round,lbts_ps,window_ps,events_before,"
-                          "resorted,p_total_ns,s_total_ns,m_total_ns\n",
+                          "resorted,p_total_ns,s_total_ns,m_total_ns,"
+                          "barrier_ns,parked\n",
                           0),
             0u);
   // Single-window session: every row belongs to window 0.
