@@ -34,9 +34,9 @@ int main(int argc, char** argv) {
 
   // Fluid pass over the exact same flows and paths.
   std::vector<FluidFlow> flows;
-  for (const FlowRecord& f : net.flow_monitor().flows()) {
+  net.flow_monitor().ForEachFlow([&flows](const FlowRecord& f) {
     flows.push_back(FluidFlow{f.src, f.dst, f.bytes, f.start});
-  }
+  });
   FlowLevelSimulator fluid(net);
   const uint64_t f0 = Profiler::NowNs();
   const auto est = fluid.Run(flows, sim + Time::Seconds(1));

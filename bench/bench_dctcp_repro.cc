@@ -62,12 +62,12 @@ DctcpResult RunDctcp(bool dctcp, KernelType kernel, uint32_t threads, Time sim) 
   DctcpResult out;
   double sum = 0;
   double sum_sq = 0;
-  for (const FlowRecord& f : net.flow_monitor().flows()) {
+  net.flow_monitor().ForEachFlow([&](const FlowRecord& f) {
     const double mbps =
         static_cast<double>(f.rx_bytes) * 8 / sim.ToSeconds() / 1e6;
     sum += mbps;
     sum_sq += mbps * mbps;
-  }
+  });
   out.agg_throughput_mbps = sum;
   out.jain = sum * sum / (kSenders * sum_sq);
   const auto q = net.AggregateQueueStats();

@@ -205,10 +205,16 @@ int main(int argc, char** argv) {
   t.Print();
 
   // Placement policies, tree barrier at the largest swept party count. With
-  // one visible core every policy degenerates to the same pin; the section
-  // exists so multi-core hosts get the comparison for free.
+  // one visible core every policy degenerates to the same pin, so the rows
+  // measure scheduler noise, not placement — the JSON says so explicitly
+  // (affinity_degenerate) instead of letting consumers read three identical
+  // policies as a null result. Multi-core hosts get the real comparison.
   const uint32_t aff_parties = party_counts.back();
-  std::printf("\nPlacement policies (tree, %u parties):\n\n", aff_parties);
+  const bool affinity_degenerate = cores < 2;
+  std::printf("\nPlacement policies (tree, %u parties)%s:\n\n", aff_parties,
+              affinity_degenerate
+                  ? " — DEGENERATE: one visible core, every policy is the same pin"
+                  : "");
   struct AffRow {
     const char* name;
     SyncResult res;
@@ -272,9 +278,11 @@ int main(int argc, char** argv) {
     }
     std::fprintf(out,
                  "\n  ],\n"
+                 "  \"affinity_degenerate\": %s,\n"
                  "  \"mismatches\": %llu,\n"
                  "  \"pass\": %s\n"
                  "}\n",
+                 affinity_degenerate ? "true" : "false",
                  static_cast<unsigned long long>(mismatches),
                  pass ? "true" : "false");
     std::fclose(out);

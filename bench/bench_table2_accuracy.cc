@@ -66,7 +66,7 @@ FabricResult RunFabric(uint32_t clusters, KernelType kernel, uint64_t seed, Time
 
   FabricResult out;
   out.metrics = FromSummary(net.flow_monitor().Summarize());
-  out.flows = net.flow_monitor().flows();
+  out.flows = net.flow_monitor().CollectFlows();
   return out;
 }
 

@@ -1,0 +1,275 @@
+// Streaming traffic path bench: setup cost and FEL footprint of lazy
+// per-source arrivals vs materialize-everything installation, plus the
+// correctness anchors that make the comparison meaningful.
+//
+// Sweeps the arrival-window duration at fixed load. Materialized setup
+// draws and schedules every flow of the window up front, so its setup time
+// and pending-event footprint grow linearly with the window; the streaming
+// path keeps exactly one pending arrival per source, so both stay O(hosts)
+// no matter how long the window is — that is the claim this bench measures
+// (>= 10x the flows at an unchanged event-set size on the full sweep).
+//
+// Correctness anchors: a sequential run of the same spec through both paths
+// must produce bit-identical FlowMonitor fingerprints, and a 16-executor
+// Unison run of the streaming path — where flows register concurrently into
+// per-executor shards — must match the sequential fingerprint too.
+//
+// Emits BENCH_traffic_stream.json.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/kernel/lp.h"
+#include "src/traffic/flow_source.h"
+
+using namespace unison;
+using namespace unison::bench;
+
+namespace {
+
+constexpr uint32_t kFatTreeK = 4;
+constexpr uint64_t kLinkBps = 10000000000ULL;
+constexpr double kLoad = 1.0;
+constexpr int kRunMs = 4;  // Window length for the fingerprint runs.
+
+struct SetupRow {
+  int duration_ms = 0;
+  uint64_t hosts = 0;
+  uint64_t mat_setup_ns = 0;
+  uint64_t mat_pending = 0;
+  uint64_t mat_flows = 0;
+  uint64_t stream_setup_ns = 0;
+  uint64_t stream_pending = 0;
+  uint32_t stream_sources = 0;
+};
+
+TrafficSpec MakeSpec(const FatTreeTopo& topo, int duration_ms) {
+  TrafficSpec spec;
+  spec.hosts = topo.hosts;
+  spec.bisection_bps = topo.bisection_bps;
+  spec.load = kLoad;
+  spec.duration = Time::Milliseconds(duration_ms);
+  return spec;
+}
+
+uint64_t PendingEvents(Network& net) {
+  uint64_t n = net.kernel().public_lp()->fel().Size();
+  for (uint32_t i = 0; i < net.kernel().num_lps(); ++i) {
+    n += net.kernel().lp(i)->fel().Size();
+  }
+  return n;
+}
+
+// Measures one duration point: fresh network per mode so FEL state is
+// exactly what the installation produced.
+SetupRow MeasureSetup(int duration_ms) {
+  SetupRow row;
+  row.duration_ms = duration_ms;
+  {
+    SimConfig cfg;
+    cfg.kernel.type = KernelType::kSequential;
+    Network net(cfg);
+    FatTreeTopo topo = BuildFatTree(net, kFatTreeK, kLinkBps, Time::Microseconds(3));
+    net.Finalize();
+    const TrafficSpec spec = MakeSpec(topo, duration_ms);
+    const uint64_t t0 = Profiler::NowNs();
+    GenerateTraffic(net, spec);
+    row.mat_setup_ns = Profiler::NowNs() - t0;
+    row.mat_pending = PendingEvents(net);
+    row.mat_flows = net.flow_monitor().size();
+  }
+  {
+    SimConfig cfg;
+    cfg.kernel.type = KernelType::kSequential;
+    Network net(cfg);
+    FatTreeTopo topo = BuildFatTree(net, kFatTreeK, kLinkBps, Time::Microseconds(3));
+    net.Finalize();
+    const TrafficSpec spec = MakeSpec(topo, duration_ms);
+    row.hosts = topo.hosts.size();
+    const uint64_t t0 = Profiler::NowNs();
+    const StreamingTraffic stream = InstallFlowSources(net, spec);
+    row.stream_setup_ns = Profiler::NowNs() - t0;
+    row.stream_pending = PendingEvents(net);
+    row.stream_sources = stream.sources;
+  }
+  return row;
+}
+
+struct RunResultRow {
+  uint64_t fingerprint = 0;
+  uint64_t flows = 0;
+  uint64_t completed = 0;
+  uint32_t shards_used = 0;
+};
+
+RunResultRow RunOnce(const KernelConfig& kcfg, bool streaming) {
+  SimConfig cfg;
+  cfg.kernel = kcfg;
+  Network net(cfg);
+  FatTreeTopo topo = BuildFatTree(net, kFatTreeK, kLinkBps, Time::Microseconds(3));
+  net.Finalize();
+  const TrafficSpec spec = MakeSpec(topo, kRunMs);
+  if (streaming) {
+    InstallFlowSources(net, spec);
+  } else {
+    GenerateTraffic(net, spec);
+  }
+  net.Run(Time::Milliseconds(kRunMs));
+  RunResultRow out;
+  out.fingerprint = net.flow_monitor().Fingerprint();
+  out.flows = net.flow_monitor().size();
+  const FlowSummary s = net.flow_monitor().Summarize();
+  out.completed = s.completed;
+  for (uint32_t sh = 0; sh < net.flow_monitor().num_shards(); ++sh) {
+    if (net.flow_monitor().shard_flows(sh) > 0) {
+      ++out.shards_used;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = HasFlag(argc, argv, "--quick");
+  const std::vector<int> durations =
+      quick ? std::vector<int>{4, 40} : std::vector<int>{4, 40, 400};
+  // Quick mode sweeps a 10x window spread instead of 100x; scale the flow
+  // floor accordingly (arrival counts are stochastic around the ratio).
+  const double flow_ratio_floor = quick ? 5.0 : 10.0;
+
+  std::printf("Streaming traffic path: setup cost and FEL footprint vs arrival "
+              "window (k=%u fat tree, load %.1f)\n\n",
+              kFatTreeK, kLoad);
+
+  std::vector<SetupRow> rows;
+  Table table({"window ms", "mat setup us", "mat pending", "mat flows",
+               "stream setup us", "stream pending", "sources"});
+  for (const int d : durations) {
+    rows.push_back(MeasureSetup(d));
+    const SetupRow& r = rows.back();
+    table.Row({Fmt("%d", r.duration_ms), Fmt("%.1f", r.mat_setup_ns * 1e-3),
+               Fmt("%llu", static_cast<unsigned long long>(r.mat_pending)),
+               Fmt("%llu", static_cast<unsigned long long>(r.mat_flows)),
+               Fmt("%.1f", r.stream_setup_ns * 1e-3),
+               Fmt("%llu", static_cast<unsigned long long>(r.stream_pending)),
+               Fmt("%u", r.stream_sources)});
+  }
+  table.Print();
+
+  uint64_t stream_pending_max = 0;
+  uint64_t flows_min = UINT64_MAX, flows_max = 0;
+  for (const SetupRow& r : rows) {
+    stream_pending_max = std::max(stream_pending_max, r.stream_pending);
+    flows_min = std::min(flows_min, r.mat_flows);
+    flows_max = std::max(flows_max, r.mat_flows);
+  }
+  const uint64_t hosts = rows.back().hosts;
+  // The footprint claim: at the longest window, the materialized path holds
+  // one pending event per flow where the streaming path holds at most one
+  // per host.
+  const double footprint_ratio =
+      rows.back().stream_pending == 0
+          ? 0.0
+          : static_cast<double>(rows.back().mat_pending) /
+                static_cast<double>(rows.back().stream_pending);
+  const double flow_ratio =
+      flows_min == 0 ? 0.0 : static_cast<double>(flows_max) / static_cast<double>(flows_min);
+  const double setup_ratio =
+      rows.back().stream_setup_ns == 0
+          ? 0.0
+          : static_cast<double>(rows.back().mat_setup_ns) /
+                static_cast<double>(rows.back().stream_setup_ns);
+
+  // Correctness anchors at the shortest window: sequential materialized vs
+  // sequential streaming (bit-identical), and 16-executor Unison streaming
+  // (flows register concurrently into per-executor shards; the fingerprint
+  // is shard-layout-independent). This host may have fewer cores than
+  // executors — correctness, not speed, is the claim.
+  KernelConfig seq;
+  seq.type = KernelType::kSequential;
+  const RunResultRow mat_run = RunOnce(seq, /*streaming=*/false);
+  const RunResultRow stream_run = RunOnce(seq, /*streaming=*/true);
+  KernelConfig unison16;
+  unison16.type = KernelType::kUnison;
+  unison16.threads = 16;
+  const RunResultRow sharded_run = RunOnce(unison16, /*streaming=*/true);
+
+  const bool fingerprint_match = stream_run.fingerprint == mat_run.fingerprint &&
+                                 stream_run.flows == mat_run.flows;
+  const bool sharded_match = sharded_run.fingerprint == mat_run.fingerprint &&
+                             sharded_run.flows == mat_run.flows;
+
+  std::printf("\nFingerprint anchors (%dms window, %llu flows, %llu completed):\n",
+              kRunMs, static_cast<unsigned long long>(mat_run.flows),
+              static_cast<unsigned long long>(mat_run.completed));
+  std::printf("  sequential streaming == materialized: %s\n",
+              fingerprint_match ? "yes" : "NO");
+  std::printf("  16-executor streaming == materialized: %s (%u shards populated)\n",
+              sharded_match ? "yes" : "NO", sharded_run.shards_used);
+
+  const bool pass = stream_pending_max > 0 && stream_pending_max <= hosts &&
+                    flow_ratio >= flow_ratio_floor &&
+                    footprint_ratio >= flow_ratio_floor && fingerprint_match &&
+                    sharded_match;
+  std::printf("\n%s: stream pending max %llu (bound: %llu hosts), flow ratio "
+              "%.1fx and footprint ratio %.1fx (target >= %.0fx), setup ratio "
+              "%.1fx at the longest window\n",
+              pass ? "PASS" : "FAIL",
+              static_cast<unsigned long long>(stream_pending_max),
+              static_cast<unsigned long long>(hosts), flow_ratio,
+              footprint_ratio, flow_ratio_floor, setup_ratio);
+
+  FILE* out = std::fopen("BENCH_traffic_stream.json", "w");
+  if (out != nullptr) {
+    std::fprintf(out,
+                 "{\n"
+                 "  \"workload\": \"streaming vs materialized traffic installation\",\n"
+                 "  \"fat_tree_k\": %u,\n"
+                 "  \"load\": %.2f,\n"
+                 "  \"quick\": %s,\n"
+                 "  \"rows\": [\n",
+                 kFatTreeK, kLoad, quick ? "true" : "false");
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const SetupRow& r = rows[i];
+      std::fprintf(out,
+                   "    {\"duration_ms\": %d, \"mat_setup_ns\": %llu, "
+                   "\"mat_pending\": %llu, \"mat_flows\": %llu, "
+                   "\"stream_setup_ns\": %llu, \"stream_pending\": %llu, "
+                   "\"stream_sources\": %u}%s\n",
+                   r.duration_ms, static_cast<unsigned long long>(r.mat_setup_ns),
+                   static_cast<unsigned long long>(r.mat_pending),
+                   static_cast<unsigned long long>(r.mat_flows),
+                   static_cast<unsigned long long>(r.stream_setup_ns),
+                   static_cast<unsigned long long>(r.stream_pending),
+                   r.stream_sources, i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(out,
+                 "  ],\n"
+                 "  \"hosts\": %llu,\n"
+                 "  \"stream_pending_max\": %llu,\n"
+                 "  \"footprint_ratio\": %.2f,\n"
+                 "  \"flow_ratio\": %.2f,\n"
+                 "  \"setup_ratio_longest_window\": %.2f,\n"
+                 "  \"fingerprint_match\": %s,\n"
+                 "  \"sharded_16exec_fingerprint_match\": %s,\n"
+                 "  \"sharded_16exec_shards_used\": %u,\n"
+                 "  \"run_flows\": %llu,\n"
+                 "  \"run_completed\": %llu,\n"
+                 "  \"pass\": %s\n"
+                 "}\n",
+                 static_cast<unsigned long long>(hosts),
+                 static_cast<unsigned long long>(stream_pending_max),
+                 footprint_ratio, flow_ratio, setup_ratio,
+                 fingerprint_match ? "true" : "false",
+                 sharded_match ? "true" : "false", sharded_run.shards_used,
+                 static_cast<unsigned long long>(mat_run.flows),
+                 static_cast<unsigned long long>(mat_run.completed),
+                 pass ? "true" : "false");
+    std::fclose(out);
+    std::printf("wrote BENCH_traffic_stream.json\n");
+  }
+  return pass ? 0 : 1;
+}

@@ -1,0 +1,32 @@
+// Thread-local executor identity.
+//
+// The executor pool stamps each worker thread with its dense worker id (the
+// caller of ExecutorPool::Run is worker 0) for the duration of a window, and
+// clears it back to kNoExecutor when the pool parks. Everything that shards
+// state per executor — notably the FlowMonitor's per-executor stat shards —
+// keys off this id rather than std::this_thread::get_id(), because worker
+// ids are dense, stable across windows, and identical for every kernel.
+//
+// Outside a pool body (topology setup, the sequential kernel, between-window
+// injection, unit tests) the id is kNoExecutor.
+#ifndef UNISON_SRC_CORE_EXECUTOR_ID_H_
+#define UNISON_SRC_CORE_EXECUTOR_ID_H_
+
+namespace unison {
+
+inline constexpr int kNoExecutor = -1;
+
+namespace internal {
+inline thread_local int t_executor_id = kNoExecutor;
+}  // namespace internal
+
+// Dense pool-worker id of the calling thread, or kNoExecutor.
+inline int CurrentExecutorId() { return internal::t_executor_id; }
+
+// Set by ExecutorPool around each window body; tests may set it directly to
+// exercise per-executor sharding without spinning up a pool.
+inline void SetCurrentExecutorId(int id) { internal::t_executor_id = id; }
+
+}  // namespace unison
+
+#endif  // UNISON_SRC_CORE_EXECUTOR_ID_H_

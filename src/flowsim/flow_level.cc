@@ -10,10 +10,12 @@
 namespace unison {
 namespace {
 
-// Matches Node::Route's per-flow ECMP spreading closely enough for
-// estimation purposes (the fluid model only needs plausible paths).
-uint32_t FlowHash(uint32_t flow_id, NodeId node) {
-  uint64_t x = (static_cast<uint64_t>(flow_id) << 32) | (node * 0x9e3779b9u + 1);
+// Matches Node::Route's per-flow ECMP spreading exactly: the same path-tag
+// derivation over the flow's stable identity, fed through the same per-node
+// mix, so the fluid model walks the identical path the packet-level flow
+// takes.
+uint32_t FlowHash(uint32_t path_tag, NodeId node) {
+  uint64_t x = (static_cast<uint64_t>(path_tag) << 32) | (node * 0x9e3779b9u + 1);
   x ^= x >> 33;
   x *= 0xff51afd7ed558ccdULL;
   x ^= x >> 33;
@@ -51,7 +53,10 @@ std::vector<std::vector<uint32_t>> FlowLevelSimulator::PathsOf(
     uint32_t guard = 0;
     while (at != flows[f].dst && guard++ < net_->num_nodes()) {
       const int port = net_->routing().Port(
-          at, flows[f].dst, FlowHash(static_cast<uint32_t>(f), at));
+          at, flows[f].dst,
+          FlowHash(EcmpPathTag(flows[f].src, flows[f].dst, flows[f].bytes,
+                               flows[f].start.ps()),
+                   at));
       if (port < 0) {
         paths[f].clear();  // Unroutable: flow never progresses.
         break;

@@ -28,6 +28,9 @@ class BarrierKernel : public Kernel {
   void Setup(const TopoGraph& graph, const Partition& partition) override;
   RunResult Run(Time stop_time) override;
 
+  // One executor per LP: rank r runs LP r.
+  uint32_t MaxExecutors() const override { return num_lps(); }
+
   uint64_t LiveEvents() const override {
     uint64_t sum = 0;
     for (uint64_t n : rank_events_) {

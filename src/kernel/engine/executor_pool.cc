@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "src/core/executor_id.h"
+
 namespace unison {
 
 namespace {
@@ -71,7 +73,11 @@ void ExecutorPool::Run(std::function<void(uint32_t)> body) {
   done_.store(0, std::memory_order_release);
   epoch_.fetch_add(1, std::memory_order_acq_rel);
   epoch_.notify_all();
+  // The caller is worker 0 for the duration of the window body; everything
+  // it runs between windows (injection, summaries) is back to kNoExecutor.
+  SetCurrentExecutorId(0);
   body_(0);
+  SetCurrentExecutorId(kNoExecutor);
   // Wait for the other active workers (parked excess threads don't report).
   const uint32_t expected = parties_ - 1;
   uint32_t done = done_.load(std::memory_order_acquire);
@@ -93,7 +99,9 @@ void ExecutorPool::Loop(uint32_t id, uint64_t seen) {
       return;
     }
     if (id < parties_) {  // Excess (parked) workers sit this epoch out.
+      SetCurrentExecutorId(static_cast<int>(id));
       body_(id);
+      SetCurrentExecutorId(kNoExecutor);
       done_.fetch_add(1, std::memory_order_acq_rel);
       done_.notify_all();
     }

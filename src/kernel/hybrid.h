@@ -36,6 +36,9 @@ class HybridKernel : public Kernel {
   void Setup(const TopoGraph& graph, const Partition& partition) override;
   RunResult Run(Time stop_time) override;
 
+  // Worker ids are rank-major: worker = rank * lanes + lane.
+  uint32_t MaxExecutors() const override { return ranks_ * lanes_; }
+
   uint32_t ranks() const { return ranks_; }
   const std::vector<uint32_t>& rank_of_lp() const { return rank_of_lp_; }
 

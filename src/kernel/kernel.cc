@@ -152,6 +152,13 @@ uint64_t Kernel::RunGlobalEvents(Time upto, Time stop) {
 
 RunResult Kernel::FinishRun(const char* kernel_name, uint32_t executors,
                             uint64_t wall_ns, Time stop, RunReason reason) {
+  // Every kernel reaches here with its executors quiesced (the pool's Run
+  // has returned; for the engine kernels that means the combining tree's
+  // final reduction released everyone) — the window boundary where sharded
+  // per-executor state merges race-free.
+  if (window_end_hook_) {
+    window_end_hook_();
+  }
   run_summary_ = RunSummary{};
   run_summary_.kernel = kernel_name;
   run_summary_.executors = executors;

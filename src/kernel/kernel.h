@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -144,6 +145,21 @@ class Kernel {
 
   // --- Introspection ---
 
+  // Number of pool executors this kernel's Run() stamps with dense ids
+  // (worker 0 = the calling thread). Valid after Setup. Network::Finalize
+  // uses it to size per-executor state such as the FlowMonitor's shards; the
+  // sequential kernel runs on the caller outside any pool, so its events see
+  // no executor id at all — 1 is a safe upper bound.
+  virtual uint32_t MaxExecutors() const { return 1; }
+
+  // Invoked at the end of every Run() window, after the final barrier
+  // reduction has quiesced all executors — the single point where
+  // per-executor state can be merged without synchronization. Installed by
+  // Network::Finalize to fold the FlowMonitor's shard deltas.
+  void set_window_end_hook(std::function<void()> hook) {
+    window_end_hook_ = std::move(hook);
+  }
+
   uint32_t num_lps() const { return static_cast<uint32_t>(lps_.size()); }
   Lp* lp(LpId id) { return lps_[id].get(); }
   Lp* public_lp() { return public_lp_.get(); }
@@ -236,6 +252,7 @@ class Kernel {
   uint32_t session_windows_ = 0;
   std::atomic<bool> stop_requested_{false};
   std::mutex public_mu_;
+  std::function<void()> window_end_hook_;
 };
 
 // Constructs the kernel named by `config.type`.

@@ -34,6 +34,9 @@ class NullMessageKernel : public Kernel {
   void Setup(const TopoGraph& graph, const Partition& partition) override;
   RunResult Run(Time stop_time) override;
 
+  // One executor per LP, as in the barrier baseline.
+  uint32_t MaxExecutors() const override { return num_lps(); }
+
   // Total null messages exchanged during the last run; exposed for the
   // overhead benches.
   uint64_t null_messages() const { return null_messages_; }

@@ -43,6 +43,8 @@ class UnisonKernel : public Kernel {
   void Setup(const TopoGraph& graph, const Partition& partition) override;
   RunResult Run(Time stop_time) override;
 
+  uint32_t MaxExecutors() const override { return num_workers_; }
+
   uint64_t LiveEvents() const override {
     uint64_t sum = 0;
     for (uint64_t n : worker_events_) {

@@ -2,9 +2,10 @@
 //
 // A flow is registered with the FlowMonitor at setup time and started by an
 // event on its source node's LP, which instantiates the TCP sender there.
-// All randomness (arrival times, sizes, destinations) is drawn during
-// single-threaded setup from named RNG streams, so the whole workload is
-// identical for every kernel and thread count.
+// All randomness (arrival times, sizes, destinations) is drawn from named
+// RNG streams, so the whole workload is identical for every kernel and
+// thread count. The streaming path (src/traffic/flow_source.h) instead
+// registers and starts each flow from inside its arrival event at run time.
 #ifndef UNISON_SRC_NET_APP_H_
 #define UNISON_SRC_NET_APP_H_
 

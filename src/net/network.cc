@@ -108,8 +108,8 @@ void Network::EnableProgressReport(Time interval,
     }
   };
   auto ticker = std::make_shared<Ticker>(Ticker{this, interval, std::move(callback)});
-  keepalive_.push_back(ticker);
   sim().ScheduleGlobal(interval, [t = ticker.get()] { t->Fire(); });
+  Keep(std::move(ticker));
 }
 
 void Network::BuildGraph() {
@@ -153,6 +153,13 @@ void Network::Finalize() {
   kernel_->set_trace(&run_trace_);
   kernel_->Setup(graph_, partition);
   sim_.set_kernel(kernel_.get());
+
+  // Per-executor flow-stat shards: shard 0 for non-executor contexts (setup,
+  // injection between windows, the sequential kernel) plus one per pool
+  // executor, merged at every window boundary once the kernel's final
+  // barrier reduction has quiesced the pool.
+  flow_monitor_.ConfigureShards(1 + kernel_->MaxExecutors());
+  kernel_->set_window_end_hook([this] { flow_monitor_.MergeWindow(); });
 
   if (use_dv_) {
     dv_routing_ = std::make_unique<DistanceVectorRouting>(this, dv_period_);

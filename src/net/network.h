@@ -163,6 +163,20 @@ class Network {
   // Independent RNG stream derived from the config seed.
   Rng MakeRng(uint64_t stream) const { return Rng(config_.seed, stream); }
 
+  // Derives a distinct stream id from `base` for each traffic injection into
+  // this session: the first injection uses `base` verbatim (so a single
+  // injection matches an up-front install on the same stream), later ones
+  // jump by a large odd constant. InjectTraffic/InjectFlowSources call this
+  // so repeated injections never silently replay the previous batch's draws.
+  uint64_t ClaimInjectionStream(uint64_t base) {
+    return base + injection_epoch_++ * 0x9e3779b97f4a7c15ULL;
+  }
+
+  // Retains `obj` for the network's lifetime. For closures scheduled into
+  // the kernel that capture raw pointers into long-lived helper objects
+  // (progress tickers, streaming flow sources).
+  void Keep(std::shared_ptr<void> obj) { keepalive_.push_back(std::move(obj)); }
+
   std::unique_ptr<Queue> MakeQueue(const QueueConfig& config, uint64_t stream) const;
 
   // Aggregate queue statistics over every device (paper-style queue-delay
@@ -197,6 +211,7 @@ class Network {
   std::unique_ptr<DistanceVectorRouting> dv_routing_;
   Time dv_period_;
   bool use_dv_ = false;
+  uint64_t injection_epoch_ = 0;
   // Closures that must outlive the run (progress tickers etc.).
   std::vector<std::shared_ptr<void>> keepalive_;
 };

@@ -10,9 +10,10 @@ namespace unison {
 namespace {
 
 // Per-flow ECMP hash: stable for a flow across a node, differing between
-// nodes so parallel paths spread.
-uint32_t FlowHash(uint32_t flow_id, NodeId node) {
-  uint64_t x = (static_cast<uint64_t>(flow_id) << 32) | (node * 0x9e3779b9u + 1);
+// nodes so parallel paths spread. Keyed by the packet's path tag (stable
+// flow identity), never the monitor-assigned flow id — see packet.h.
+uint32_t FlowHash(uint32_t path_tag, NodeId node) {
+  uint64_t x = (static_cast<uint64_t>(path_tag) << 32) | (node * 0x9e3779b9u + 1);
   x ^= x >> 33;
   x *= 0xff51afd7ed558ccdULL;
   x ^= x >> 33;
@@ -45,7 +46,7 @@ int Node::Route(const Packet& pkt) const {
     const int32_t port = dv_->port[pkt.dst];
     return port >= 0 && devices_[port]->up() ? port : -1;
   }
-  return net_->routing().Port(id_, pkt.dst, FlowHash(pkt.flow_id, id_));
+  return net_->routing().Port(id_, pkt.dst, FlowHash(pkt.path_tag, id_));
 }
 
 void Node::Receive(Packet pkt) {

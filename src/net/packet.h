@@ -48,6 +48,14 @@ struct Packet {
   uint64_t ack = 0;   // Cumulative ack: next byte expected.
   bool ece = false;   // Echo of a CE mark (per-packet echo, DCTCP style).
 
+  // ECMP path selector. Derived from the flow's stable identity (src, dst,
+  // bytes, start) rather than the monitor-assigned flow id: flow ids encode
+  // the registering shard and registration order, which legitimately differ
+  // between streaming and materialized installation and between thread
+  // counts, while the path a flow takes must not. Slots into pre-existing
+  // padding, so sizeof(Packet) is unchanged.
+  uint32_t path_tag = 0;
+
   // Timestamp option: sender stamp, echoed by the receiver for RTT sampling.
   Time ts;
   Time ts_echo;
@@ -56,6 +64,20 @@ struct Packet {
   uint16_t control_kind = 0;
   std::shared_ptr<const void> control_data;
 };
+
+// ECMP path tag from a flow's stable identity (FNV-1a). Shared between the
+// packet-level TCP sender and the fluid flow-level model so both pick the
+// same paths for the same flows.
+inline uint32_t EcmpPathTag(NodeId src, NodeId dst, uint64_t bytes, int64_t start_ps) {
+  uint64_t x = 0xcbf29ce484222325ULL;
+  for (uint64_t v : {static_cast<uint64_t>(src), static_cast<uint64_t>(dst),
+                     bytes, static_cast<uint64_t>(start_ps)}) {
+    x ^= v;
+    x *= 0x100000001b3ULL;
+  }
+  x ^= x >> 32;
+  return static_cast<uint32_t>(x);
+}
 
 }  // namespace unison
 

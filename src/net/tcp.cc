@@ -17,6 +17,12 @@ TcpSender::TcpSender(Network* net, Node* node, uint32_t flow_id, NodeId dst, uin
       cfg_(config),
       rto_(config.initial_rto) {
   cwnd_ = static_cast<uint64_t>(cfg_.init_cwnd_segments) * cfg_.mss;
+  // Constructed from inside the flow's start event in both installation
+  // modes, so Now() is the flow's start time. The tag deliberately ignores
+  // the monitor-assigned flow id, whose value encodes registration order and
+  // shard — which differ between streaming and materialized installation —
+  // while a flow's path must not.
+  path_tag_ = EcmpPathTag(node->id(), dst, bytes, net->sim().Now().ps());
 }
 
 void TcpSender::Start() {
@@ -51,6 +57,7 @@ void TcpSender::SendSegment(uint64_t seq, uint32_t len, bool retransmission) {
   pkt.size_bytes = len + kHeaderBytes;
   pkt.fin = seq + len >= size_;
   pkt.ecn_capable = cfg_.ecn || cfg_.dctcp;
+  pkt.path_tag = path_tag_;
   pkt.ts = net_->sim().Now();
   high_tx_ = std::max(high_tx_, seq + len);
   if (retransmission) {
@@ -271,6 +278,7 @@ void TcpReceiver::OnData(const Packet& pkt) {
   ack.size_bytes = kAckBytes;
   ack.ack = rcv_nxt_;
   ack.ece = pkt.ecn_ce;
+  ack.path_tag = pkt.path_tag;  // Acks follow the data packets' path choice.
   ack.ts_echo = pkt.ts;
   node_->SendFromLocal(std::move(ack));
 }

@@ -66,6 +66,7 @@ class TcpSender {
   const NodeId dst_;
   const uint64_t size_;
   const TcpConfig cfg_;
+  uint32_t path_tag_ = 0;  // ECMP selector from stable flow identity.
 
   State state_ = State::kSlowStart;
   uint64_t snd_una_ = 0;  // Lowest unacknowledged byte.

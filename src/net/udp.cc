@@ -40,6 +40,7 @@ struct OnOffSender : std::enable_shared_from_this<OnOffSender> {
     Packet pkt;
     pkt.kind = PacketKind::kUdp;
     pkt.flow_id = flow_id;
+    pkt.path_tag = flow_id;  // UDP flows are setup-installed; id is stable.
     pkt.src = spec.src;
     pkt.dst = spec.dst;
     pkt.payload = spec.packet_bytes;

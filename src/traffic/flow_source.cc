@@ -1,0 +1,172 @@
+#include "src/traffic/flow_source.h"
+
+#include <utility>
+
+#include "src/net/network.h"
+#include "src/net/node.h"
+
+namespace unison {
+
+double MeanArrivalGapSeconds(const TrafficSpec& spec) {
+  const uint32_t num_hosts = static_cast<uint32_t>(spec.hosts.size());
+  if (num_hosts < 2 || spec.duration.IsZero()) {
+    return 0;
+  }
+  // Aggregate offered load = load * bisection; split evenly across hosts and
+  // converted to a per-host Poisson arrival rate via the mean flow size.
+  const double offered_bps = spec.load * static_cast<double>(spec.bisection_bps);
+  const double per_host_bps = offered_bps / num_hosts;
+  const double mean_flow_bits = spec.sizes->MeanBytes() * 8.0;
+  const double rate_per_host = per_host_bps / mean_flow_bits;  // Flows per second.
+  if (rate_per_host <= 0) {
+    return 0;
+  }
+  return 1.0 / rate_per_host;
+}
+
+PoissonFlowStream::PoissonFlowStream(const TrafficSpec* spec, uint32_t host_index,
+                                     double mean_gap_s, Rng rng)
+    : spec_(spec), host_index_(host_index), mean_gap_s_(mean_gap_s), rng_(rng) {
+  t_ = rng_.NextExponential(mean_gap_s_);
+}
+
+bool PoissonFlowStream::Next(FlowArrival* out) {
+  if (!(t_ < spec_->duration.ToSeconds())) {
+    return false;
+  }
+  const uint32_t num_hosts = static_cast<uint32_t>(spec_->hosts.size());
+  const uint32_t h = host_index_;
+  // Destination: uniform among other hosts, with the incast/redirect knobs
+  // applied on top. The draw order is load-bearing: it defines the stream's
+  // RNG consumption for both installation modes.
+  uint32_t dst_idx = static_cast<uint32_t>(rng_.NextU64Below(num_hosts - 1));
+  if (dst_idx >= h) {
+    ++dst_idx;
+  }
+  if (spec_->incast_ratio > 0 && rng_.NextDouble() < spec_->incast_ratio &&
+      h != spec_->victim_index) {
+    dst_idx = spec_->victim_index;
+  }
+  if (spec_->redirect_prob > 0 && rng_.NextDouble() < spec_->redirect_prob &&
+      spec_->redirect_begin < num_hosts) {
+    dst_idx = spec_->redirect_begin +
+              static_cast<uint32_t>(
+                  rng_.NextU64Below(num_hosts - spec_->redirect_begin));
+  }
+  out->src_index = h;
+  out->dst_index = dst_idx;
+  out->bytes = spec_->sizes->Sample(rng_);
+  out->start = spec_->start + Time::Seconds(t_);
+  out->install = dst_idx != h;
+  t_ += rng_.NextExponential(mean_gap_s_);
+  return true;
+}
+
+FlowSource::FlowSource(Network* net, const TrafficSpec* spec, uint32_t host_index,
+                       double mean_gap_s)
+    : net_(net),
+      spec_(spec),
+      stream_(spec, host_index, mean_gap_s,
+              net->MakeRng(spec->rng_stream + host_index)) {}
+
+bool FlowSource::Bootstrap() {
+  if (!stream_.Next(&pending_)) {
+    return false;
+  }
+  // Setup / between-window context: Now() is zero, so the absolute arrival
+  // time doubles as the delay (same convention as InstallFlow).
+  net_->sim().ScheduleOnNode(spec_->hosts[pending_.src_index], pending_.start,
+                             [this] { OnArrival(); });
+  return true;
+}
+
+void FlowSource::OnArrival() {
+  // Runs on the source host's LP at pending_.start. Install first, then draw
+  // the next arrival: packet events and the rescheduled arrival take their
+  // tie-break sequence numbers in the same relative order either way, but
+  // installing first mirrors the materialized start-event body exactly.
+  if (pending_.install) {
+    const NodeId src = spec_->hosts[pending_.src_index];
+    const NodeId dst = spec_->hosts[pending_.dst_index];
+    const uint32_t flow_id =
+        net_->flow_monitor().Register(src, dst, pending_.bytes, pending_.start);
+    Node& node = net_->node(src);
+    TcpSender* sender = node.AddSender(
+        flow_id, std::make_unique<TcpSender>(net_, &node, flow_id, dst,
+                                             pending_.bytes, net_->config().tcp));
+    sender->Start();
+    ++installed_flows_;
+    total_bytes_ += pending_.bytes;
+  }
+  ScheduleNext(pending_.start);
+}
+
+void FlowSource::ScheduleNext(Time now) {
+  if (!stream_.Next(&pending_)) {
+    return;  // Stream dry: the source's event chain ends here.
+  }
+  // Schedule() keys the event off the current LP context; arrival offsets
+  // are nondecreasing, so the delay is never negative.
+  net_->sim().Schedule(pending_.start - now, [this] { OnArrival(); });
+}
+
+FlowSourceSet::FlowSourceSet(Network* net, TrafficSpec spec)
+    : net_(net), spec_(std::move(spec)) {
+  mean_gap_s_ = MeanArrivalGapSeconds(spec_);
+  if (mean_gap_s_ <= 0) {
+    return;
+  }
+  const uint32_t num_hosts = static_cast<uint32_t>(spec_.hosts.size());
+  sources_.reserve(num_hosts);  // Addresses must stay stable once scheduled.
+  for (uint32_t h = 0; h < num_hosts; ++h) {
+    sources_.emplace_back(net_, &spec_, h, mean_gap_s_);
+  }
+}
+
+uint32_t FlowSourceSet::Bootstrap() {
+  uint32_t pending = 0;
+  for (FlowSource& source : sources_) {
+    if (source.Bootstrap()) {
+      ++pending;
+    }
+  }
+  return pending;
+}
+
+uint64_t FlowSourceSet::installed_flows() const {
+  uint64_t total = 0;
+  for (const FlowSource& source : sources_) {
+    total += source.installed_flows();
+  }
+  return total;
+}
+
+uint64_t FlowSourceSet::total_bytes() const {
+  uint64_t total = 0;
+  for (const FlowSource& source : sources_) {
+    total += source.total_bytes();
+  }
+  return total;
+}
+
+StreamingTraffic InstallFlowSources(Network& net, const TrafficSpec& spec) {
+  net.Finalize();
+  StreamingTraffic out;
+  auto set = std::make_shared<FlowSourceSet>(&net, spec);
+  out.sources = set->Bootstrap();
+  if (out.sources > 0) {
+    net.Keep(set);  // Arrival events hold raw pointers into the set.
+  }
+  out.set = std::move(set);
+  return out;
+}
+
+StreamingTraffic InjectFlowSources(Network& net, const TrafficSpec& spec) {
+  net.Finalize();
+  TrafficSpec shifted = spec;
+  shifted.start = net.session_time() + spec.start;
+  shifted.rng_stream = net.ClaimInjectionStream(spec.rng_stream);
+  return InstallFlowSources(net, shifted);
+}
+
+}  // namespace unison

@@ -1,0 +1,144 @@
+// Streaming workload generation: lazy per-source Poisson arrivals.
+//
+// GenerateTraffic materializes every flow of the arrival window at setup —
+// O(flows) FEL entries and setup time proportional to simulated duration,
+// which is the break point on the way to millions-of-flows scenarios. A
+// FlowSource instead keeps one pending arrival per host: an event on the
+// host's own LP that installs the drawn flow, draws the next arrival from
+// the same per-host RNG stream, and reschedules itself. The FEL holds
+// O(hosts) pending arrivals regardless of how long the run is, and setup
+// cost is independent of the flow count.
+//
+// Both modes pull from the same PoissonFlowStream, so they consume each
+// host's named RNG stream identically by construction: a streaming run and a
+// materialized run of the same TrafficSpec produce bit-identical
+// FlowMonitor fingerprints (the arrival chain also steps through draws whose
+// destination landed on the source itself, which the materialized generator
+// skips without installing — RNG consumption must match exactly).
+#ifndef UNISON_SRC_TRAFFIC_FLOW_SOURCE_H_
+#define UNISON_SRC_TRAFFIC_FLOW_SOURCE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/core/rng.h"
+#include "src/core/time.h"
+#include "src/traffic/generator.h"
+
+namespace unison {
+
+class Network;
+
+// One drawn arrival of a per-host Poisson flow stream.
+struct FlowArrival {
+  uint32_t src_index = 0;  // Index into spec.hosts.
+  uint32_t dst_index = 0;
+  uint64_t bytes = 0;
+  Time start;            // Absolute arrival time (spec.start + offset).
+  bool install = false;  // False when the draw landed on the source itself.
+};
+
+// Mean inter-arrival gap (seconds) implied by the spec's load, the paper's
+// conversion: offered load = load * bisection, split evenly across hosts,
+// divided by the mean flow size. Returns 0 when the spec cannot produce
+// traffic (fewer than two hosts, zero duration, non-positive rate).
+double MeanArrivalGapSeconds(const TrafficSpec& spec);
+
+// The per-host draw sequence of the paper's workload model (destination,
+// incast/redirect knobs, size, next gap — in that order). The single source
+// of truth for both installation modes.
+class PoissonFlowStream {
+ public:
+  // `spec` must outlive the stream; `rng` is the host's named stream
+  // (spec.rng_stream + host_index).
+  PoissonFlowStream(const TrafficSpec* spec, uint32_t host_index, double mean_gap_s,
+                    Rng rng);
+
+  // Draws the next arrival. Returns false when it falls at or beyond the
+  // spec's duration: the stream is exhausted for good (arrival offsets are
+  // nondecreasing).
+  bool Next(FlowArrival* out);
+
+ private:
+  const TrafficSpec* spec_;
+  uint32_t host_index_;
+  double mean_gap_s_;
+  Rng rng_;
+  double t_;  // Offset (seconds) of the next undrawn arrival.
+};
+
+// One host's streaming source: owns the stream and the single pending
+// arrival, installs flows from inside the arrival event (running on the
+// host's LP, so registration lands in the executing executor's FlowMonitor
+// shard) and reschedules itself until the stream runs dry.
+class FlowSource {
+ public:
+  FlowSource(Network* net, const TrafficSpec* spec, uint32_t host_index,
+             double mean_gap_s);
+
+  // Draws the first arrival and schedules it (setup / between-window
+  // context). Returns false when the stream is empty from the start.
+  bool Bootstrap();
+
+  // Flows actually installed so far (skipped self-draws excluded). Read from
+  // a quiescent context.
+  uint64_t installed_flows() const { return installed_flows_; }
+  uint64_t total_bytes() const { return total_bytes_; }
+
+ private:
+  void OnArrival();
+  void ScheduleNext(Time now);
+
+  Network* net_;
+  const TrafficSpec* spec_;
+  PoissonFlowStream stream_;
+  FlowArrival pending_;
+  uint64_t installed_flows_ = 0;
+  uint64_t total_bytes_ = 0;
+};
+
+// Owns one TrafficSpec copy and its per-host sources. Scheduled arrival
+// events capture raw FlowSource pointers, so the set must outlive the
+// session — InstallFlowSources hands a shared_ptr to the network's
+// keepalive list.
+class FlowSourceSet {
+ public:
+  FlowSourceSet(Network* net, TrafficSpec spec);
+
+  // Schedules each host's first arrival; returns the number of sources with
+  // a pending arrival (0 when the spec cannot produce traffic).
+  uint32_t Bootstrap();
+
+  uint64_t installed_flows() const;
+  uint64_t total_bytes() const;
+  const TrafficSpec& spec() const { return spec_; }
+
+ private:
+  Network* net_;
+  TrafficSpec spec_;
+  double mean_gap_s_ = 0;
+  std::vector<FlowSource> sources_;
+};
+
+// Streaming counterpart of GeneratedTraffic. Flow ids are not enumerable up
+// front (flows register as they arrive); the set exposes aggregate counters
+// instead.
+struct StreamingTraffic {
+  uint32_t sources = 0;
+  std::shared_ptr<FlowSourceSet> set;
+};
+
+// Installs one FlowSource per spec host on a finalized network. The network
+// retains the set for its lifetime.
+StreamingTraffic InstallFlowSources(Network& net, const TrafficSpec& spec);
+
+// Streaming analogue of InjectTraffic: re-anchors the arrival window at the
+// session's current time and derives a fresh rng stream per injection (see
+// Network::ClaimInjectionStream), so calling it repeatedly with the same
+// spec never replays draws.
+StreamingTraffic InjectFlowSources(Network& net, const TrafficSpec& spec);
+
+}  // namespace unison
+
+#endif  // UNISON_SRC_TRAFFIC_FLOW_SOURCE_H_

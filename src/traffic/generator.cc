@@ -1,64 +1,46 @@
 #include "src/traffic/generator.h"
 
 #include "src/net/app.h"
+#include "src/traffic/flow_source.h"
 
 namespace unison {
 
 GeneratedTraffic GenerateTraffic(Network& net, const TrafficSpec& spec) {
   GeneratedTraffic out;
+  const double mean_gap_s = MeanArrivalGapSeconds(spec);
+  if (mean_gap_s <= 0) {
+    return out;
+  }
+  // Same draw sequence as the streaming FlowSource — PoissonFlowStream is
+  // the single source of truth — just materialized eagerly: every arrival
+  // becomes a setup-time InstallFlow.
   const uint32_t num_hosts = static_cast<uint32_t>(spec.hosts.size());
-  if (num_hosts < 2 || spec.duration.IsZero()) {
-    return out;
-  }
-  // Aggregate offered load = load * bisection; split evenly across hosts and
-  // converted to a per-host Poisson arrival rate via the mean flow size.
-  const double offered_bps = spec.load * static_cast<double>(spec.bisection_bps);
-  const double per_host_bps = offered_bps / num_hosts;
-  const double mean_flow_bits = spec.sizes->MeanBytes() * 8.0;
-  const double rate_per_host = per_host_bps / mean_flow_bits;  // Flows per second.
-  if (rate_per_host <= 0) {
-    return out;
-  }
-  const double mean_gap_s = 1.0 / rate_per_host;
-
   for (uint32_t h = 0; h < num_hosts; ++h) {
-    Rng rng = net.MakeRng(spec.rng_stream + h);
-    double t = rng.NextExponential(mean_gap_s);
-    while (t < spec.duration.ToSeconds()) {
-      // Destination: uniform among other hosts, with the incast/redirect
-      // knobs applied on top.
-      uint32_t dst_idx = static_cast<uint32_t>(rng.NextU64Below(num_hosts - 1));
-      if (dst_idx >= h) {
-        ++dst_idx;
+    PoissonFlowStream stream(&spec, h, mean_gap_s, net.MakeRng(spec.rng_stream + h));
+    FlowArrival arrival;
+    while (stream.Next(&arrival)) {
+      if (!arrival.install) {
+        continue;  // Draw landed on the source itself; RNG already advanced.
       }
-      if (spec.incast_ratio > 0 && rng.NextDouble() < spec.incast_ratio &&
-          h != spec.victim_index) {
-        dst_idx = spec.victim_index;
-      }
-      if (spec.redirect_prob > 0 && rng.NextDouble() < spec.redirect_prob &&
-          spec.redirect_begin < num_hosts) {
-        dst_idx = spec.redirect_begin +
-                  static_cast<uint32_t>(
-                      rng.NextU64Below(num_hosts - spec.redirect_begin));
-      }
-      if (dst_idx != h) {
-        FlowSpec flow;
-        flow.src = spec.hosts[h];
-        flow.dst = spec.hosts[dst_idx];
-        flow.bytes = spec.sizes->Sample(rng);
-        flow.start = spec.start + Time::Seconds(t);
-        out.flow_ids.push_back(InstallFlow(net, flow));
-        out.total_bytes += flow.bytes;
-      }
-      t += rng.NextExponential(mean_gap_s);
+      FlowSpec flow;
+      flow.src = spec.hosts[arrival.src_index];
+      flow.dst = spec.hosts[arrival.dst_index];
+      flow.bytes = arrival.bytes;
+      flow.start = arrival.start;
+      out.flow_ids.push_back(InstallFlow(net, flow));
+      out.total_bytes += arrival.bytes;
     }
   }
   return out;
 }
 
 GeneratedTraffic InjectTraffic(Network& net, const TrafficSpec& spec) {
+  net.Finalize();
   TrafficSpec shifted = spec;
   shifted.start = net.session_time() + spec.start;
+  // Distinct stream per injection (first injection keeps the base verbatim),
+  // so repeated injections of the same spec never replay the same draws.
+  shifted.rng_stream = net.ClaimInjectionStream(spec.rng_stream);
   return GenerateTraffic(net, shifted);
 }
 

@@ -7,8 +7,11 @@
 // redirected at a single victim host — the knob behind Fig. 5a/9a — or, for
 // Table 2's setup, redirected into the right-most cluster.
 //
-// Everything is drawn during setup from named RNG streams, so the workload
-// is byte-identical for every kernel and thread count.
+// Everything is drawn from named RNG streams, so the workload is
+// byte-identical for every kernel and thread count. GenerateTraffic
+// materializes every flow at setup; the streaming path
+// (src/traffic/flow_source.h) draws the identical sequence lazily, one
+// pending arrival per host.
 #ifndef UNISON_SRC_TRAFFIC_GENERATOR_H_
 #define UNISON_SRC_TRAFFIC_GENERATOR_H_
 
@@ -48,8 +51,10 @@ GeneratedTraffic GenerateTraffic(Network& net, const TrafficSpec& spec);
 // Incremental injection for windowed sessions: installs `spec`'s flows with
 // the arrival window re-anchored at the session's current time, i.e. arrivals
 // fall in [session_time + spec.start, session_time + spec.start + duration).
-// Call between Run() windows to add load to a live session; use a fresh
-// rng_stream per injection or the draws repeat the previous batch.
+// Call between Run() windows to add load to a live session. Each injection
+// automatically derives a distinct rng stream from spec.rng_stream (the
+// first injection uses it verbatim), so repeated injections of the same spec
+// draw fresh arrivals instead of silently replaying the previous batch.
 GeneratedTraffic InjectTraffic(Network& net, const TrafficSpec& spec);
 
 // Permutation traffic: every host sends one `bytes` flow to a fixed distinct

@@ -54,10 +54,9 @@ TraceParseResult InstallFlowsFromCsv(Network& net, std::istream& in) {
 
 void WriteFlowsCsv(const Network& net, std::ostream& out) {
   out << "# src,dst,bytes,start_seconds\n";
-  for (const FlowRecord& f :
-       const_cast<Network&>(net).flow_monitor().flows()) {
+  const_cast<Network&>(net).flow_monitor().ForEachFlow([&out](const FlowRecord& f) {
     out << f.src << ',' << f.dst << ',' << f.bytes << ',' << f.start.ToSeconds() << '\n';
-  }
+  });
 }
 
 }  // namespace unison

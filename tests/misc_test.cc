@@ -153,13 +153,13 @@ TEST(Misc, GeneratorRedirectTargetsTailClusterOnly) {
   spec.redirect_prob = 1.0;
   spec.redirect_begin = 12;  // Last pod's hosts.
   GenerateTraffic(net, spec);
-  for (const auto& f : net.flow_monitor().flows()) {
+  net.flow_monitor().ForEachFlow([&](const FlowRecord& f) {
     bool in_tail = false;
     for (uint32_t i = 12; i < 16; ++i) {
       in_tail |= f.dst == topo.hosts[i];
     }
     EXPECT_TRUE(in_tail) << "flow " << f.id << " dst " << f.dst;
-  }
+  });
 }
 
 }  // namespace

@@ -1,0 +1,351 @@
+// The streaming traffic path: per-host FlowSources that lazily schedule one
+// pending arrival each must be observationally identical to materializing
+// the whole TrafficSpec at setup — bit-identical FlowMonitor fingerprints
+// for every kernel, thread count and window split — while keeping the FEL
+// footprint at O(hosts). Plus the FlowMonitor shard machinery: per-executor
+// registration, window-boundary merging (associative), and summaries that
+// match an unsharded monitor.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/core/executor_id.h"
+#include "src/stats/flow_monitor.h"
+#include "src/traffic/flow_source.h"
+#include "tests/test_util.h"
+
+namespace unison {
+namespace {
+
+struct KernelCase {
+  const char* name;
+  KernelConfig config;
+  PartitionMode partition;
+};
+
+std::vector<KernelCase> AllKernels() {
+  std::vector<KernelCase> cases;
+  {
+    KernelConfig k;
+    k.type = KernelType::kSequential;
+    cases.push_back({"sequential", k, PartitionMode::kSingle});
+  }
+  {
+    KernelConfig k;
+    k.type = KernelType::kBarrier;
+    k.deterministic = true;
+    cases.push_back({"barrier", k, PartitionMode::kManual});
+  }
+  {
+    KernelConfig k;
+    k.type = KernelType::kNullMessage;
+    k.deterministic = true;
+    cases.push_back({"nullmsg", k, PartitionMode::kManual});
+  }
+  {
+    KernelConfig k;
+    k.type = KernelType::kUnison;
+    k.threads = 2;
+    cases.push_back({"unison", k, PartitionMode::kAuto});
+  }
+  {
+    KernelConfig k;
+    k.type = KernelType::kHybrid;
+    k.ranks = 2;
+    k.threads = 2;
+    cases.push_back({"hybrid", k, PartitionMode::kAuto});
+  }
+  return cases;
+}
+
+class StreamingEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, uint32_t>> {};
+
+// The tentpole invariant of the streaming path: driving the same TrafficSpec
+// through FlowSources — monolithically or split into windows — produces the
+// same flows with the same outcomes as materializing it up front. Event
+// counts legitimately differ (the arrival chain itself is events), so the
+// comparison is the flow fingerprint and the summary.
+TEST_P(StreamingEquivalence, MatchesMaterialized) {
+  const int kernel_index = std::get<0>(GetParam());
+  const uint32_t windows = std::get<1>(GetParam());
+  const KernelCase kc = AllKernels()[kernel_index];
+  SCOPED_TRACE(std::string(kc.name) + " x " + std::to_string(windows));
+
+  // Load 1.0 keeps the arrival rate high enough that every host streams real
+  // flows inside the 5ms window (at the suite's default 0.1 the fixed seed
+  // draws no arrival before 5ms and the comparison would be vacuous).
+  const RunOutcome materialized =
+      RunFatTreeScenario(kc.config, kc.partition, 4, 10, 5, 1, 1.0);
+  uint64_t streamed_flows = 0;
+  const RunOutcome streaming = RunFatTreeScenarioStreaming(
+      kc.config, kc.partition, windows, 4, 10, 5, 1, 1.0, &streamed_flows);
+
+  EXPECT_EQ(streaming.fingerprint, materialized.fingerprint);
+  EXPECT_EQ(streaming.summary.flows, materialized.summary.flows);
+  EXPECT_EQ(streaming.summary.completed, materialized.summary.completed);
+  EXPECT_EQ(streaming.summary.total_rx_bytes, materialized.summary.total_rx_bytes);
+  EXPECT_EQ(streaming.summary.total_retransmits,
+            materialized.summary.total_retransmits);
+  // Every Poisson flow was installed at run time (the permutation prefill
+  // accounts for the difference against the monitor total).
+  EXPECT_GT(streamed_flows, 0u);
+  EXPECT_EQ(streamed_flows + 16, streaming.summary.flows);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernelsAllSplits, StreamingEquivalence,
+    ::testing::Combine(::testing::Range(0, 5), ::testing::Values(1u, 2u, 5u)),
+    [](const ::testing::TestParamInfo<std::tuple<int, uint32_t>>& info) {
+      return std::string(AllKernels()[std::get<0>(info.param)].name) + "_w" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// Registration lands in a different shard per thread count, yet the
+// fingerprint is thread-count-invariant (it hashes stable flow identity, not
+// shard-encoded ids).
+TEST(StreamingEquivalence, ThreadCountInvariant) {
+  KernelConfig seq;
+  seq.type = KernelType::kSequential;
+  const RunOutcome base =
+      RunFatTreeScenarioStreaming(seq, PartitionMode::kSingle, 1, 4, 10, 5, 1, 1.0);
+  for (uint32_t threads : {1u, 2u, 4u}) {
+    KernelConfig k;
+    k.type = KernelType::kUnison;
+    k.threads = threads;
+    SCOPED_TRACE("unison threads=" + std::to_string(threads));
+    const RunOutcome out =
+        RunFatTreeScenarioStreaming(k, PartitionMode::kAuto, 1, 4, 10, 5, 1, 1.0);
+    EXPECT_EQ(out.fingerprint, base.fingerprint);
+    EXPECT_EQ(out.summary.completed, base.summary.completed);
+  }
+}
+
+// The point of the streaming path: pending arrivals in the FELs stay at
+// O(hosts) — exactly one per source — no matter how long the arrival window
+// is, where materialization pre-loads every flow of the window.
+TEST(StreamingFootprint, PendingArrivalsAreOneFEntryPerSource) {
+  for (const int duration_ms : {10, 100}) {
+    SimConfig cfg;
+    cfg.kernel.type = KernelType::kSequential;
+    Network net(cfg);
+    FatTreeTopo topo =
+        BuildFatTree(net, 4, 10000000000ULL, Time::Microseconds(3));
+    net.Finalize();
+    TrafficSpec spec;
+    spec.hosts = topo.hosts;
+    spec.bisection_bps = topo.bisection_bps;
+    spec.load = 0.3;
+    spec.duration = Time::Milliseconds(duration_ms);
+    const StreamingTraffic stream = InstallFlowSources(net, spec);
+
+    uint64_t pending = net.kernel().public_lp()->fel().Size();
+    for (uint32_t i = 0; i < net.kernel().num_lps(); ++i) {
+      pending += net.kernel().lp(i)->fel().Size();
+    }
+    SCOPED_TRACE("duration_ms=" + std::to_string(duration_ms));
+    // A source counts only if its first arrival lands inside the window, so
+    // sources <= hosts; each live source contributes exactly one FEL entry.
+    EXPECT_GT(stream.sources, 0u);
+    EXPECT_LE(stream.sources, topo.hosts.size());
+    EXPECT_EQ(pending, stream.sources);       // One pending arrival per host.
+    EXPECT_EQ(net.flow_monitor().size(), 0u); // No flow materialized yet.
+  }
+}
+
+// Injection paths: repeated injections of the same spec must draw fresh
+// arrivals (the old rng-stream footgun), and the streaming injection must
+// match the materialized one batch for batch.
+TEST(StreamingInjection, RepeatedInjectionDrawsFreshFlows) {
+  SimConfig cfg;
+  cfg.kernel.type = KernelType::kSequential;
+  Network net(cfg);
+  FatTreeTopo topo = BuildFatTree(net, 4, 10000000000ULL, Time::Microseconds(3));
+  net.Finalize();
+  TrafficSpec spec;
+  spec.hosts = topo.hosts;
+  spec.bisection_bps = topo.bisection_bps;
+  spec.load = 1.5;  // High enough that both batches draw flows inside 5ms.
+  spec.duration = Time::Milliseconds(5);
+
+  const GeneratedTraffic first = InjectTraffic(net, spec);
+  const GeneratedTraffic second = InjectTraffic(net, spec);
+  ASSERT_GT(first.flow_ids.size(), 0u);
+  ASSERT_GT(second.flow_ids.size(), 0u);
+
+  // Identical streams would replay identical draws; both batches are anchored
+  // at the same session time, so their start offsets compare directly.
+  std::vector<int64_t> starts_a;
+  std::vector<int64_t> starts_b;
+  for (uint32_t id : first.flow_ids) {
+    starts_a.push_back(net.flow_monitor().flow(id).start.ps());
+  }
+  for (uint32_t id : second.flow_ids) {
+    starts_b.push_back(net.flow_monitor().flow(id).start.ps());
+  }
+  EXPECT_NE(starts_a, starts_b);
+}
+
+TEST(StreamingInjection, StreamingInjectionMatchesMaterializedInjection) {
+  auto run = [](bool streaming) {
+    SimConfig cfg;
+    cfg.kernel.type = KernelType::kUnison;
+    cfg.kernel.threads = 2;
+    Network net(cfg);
+    FatTreeTopo topo =
+        BuildFatTree(net, 4, 10000000000ULL, Time::Microseconds(3));
+    net.Finalize();
+    TrafficSpec spec;
+    spec.hosts = topo.hosts;
+    spec.bisection_bps = topo.bisection_bps;
+    spec.load = 1.5;
+    spec.duration = Time::Milliseconds(2);
+    // Two injections per window boundary, same spec: each must draw a fresh
+    // stream, identically in both modes.
+    net.Run(Time::Milliseconds(1));
+    if (streaming) {
+      InjectFlowSources(net, spec);
+      InjectFlowSources(net, spec);
+    } else {
+      InjectTraffic(net, spec);
+      InjectTraffic(net, spec);
+    }
+    net.Run(Time::Milliseconds(6));
+    return net.flow_monitor().Fingerprint();
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+// --- FlowMonitor shard mechanics (no network; executor ids set directly) ---
+
+class ShardGuard {
+ public:
+  ~ShardGuard() { SetCurrentExecutorId(kNoExecutor); }
+};
+
+TEST(FlowMonitorShards, RegistrationRoundTripsAcrossShards) {
+  ShardGuard guard;
+  FlowMonitor m;
+  m.ConfigureShards(4);  // Shard 0 + executors 0..2.
+  std::vector<uint32_t> ids;
+  for (int ex : {kNoExecutor, 0, 1, 2}) {
+    SetCurrentExecutorId(ex);
+    ids.push_back(m.Register(10 + static_cast<NodeId>(ex), 20, 1000, Time::Zero()));
+  }
+  SetCurrentExecutorId(kNoExecutor);
+  EXPECT_EQ(m.size(), 4u);
+  for (uint32_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(m.shard_flows(s), 1u) << "shard " << s;
+  }
+  // Ids decode back to the right record through flow().
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(m.flow(ids[i]).id, ids[i]);
+    EXPECT_EQ(m.flow(ids[i]).src, 10 + static_cast<NodeId>(i) - 1);
+  }
+  size_t visited = 0;
+  m.ForEachFlow([&visited](const FlowRecord&) { ++visited; });
+  EXPECT_EQ(visited, 4u);
+}
+
+// Scripted hook sequence used by the merge/summary tests; `executors` > 0
+// spreads the calls across that many executor contexts, 0 keeps everything
+// in shard 0 (the unsharded reference).
+void ApplyScriptedOps(FlowMonitor& m, int executors, int flows) {
+  std::vector<uint32_t> ids;
+  for (int i = 0; i < flows; ++i) {
+    SetCurrentExecutorId(executors > 0 ? i % executors : kNoExecutor);
+    ids.push_back(m.Register(static_cast<NodeId>(i), static_cast<NodeId>(i + 100),
+                             1000 + static_cast<uint64_t>(i),
+                             Time::Milliseconds(i)));
+  }
+  for (int i = 0; i < flows; ++i) {
+    // Receiver-side hooks deliberately run on a *different* executor than the
+    // one that registered the flow, as they do in a real run.
+    SetCurrentExecutorId(executors > 0 ? (i + 1) % executors : kNoExecutor);
+    m.AddRxBytes(ids[static_cast<size_t>(i)], 500 + static_cast<uint64_t>(i),
+                 Time::Milliseconds(10 + i));
+    m.AddRtt(ids[static_cast<size_t>(i)], Time::Microseconds(100 + i));
+    if (i % 3 == 0) {
+      m.AddRetransmit(ids[static_cast<size_t>(i)]);
+    }
+    if (i % 2 == 0) {
+      m.Complete(ids[static_cast<size_t>(i)], Time::Milliseconds(20 + 2 * i));
+    }
+  }
+  SetCurrentExecutorId(kNoExecutor);
+}
+
+TEST(FlowMonitorShards, MergeIsAssociative) {
+  ShardGuard guard;
+  // A merges after every batch, B once at the end: same merged view.
+  FlowMonitor a;
+  a.ConfigureShards(4);
+  ApplyScriptedOps(a, 3, 9);
+  a.MergeWindow();
+  ApplyScriptedOps(a, 3, 7);
+  a.MergeWindow();
+
+  FlowMonitor b;
+  b.ConfigureShards(4);
+  ApplyScriptedOps(b, 3, 9);
+  ApplyScriptedOps(b, 3, 7);
+  b.MergeWindow();
+
+  EXPECT_TRUE(a.merged() == b.merged());
+  EXPECT_EQ(a.windows_merged(), 2u);
+  EXPECT_EQ(b.windows_merged(), 1u);
+  // And nothing is left un-merged in either monitor.
+  for (uint32_t s = 0; s < a.num_shards(); ++s) {
+    EXPECT_TRUE(a.shard_delta(s) == FlowCounters{}) << "shard " << s;
+  }
+}
+
+TEST(FlowMonitorShards, MergedCountersMatchRecordScan) {
+  ShardGuard guard;
+  FlowMonitor m;
+  m.ConfigureShards(5);
+  ApplyScriptedOps(m, 4, 13);
+  m.MergeWindow();
+
+  FlowCounters scan;
+  m.ForEachFlow([&scan](const FlowRecord& rec) {
+    ++scan.flows;
+    scan.rx_bytes += rec.rx_bytes;
+    scan.retransmits += rec.retransmits;
+    if (rec.completed) {
+      ++scan.completed;
+      scan.fct_ps_sum += rec.fct.ps();
+    }
+  });
+  EXPECT_TRUE(m.merged() == scan);
+}
+
+TEST(FlowMonitorShards, SummaryAndFingerprintMatchUnshardedMonitor) {
+  ShardGuard guard;
+  FlowMonitor sharded;
+  sharded.ConfigureShards(4);
+  ApplyScriptedOps(sharded, 3, 12);
+
+  FlowMonitor plain;  // Default single shard; all ops from shard 0.
+  ApplyScriptedOps(plain, 0, 12);
+
+  EXPECT_EQ(sharded.Fingerprint(), plain.Fingerprint());
+
+  const FlowSummary s = sharded.Summarize();
+  const FlowSummary p = plain.Summarize();
+  EXPECT_EQ(s.flows, p.flows);
+  EXPECT_EQ(s.completed, p.completed);
+  EXPECT_EQ(s.total_rx_bytes, p.total_rx_bytes);
+  EXPECT_EQ(s.total_retransmits, p.total_retransmits);
+  // Same multiset of per-flow values; only the summation order differs.
+  EXPECT_NEAR(s.mean_fct_ms, p.mean_fct_ms, 1e-9);
+  EXPECT_NEAR(s.mean_rtt_ms, p.mean_rtt_ms, 1e-9);
+  EXPECT_NEAR(s.mean_throughput_mbps, p.mean_throughput_mbps, 1e-9);
+  EXPECT_EQ(s.p99_fct_ms, p.p99_fct_ms);  // Selection picks the same element.
+}
+
+}  // namespace
+}  // namespace unison

@@ -97,11 +97,11 @@ TEST(TcpProperty, ManyParallelFlowsConserveBytes) {
   }
   net.Run(Time::Seconds(20));
   uint64_t delivered = 0;
-  for (const auto& f : net.flow_monitor().flows()) {
+  net.flow_monitor().ForEachFlow([&delivered](const FlowRecord& f) {
     EXPECT_TRUE(f.completed) << "flow " << f.id;
     EXPECT_EQ(f.rx_bytes, f.bytes) << "flow " << f.id;
     delivered += f.rx_bytes;
-  }
+  });
   EXPECT_EQ(delivered, total);
 }
 

@@ -10,6 +10,7 @@
 #include "src/net/app.h"
 #include "src/net/network.h"
 #include "src/topo/fat_tree.h"
+#include "src/traffic/flow_source.h"
 #include "src/traffic/generator.h"
 
 namespace unison {
@@ -26,7 +27,7 @@ struct RunOutcome {
 // `sim_ms` milliseconds of simulated time under the given kernel config.
 inline RunOutcome RunFatTreeScenario(const KernelConfig& kcfg, PartitionMode partition,
                                      uint32_t k = 4, uint64_t gbps = 10, int sim_ms = 5,
-                                     uint64_t seed = 1) {
+                                     uint64_t seed = 1, double load = 0.1) {
   SimConfig cfg;
   cfg.kernel = kcfg;
   cfg.partition = partition;
@@ -44,7 +45,7 @@ inline RunOutcome RunFatTreeScenario(const KernelConfig& kcfg, PartitionMode par
   TrafficSpec traffic;
   traffic.hosts = topo.hosts;
   traffic.bisection_bps = topo.bisection_bps;
-  traffic.load = 0.1;
+  traffic.load = load;
   traffic.duration = Time::Milliseconds(sim_ms);
   GenerateTraffic(net, traffic);
 
@@ -105,6 +106,58 @@ inline RunOutcome RunFatTreeScenarioWindowed(
     *spawned_delta = windows > 1
                          ? ExecutorPool::TotalThreadsSpawned() - spawned_before
                          : 0;
+  }
+
+  RunOutcome out;
+  out.events = net.kernel().session_events();
+  out.fingerprint = net.flow_monitor().Fingerprint();
+  out.summary = net.flow_monitor().Summarize();
+  out.rounds = net.kernel().session_rounds();
+  out.lps = net.kernel().num_lps();
+  return out;
+}
+
+// The same scenario with the Poisson load installed as streaming per-host
+// FlowSources (one pending arrival each) instead of materialized flows, run
+// in `windows` consecutive Run() slices (1 = monolithic). Per the streaming
+// invariant, the outcome is bit-identical to RunFatTreeScenario /
+// RunFatTreeScenarioWindowed with the same parameters. When `streamed_flows`
+// is non-null it receives the number of flows the sources installed at run
+// time.
+inline RunOutcome RunFatTreeScenarioStreaming(
+    const KernelConfig& kcfg, PartitionMode partition, uint32_t windows = 1,
+    uint32_t k = 4, uint64_t gbps = 10, int sim_ms = 5, uint64_t seed = 1,
+    double load = 0.1, uint64_t* streamed_flows = nullptr) {
+  SimConfig cfg;
+  cfg.kernel = kcfg;
+  cfg.partition = partition;
+  cfg.seed = seed;
+  Network net(cfg);
+  FatTreeTopo topo =
+      BuildFatTree(net, k, gbps * 1000000000ULL, Time::Microseconds(3));
+  if (partition == PartitionMode::kManual) {
+    auto lp = FatTreePodPartition(topo, net.num_nodes());
+    net.SetManualPartition(k, std::move(lp));
+  }
+  net.Finalize();
+
+  GeneratePermutation(net, topo.hosts, 200 * 1024, Time::Zero());
+  TrafficSpec traffic;
+  traffic.hosts = topo.hosts;
+  traffic.bisection_bps = topo.bisection_bps;
+  traffic.load = load;
+  traffic.duration = Time::Milliseconds(sim_ms);
+  const StreamingTraffic stream = InstallFlowSources(net, traffic);
+
+  const int64_t total_ps = Time::Milliseconds(sim_ms).ps();
+  for (uint32_t w = 1; w <= windows; ++w) {
+    const Time stop = w == windows
+                          ? Time::Milliseconds(sim_ms)
+                          : Time::Picoseconds(total_ps * w / windows);
+    net.Run(stop);
+  }
+  if (streamed_flows != nullptr) {
+    *streamed_flows = stream.set->installed_flows();
   }
 
   RunOutcome out;

@@ -110,9 +110,9 @@ TEST(Generator, DeterministicForSameSeed) {
     spec.duration = Time::Milliseconds(20);
     GenerateTraffic(net, spec);
     uint64_t h = 0;
-    for (const auto& f : net.flow_monitor().flows()) {
+    net.flow_monitor().ForEachFlow([&h](const FlowRecord& f) {
       h = h * 1000003 + f.src * 131 + f.dst * 31 + f.bytes + f.start.ps() % 100000;
-    }
+    });
     return h;
   };
   EXPECT_EQ(gen(42), gen(42));
@@ -138,15 +138,15 @@ TEST(Generator, IncastRatioDirectsFlowsAtVictim) {
   const NodeId victim = topo.hosts[3];
   uint64_t at_victim = 0;
   uint64_t total = 0;
-  for (const auto& f : net.flow_monitor().flows()) {
+  net.flow_monitor().ForEachFlow([&](const FlowRecord& f) {
     if (f.src == victim) {
-      continue;
+      return;
     }
     ++total;
     if (f.dst == victim) {
       ++at_victim;
     }
-  }
+  });
   ASSERT_GT(total, 0u);
   EXPECT_EQ(at_victim, total);
 }
@@ -162,10 +162,10 @@ TEST(Generator, PermutationPairsEveryHostOnce) {
   EXPECT_EQ(traffic.flow_ids.size(), topo.hosts.size());
   std::vector<int> as_src(net.num_nodes(), 0);
   std::vector<int> as_dst(net.num_nodes(), 0);
-  for (const auto& f : net.flow_monitor().flows()) {
+  net.flow_monitor().ForEachFlow([&](const FlowRecord& f) {
     ++as_src[f.src];
     ++as_dst[f.dst];
-  }
+  });
   for (NodeId h : topo.hosts) {
     EXPECT_EQ(as_src[h], 1);
     EXPECT_EQ(as_dst[h], 1);

@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Perf-envelope gate: compare bench/trace JSON artifacts against envelopes.
+
+Each bench emits a BENCH_<name>.json artifact, and the traced round-sync run
+emits a run-trace JSON. This script loads ci/perf_envelopes.json and checks
+the artifacts against it: structural invariants are exact (zero steady-state
+allocations, zero reduction mismatches, fingerprint matches), performance
+floors are deliberately generous so that CI-runner noise does not flake the
+gate — they exist to catch order-of-magnitude regressions (a lost fast path,
+an accidental O(flows) reinstatement), not 10% drift.
+
+Envelope schema (ci/perf_envelopes.json):
+
+  {
+    "<gate name>": {
+      "artifact": "BENCH_foo.json",     # path relative to --dir
+      "skip_if": {"metric": "...", "equals": ...},   # optional
+      "checks": [
+        {"metric": "a.b.c", "equals": X},         # exact (floats: rel 1e-9)
+        {"metric": "a.b.c", "min": X},            # floor
+        {"metric": "a.b.c", "max": X},            # ceiling
+        {"metric": "a", "max_metric": "b"},       # cross-field: a <= b
+        {"derive": "sync_fraction", "max": X},    # derived from a run trace
+        {"derive": "mean_barrier_ns", "max": X},
+        ...any check may carry "note": "why this bound"
+      ]
+    }
+  }
+
+Derived metrics (run-trace artifacts only):
+  sync_fraction   synchronization_ns / (processing + synchronization +
+                  messaging) from the trace summary
+  mean_barrier_ns mean of rounds[].barrier_ns
+  rounds          len(rounds)
+
+Exit status: 0 if every check in every gate passes, 1 otherwise. A missing
+artifact fails its gate unless the gate has "optional": true.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def lookup(doc, dotted):
+    """Resolve a dotted path ("summary.events") in nested dicts."""
+    cur = doc
+    for part in dotted.split("."):
+        if not isinstance(cur, dict) or part not in cur:
+            return None
+        cur = cur[part]
+    return cur
+
+
+def derive(doc, name):
+    """Compute a derived metric from a run-trace document."""
+    if name == "sync_fraction":
+        s = doc.get("summary", {})
+        total = (s.get("processing_ns", 0) + s.get("synchronization_ns", 0) +
+                 s.get("messaging_ns", 0))
+        return None if total == 0 else s.get("synchronization_ns", 0) / total
+    if name == "mean_barrier_ns":
+        rounds = doc.get("rounds", [])
+        if not rounds:
+            return None
+        return sum(r.get("barrier_ns", 0) for r in rounds) / len(rounds)
+    if name == "rounds":
+        return len(doc.get("rounds", []))
+    return None
+
+
+def close(a, b):
+    if isinstance(a, float) or isinstance(b, float):
+        return abs(a - b) <= 1e-9 * max(1.0, abs(a), abs(b))
+    return a == b
+
+
+def run_check(doc, check):
+    """Returns (ok, value, description)."""
+    if "derive" in check:
+        label = check["derive"]
+        value = derive(doc, label)
+    else:
+        label = check["metric"]
+        value = lookup(doc, label)
+    if value is None:
+        return False, None, f"{label}: metric missing from artifact"
+
+    if "equals" in check:
+        want = check["equals"]
+        return close(value, want), value, f"{label} == {want!r}"
+    if "max_metric" in check:
+        bound = lookup(doc, check["max_metric"])
+        if bound is None:
+            return False, value, f"{check['max_metric']}: bound metric missing"
+        return value <= bound, value, f"{label} <= {check['max_metric']} ({bound})"
+    ok = True
+    parts = []
+    if "min" in check:
+        ok = ok and value >= check["min"]
+        parts.append(f">= {check['min']}")
+    if "max" in check:
+        ok = ok and value <= check["max"]
+        parts.append(f"<= {check['max']}")
+    return ok, value, f"{label} {' and '.join(parts) if parts else '(present)'}"
+
+
+def run_gate(name, gate, base_dir):
+    """Returns the number of failed checks for this gate."""
+    path = os.path.join(base_dir, gate["artifact"])
+    if not os.path.exists(path):
+        if gate.get("optional", False):
+            print(f"[gate] {name}: SKIP (optional, {gate['artifact']} absent)")
+            return 0
+        print(f"[gate] {name}: FAIL — artifact {gate['artifact']} not found")
+        return 1
+    with open(path) as f:
+        doc = json.load(f)
+
+    skip = gate.get("skip_if")
+    if skip is not None:
+        val = lookup(doc, skip["metric"])
+        if val == skip["equals"]:
+            print(f"[gate] {name}: SKIP ({skip['metric']} == {val!r})")
+            return 0
+
+    failed = 0
+    for check in gate.get("checks", []):
+        ok, value, desc = run_check(doc, check)
+        status = "ok  " if ok else "FAIL"
+        note = f"  # {check['note']}" if "note" in check and not ok else ""
+        print(f"[gate] {name}: {status} {desc} (actual: {value!r}){note}")
+        if not ok:
+            failed += 1
+    return failed
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--envelopes", default="ci/perf_envelopes.json",
+                    help="envelope definition file")
+    ap.add_argument("--dir", default=".",
+                    help="directory holding the BENCH_/TRACE_ artifacts")
+    args = ap.parse_args()
+
+    with open(args.envelopes) as f:
+        envelopes = json.load(f)
+
+    total_failed = 0
+    for name, gate in envelopes.items():
+        total_failed += run_gate(name, gate, args.dir)
+
+    if total_failed:
+        print(f"perf gate: {total_failed} check(s) FAILED")
+        return 1
+    print("perf gate: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
