@@ -65,6 +65,20 @@ class FutureEventList {
 
   void Clear();
 
+  // Visits every queued event in heap order (the order heap_ stores nodes,
+  // not timestamp order). Only slots referenced from the heap are live —
+  // freed slab entries hold moved-from husks — so this walks heap_ and
+  // indexes into the slab per node. Snapshot capture pairs this with a
+  // restore-side bulk PushAll; because EventKeys are globally unique under
+  // the deterministic ordering, the rebuilt heap dequeues identically no
+  // matter how its array is laid out.
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (const HeapNode& node : heap_) {
+      fn(slots_[node.slot]);
+    }
+  }
+
  private:
   struct HeapNode {
     EventKey key;

@@ -114,6 +114,23 @@ class InlineFunction {
            std::is_nothrow_move_constructible_v<F>;
   }
 
+  // Downcast by ops-table identity: returns the stored callable when it is
+  // exactly of type F, else nullptr. Each stored type owns a distinct Ops
+  // instance (kInlineOps<F>/kHeapOps<F> are inline variables with one address
+  // program-wide), so this is two pointer compares — no RTTI, and zero cost
+  // on the invoke path. Snapshot serialization uses it to recognize the named
+  // model-event functors inside captured FELs.
+  template <typename F>
+  F* TryAs() noexcept {
+    if (ops_ == &kInlineOps<F>) {
+      return std::launder(reinterpret_cast<F*>(buf_));
+    }
+    if (ops_ == &kHeapOps<F>) {
+      return *reinterpret_cast<F**>(buf_);
+    }
+    return nullptr;
+  }
+
  private:
   struct Ops {
     void (*invoke)(void* storage);

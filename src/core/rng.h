@@ -8,6 +8,7 @@
 #ifndef UNISON_SRC_CORE_RNG_H_
 #define UNISON_SRC_CORE_RNG_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -30,6 +31,15 @@ class Rng {
 
   // Exponentially distributed with the given mean.
   double NextExponential(double mean);
+
+  // Full generator state, for snapshot/restore. A restored stream continues
+  // the exact sequence the captured one would have produced.
+  std::array<uint64_t, 4> state() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+  void set_state(const std::array<uint64_t, 4>& s) {
+    for (int i = 0; i < 4; ++i) {
+      s_[i] = s[i];
+    }
+  }
 
  private:
   uint64_t s_[4];

@@ -11,8 +11,13 @@ void BarrierKernel::Setup(const TopoGraph& graph, const Partition& partition) {
   const uint32_t ranks = num_lps();
   barrier_ = std::make_unique<CombiningBarrier>(ranks);
   rank_events_.assign(ranks, 0);
-  pool_.SetPlacement(config_.affinity);
-  pool_.Ensure(ranks);
+  // A borrowed pool keeps its owner's placement; only the kernel's own pool
+  // takes this config's affinity.
+  active_pool_ = external_pool_ != nullptr ? external_pool_ : &pool_;
+  if (active_pool_ == &pool_) {
+    pool_.SetPlacement(config_.affinity);
+  }
+  active_pool_->Ensure(ranks);
 }
 
 RunResult BarrierKernel::Run(Time stop_time) {
@@ -22,7 +27,7 @@ RunResult BarrierKernel::Run(Time stop_time) {
   const uint64_t run_t0 = Profiler::NowNs();
   rank_events_.assign(ranks, 0);
 
-  pool_.Run([this](uint32_t rank) { RankLoop(rank); });
+  active_pool_->Run([this](uint32_t rank) { RankLoop(rank); });
 
   processed_events_ = 0;
   for (uint64_t n : rank_events_) {

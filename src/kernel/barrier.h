@@ -31,6 +31,8 @@ class BarrierKernel : public Kernel {
   // One executor per LP: rank r runs LP r.
   uint32_t MaxExecutors() const override { return num_lps(); }
 
+  ExecutorPool* executor_pool() override { return active_pool_; }
+
   uint64_t LiveEvents() const override {
     uint64_t sum = 0;
     for (uint64_t n : rank_events_) {
@@ -51,6 +53,9 @@ class BarrierKernel : public Kernel {
   void RankLoop(uint32_t rank);
 
   ExecutorPool pool_;    // Threads spawned once at Setup, reused across runs.
+  // The pool Run() actually uses: the borrowed external pool when one was
+  // lent (Session::Fork), else pool_. Set at Setup.
+  ExecutorPool* active_pool_ = nullptr;
   RoundSync sync_{this};
   std::unique_ptr<CombiningBarrier> barrier_;
   // Per-rank event counters, published at each round barrier so LiveEvents()

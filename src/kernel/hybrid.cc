@@ -47,8 +47,11 @@ void HybridKernel::Setup(const TopoGraph& graph, const Partition& partition) {
   // placement lays ranks out socket-major: a rank's lanes fill one package
   // before the next rank starts — intra-rank claim/mailbox traffic stays
   // on-socket, matching how the real deployment maps hosts.
-  pool_.SetPlacement(config_.affinity);
-  pool_.Ensure(workers);
+  active_pool_ = external_pool_ != nullptr ? external_pool_ : &pool_;
+  if (active_pool_ == &pool_) {
+    pool_.SetPlacement(config_.affinity);
+  }
+  active_pool_->Ensure(workers);
 }
 
 RunResult HybridKernel::Run(Time stop_time) {
@@ -62,7 +65,7 @@ RunResult HybridKernel::Run(Time stop_time) {
 
   sync_.SeedMinFromLps();
 
-  pool_.Run([this](uint32_t worker) { RoundLoop(worker); });
+  active_pool_->Run([this](uint32_t worker) { RoundLoop(worker); });
 
   processed_events_ = 0;
   for (uint64_t n : worker_events_) {

@@ -39,6 +39,8 @@ class HybridKernel : public Kernel {
   // Worker ids are rank-major: worker = rank * lanes + lane.
   uint32_t MaxExecutors() const override { return ranks_ * lanes_; }
 
+  ExecutorPool* executor_pool() override { return active_pool_; }
+
   uint32_t ranks() const { return ranks_; }
   const std::vector<uint32_t>& rank_of_lp() const { return rank_of_lp_; }
 
@@ -59,6 +61,9 @@ class HybridKernel : public Kernel {
   uint32_t period_ = 1;
 
   ExecutorPool pool_;    // Threads spawned once at Setup, reused across runs.
+  // The pool Run() actually uses: the borrowed external pool when one was
+  // lent (Session::Fork), else pool_. Set at Setup.
+  ExecutorPool* active_pool_ = nullptr;
   RoundSync sync_{this};
   std::unique_ptr<CombiningBarrier> barrier_;
 

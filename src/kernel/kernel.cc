@@ -170,6 +170,7 @@ RunResult Kernel::FinishRun(const char* kernel_name, uint32_t executors,
   run_summary_.window_start_ps = session_now_.ps();
   run_summary_.window_stop_ps = stop.ps();
   run_summary_.reason = RunReasonName(reason);
+  run_summary_.forked_from = lineage_;
   if (profiler_ != nullptr && profiler_->enabled) {
     run_summary_.processing_ns = profiler_->TotalProcessingNs();
     run_summary_.synchronization_ns = profiler_->TotalSyncNs();

@@ -95,6 +95,8 @@ struct KernelConfig {
 // Finalize, ...), so every such failure looks the same to the user.
 [[noreturn]] void FatalConfigError(const std::string& message);
 
+class ExecutorPool;
+
 class Kernel {
  public:
   explicit Kernel(const KernelConfig& config) : config_(config) {}
@@ -170,6 +172,55 @@ class Kernel {
   // Per-window counters: what the most recent Run() executed.
   uint64_t processed_events() const { return processed_events_; }
   uint64_t rounds() const { return rounds_; }
+
+  // --- Snapshot/fork support ---
+
+  // Cumulative session accumulators as one value, for snapshot capture and
+  // fork restore. Restoring makes the next Run() continue exactly where the
+  // captured session's next window would have started.
+  struct SessionState {
+    Time session_now;
+    Time resume_floor;
+    uint64_t session_events = 0;
+    uint64_t session_rounds = 0;
+    uint32_t session_windows = 0;
+  };
+  SessionState session_state() const {
+    return SessionState{session_now_, resume_floor_, session_events_,
+                        session_rounds_, session_windows_};
+  }
+  void RestoreSessionState(const SessionState& s) {
+    session_now_ = s.session_now;
+    resume_floor_ = s.resume_floor;
+    session_events_ = s.session_events;
+    session_rounds_ = s.session_rounds;
+    session_windows_ = s.session_windows;
+  }
+
+  // The executor pool this kernel's Run() drives, or nullptr for kernels
+  // that run on the caller alone (sequential). A fork hands this pool to the
+  // child kernel so branch runs reuse the parent's warm, already-spawned
+  // workers instead of spawning their own.
+  virtual ExecutorPool* executor_pool() { return nullptr; }
+
+  // Borrow another kernel's pool. Must be called before Setup(); the pooled
+  // kernels resolve it there. The lender must outlive this kernel, and the
+  // two must not Run() concurrently (ExecutorPool::Run is not reentrant) —
+  // Session::Fork documents both constraints.
+  void set_external_pool(ExecutorPool* pool) { external_pool_ = pool; }
+
+  // Lineage tag stamped into every subsequent RunSummary.forked_from;
+  // Session::Fork sets it to "snap-<digest>@w<windows>" so traces record
+  // which snapshot a branch grew from.
+  void set_lineage(std::string lineage) { lineage_ = std::move(lineage); }
+  const std::string& lineage() const { return lineage_; }
+
+  // Moves any events parked in kernel-private transport into the owning
+  // LPs' FELs so a snapshot sees the complete event set. At a window
+  // boundary only the null-message kernel has such residue (channel events
+  // belonging to the next window); the move is execution-neutral — the next
+  // window's receive phase would have performed the identical inserts.
+  virtual void DrainTransportForSnapshot() {}
 
   // --- Session introspection (cumulative across Run() windows) ---
 
@@ -253,6 +304,8 @@ class Kernel {
   std::atomic<bool> stop_requested_{false};
   std::mutex public_mu_;
   std::function<void()> window_end_hook_;
+  ExecutorPool* external_pool_ = nullptr;  // Borrowed; see set_external_pool.
+  std::string lineage_;                    // Empty unless forked.
 };
 
 // Constructs the kernel named by `config.type`.

@@ -100,6 +100,19 @@ class Lp {
 
   OverflowBox& overflow() { return overflow_; }
 
+  // --- Snapshot support ---
+
+  // Tie-break counters: seq_ feeds MakeKey, arrival_seq_ feeds the
+  // non-deterministic insertion-order rewrite. Both are part of captured
+  // session state — a fork that resumed with fresh counters would mint keys
+  // that collide with (or order differently from) events already in flight.
+  uint64_t seq() const { return seq_; }
+  uint64_t arrival_seq() const { return arrival_seq_; }
+  void RestoreCounters(uint64_t seq, uint64_t arrival_seq) {
+    seq_ = seq;
+    arrival_seq_ = arrival_seq;
+  }
+
   // The LP currently executing on this thread (nullptr during setup and in
   // the global-event phase when attributed to the public LP).
   static Lp* Current() { return current_; }

@@ -46,8 +46,21 @@ void NullMessageKernel::Setup(const TopoGraph& graph, const Partition& partition
       std::abort();
     }
   }
-  pool_.SetPlacement(config_.affinity);
-  pool_.Ensure(num_lps());
+  active_pool_ = external_pool_ != nullptr ? external_pool_ : &pool_;
+  if (active_pool_ == &pool_) {
+    pool_.SetPlacement(config_.affinity);
+  }
+  active_pool_->Ensure(num_lps());
+}
+
+void NullMessageKernel::DrainTransportForSnapshot() {
+  for (const auto& c : channels_) {
+    std::lock_guard<std::mutex> lock(c->mu);
+    for (Event& ev : c->events) {
+      lps_[c->to]->Insert(std::move(ev));
+    }
+    c->events.clear();
+  }
 }
 
 void NullMessageKernel::ScheduleRemote(Lp* from, LpId target, Event ev) {
@@ -123,7 +136,7 @@ RunResult NullMessageKernel::Run(Time stop_time) {
     c->nulls = 0;
   }
 
-  pool_.Run([this](uint32_t id) { LpLoop(id); });
+  active_pool_->Run([this](uint32_t id) { LpLoop(id); });
 
   processed_events_ = 0;
   for (uint64_t n : lp_events_) {

@@ -37,6 +37,15 @@ class NullMessageKernel : public Kernel {
   // One executor per LP, as in the barrier baseline.
   uint32_t MaxExecutors() const override { return num_lps(); }
 
+  ExecutorPool* executor_pool() override { return active_pool_; }
+
+  // Moves every undelivered channel event into its target LP's FEL — the
+  // receive path an LpLoop iteration would take — leaving the transport
+  // empty. Channel clocks are untouched: Run() recomputes them from the
+  // resume floor anyway. The only kernel with cross-window transport
+  // residue; see Session::Snapshot.
+  void DrainTransportForSnapshot() override;
+
   // Total null messages exchanged during the last run; exposed for the
   // overhead benches.
   uint64_t null_messages() const { return null_messages_; }
@@ -71,6 +80,9 @@ class NullMessageKernel : public Kernel {
   void LpLoop(LpId id);
 
   ExecutorPool pool_;    // Threads spawned once at Setup, reused across runs.
+  // The pool Run() actually uses: the borrowed external pool when one was
+  // lent (Session::Fork), else pool_. Set at Setup.
+  ExecutorPool* active_pool_ = nullptr;
   RoundSync sync_{this};
   std::vector<std::unique_ptr<Channel>> channels_;
   // Directed pair → channel; built at Setup, reused by ScheduleRemote so the

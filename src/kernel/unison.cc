@@ -26,8 +26,11 @@ void UnisonKernel::Setup(const TopoGraph& graph, const Partition& partition) {
   last_round_ns_.assign(num_lps(), 0);
   worker_events_.assign(num_workers_, 0);
   barrier_ = std::make_unique<CombiningBarrier>(num_workers_);
-  pool_.SetPlacement(config_.affinity);
-  pool_.Ensure(num_workers_);
+  active_pool_ = external_pool_ != nullptr ? external_pool_ : &pool_;
+  if (active_pool_ == &pool_) {
+    pool_.SetPlacement(config_.affinity);
+  }
+  active_pool_->Ensure(num_workers_);
 }
 
 RunResult UnisonKernel::Run(Time stop_time) {
@@ -41,7 +44,7 @@ RunResult UnisonKernel::Run(Time stop_time) {
   // Seed the min-reduction for the first prologue.
   sync_.SeedMinFromLps();
 
-  pool_.Run([this](uint32_t worker) { RoundLoop(worker); });
+  active_pool_->Run([this](uint32_t worker) { RoundLoop(worker); });
 
   processed_events_ = 0;
   for (uint64_t n : worker_events_) {

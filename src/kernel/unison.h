@@ -45,6 +45,8 @@ class UnisonKernel : public Kernel {
 
   uint32_t MaxExecutors() const override { return num_workers_; }
 
+  ExecutorPool* executor_pool() override { return active_pool_; }
+
   uint64_t LiveEvents() const override {
     uint64_t sum = 0;
     for (uint64_t n : worker_events_) {
@@ -63,6 +65,9 @@ class UnisonKernel : public Kernel {
   uint32_t period_ = 1;
 
   ExecutorPool pool_;    // Threads spawned once at Setup, reused across runs.
+  // The pool Run() actually uses: the borrowed external pool when one was
+  // lent (Session::Fork), else pool_. Set at Setup.
+  ExecutorPool* active_pool_ = nullptr;
   RoundSync sync_{this};
   std::unique_ptr<CombiningBarrier> barrier_;
   std::atomic<uint32_t> claim_{0};

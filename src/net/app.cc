@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "src/net/model_events.h"
 #include "src/net/network.h"
 #include "src/net/node.h"
 
@@ -11,16 +12,9 @@ uint32_t InstallFlow(Network& net, const FlowSpec& spec) {
   net.Finalize();
   const uint32_t flow_id = net.flow_monitor().Register(spec.src, spec.dst, spec.bytes, spec.start);
   const TcpConfig cfg = spec.tcp.value_or(net.config().tcp);
-  Network* const netp = &net;
-  const NodeId src = spec.src;
-  const NodeId dst = spec.dst;
-  const uint64_t bytes = spec.bytes;
-  net.sim().ScheduleOnNode(src, spec.start, [netp, flow_id, src, dst, bytes, cfg] {
-    Node& node = netp->node(src);
-    TcpSender* sender = node.AddSender(
-        flow_id, std::make_unique<TcpSender>(netp, &node, flow_id, dst, bytes, cfg));
-    sender->Start();
-  });
+  net.sim().ScheduleOnNode(
+      spec.src, spec.start,
+      FlowStartEvent{&net, flow_id, spec.src, spec.dst, spec.bytes, cfg});
   return flow_id;
 }
 

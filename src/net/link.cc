@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "src/net/model_events.h"
 #include "src/net/network.h"
 #include "src/net/node.h"
 
@@ -29,19 +30,15 @@ void Device::StartTransmit(Packet pkt) {
   // live in another LP; the facade routes through a mailbox then. The total
   // delay is >= the link's propagation delay >= the partition lookahead, so
   // the event always lands beyond the receiver's current window.
-  Network* const net = net_;
-  const NodeId peer = peer_;
-  auto deliver = [net, peer, pkt = std::move(pkt)]() mutable {
-    net->node(peer).Receive(std::move(pkt));
-  };
-  // The per-packet closure is the hot path the event inline buffer is sized
+  PacketDeliverEvent deliver{net_, peer_, std::move(pkt)};
+  // The per-packet functor is the hot path the event inline buffer is sized
   // for; it must never take the heap-allocation fallback.
-  static_assert(EventFn::FitsInline<decltype(deliver)>(),
-                "packet delivery closure must fit the event inline buffer");
-  net_->sim().ScheduleOnNode(peer, serialization + delay_, std::move(deliver));
+  static_assert(EventFn::FitsInline<PacketDeliverEvent>(),
+                "packet delivery event must fit the event inline buffer");
+  net_->sim().ScheduleOnNode(peer_, serialization + delay_, std::move(deliver));
 
   // Local completion: start on the next queued packet.
-  net_->sim().Schedule(serialization, [this] { TransmitComplete(); });
+  net_->sim().Schedule(serialization, TransmitCompleteEvent{net_, self_, port_});
 }
 
 void Device::TransmitComplete() {

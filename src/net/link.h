@@ -52,7 +52,14 @@ class Device {
   Queue& queue() { return *queue_; }
   const DeviceStats& stats() const { return stats_; }
 
+  // --- Snapshot support ---
+  bool transmitting() const { return transmitting_; }
+  void set_transmitting(bool transmitting) { transmitting_ = transmitting; }
+  void set_stats(const DeviceStats& stats) { stats_ = stats; }
+
  private:
+  friend struct TransmitCompleteEvent;  // Invokes TransmitComplete().
+
   void StartTransmit(Packet pkt);
   void TransmitComplete();
 

@@ -1,0 +1,46 @@
+#include "src/net/model_events.h"
+
+#include <memory>
+#include <utility>
+
+#include "src/net/link.h"
+#include "src/net/network.h"
+#include "src/net/node.h"
+#include "src/traffic/flow_source.h"
+
+namespace unison {
+
+void PacketDeliverEvent::operator()() {
+  net->node(peer).Receive(std::move(pkt));
+}
+
+void TransmitCompleteEvent::operator()() {
+  net->node(node).device(port)->TransmitComplete();
+}
+
+void TcpRtoEvent::operator()() {
+  // The sender exists whenever a timer is outstanding; a missing entry can
+  // only mean the flow was never restored (impossible for a well-formed
+  // snapshot) — treat it as the no-op a completed flow's stale timer is.
+  TcpSender* const sender = net->node(node).FindSender(flow_id);
+  if (sender != nullptr) {
+    sender->OnRto(0);
+  }
+}
+
+void FlowStartEvent::operator()() {
+  Node& node = net->node(src);
+  TcpSender* sender = node.AddSender(
+      flow_id, std::make_unique<TcpSender>(net, &node, flow_id, dst, bytes, cfg));
+  sender->Start();
+}
+
+void FlowArrivalEvent::operator()() {
+  net->flow_source_set(set_index)->source(source_index).OnArrival();
+}
+
+void LinkUpDownEvent::operator()() {
+  net->SetLinkUp(link, up);
+}
+
+}  // namespace unison

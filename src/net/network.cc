@@ -4,8 +4,10 @@
 #include <cstdlib>
 #include <utility>
 
+#include "src/net/model_events.h"
 #include "src/partition/fine_grained.h"
 #include "src/partition/manual.h"
+#include "src/traffic/flow_source.h"
 
 namespace unison {
 
@@ -69,7 +71,8 @@ uint32_t Network::AddLink(NodeId a, NodeId b, uint64_t bps, Time delay,
   const uint32_t id = static_cast<uint32_t>(links_.size());
   Device* da = nodes_[a]->AddDevice(b, bps, delay, MakeQueue(queue, 2 * id));
   Device* db = nodes_[b]->AddDevice(a, bps, delay, MakeQueue(queue, 2 * id + 1));
-  links_.push_back(LinkInfo{a, b, da->port(), db->port(), bps, delay, true, stateless});
+  links_.push_back(
+      LinkInfo{a, b, da->port(), db->port(), bps, delay, true, stateless, queue});
   return id;
 }
 
@@ -151,6 +154,9 @@ void Network::Finalize() {
   kernel_ = MakeKernel(config_.kernel);
   kernel_->set_profiler(&profiler_);
   kernel_->set_trace(&run_trace_);
+  if (pending_external_pool_ != nullptr) {
+    kernel_->set_external_pool(pending_external_pool_);
+  }
   kernel_->Setup(graph_, partition);
   sim_.set_kernel(kernel_.get());
 
@@ -172,6 +178,25 @@ void Network::Finalize() {
 RunResult Network::Run(Time stop) {
   Finalize();
   return kernel_->Run(stop);
+}
+
+void Network::FailLink(uint32_t link, Time t) {
+  Finalize();
+  if (link >= links_.size()) {
+    FatalConfigError("Network: FailLink on a link index that does not exist");
+  }
+  sim_.ScheduleGlobal(t, LinkUpDownEvent{this, link, /*up=*/false});
+}
+
+uint32_t Network::RegisterFlowSourceSet(std::shared_ptr<FlowSourceSet> set) {
+  const uint32_t index = static_cast<uint32_t>(flow_source_sets_.size());
+  set->AssignIndex(index);
+  flow_source_sets_.push_back(std::move(set));
+  return index;
+}
+
+FlowSourceSet* Network::flow_source_set(uint32_t index) {
+  return flow_source_sets_[index].get();
 }
 
 void Network::SetLinkUp(uint32_t link, bool up) {

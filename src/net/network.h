@@ -38,6 +38,9 @@
 
 namespace unison {
 
+class ExecutorPool;
+class FlowSourceSet;
+
 enum class PartitionMode {
   kAuto,    // Fine-grained partition (Algorithm 1). Unison's default.
   kManual,  // User-provided node→LP map (the baselines' required workflow).
@@ -93,6 +96,9 @@ class Network {
     // Stateless links (plain point-to-point) may be cut by the partitioner;
     // stateful links (shared-medium segments) never are (§4.2).
     bool stateless = true;
+    // The queue discipline this link's devices were built with; recorded so
+    // a snapshot can rebuild (or a fork deliberately mutate) the queues.
+    QueueConfig queue;
   };
 
   // Adds a full-duplex link; returns its index. Uses the default QueueConfig
@@ -130,10 +136,25 @@ class Network {
   RunResult Run(Time stop);
 
   // Simulated time up to which the session has run (last completed window's
-  // stop); zero before the first Run.
+  // stop); zero before the first Run. Fatal before Finalize: callers that
+  // rebase times against the session clock (InjectTraffic and friends) would
+  // silently anchor at t=0 on an unopened session otherwise.
   Time session_time() const {
-    return kernel_ != nullptr ? kernel_->session_now() : Time::Zero();
+    if (kernel_ == nullptr) {
+      FatalConfigError(
+          "Network: session_time() before Finalize(); the session clock "
+          "exists only once the session is open — call Finalize() (or Run) "
+          "first");
+    }
+    return kernel_->session_now();
   }
+
+  // Schedules an administrative failure of `link` at absolute session time
+  // `t`, as a global event (topology changes run on the public LP). The
+  // canonical fork-divergence knob: snapshot a warm session, fork, and fail
+  // a different link in each branch. Note the null-message kernel does not
+  // support runtime global events; use it with the other kernels.
+  void FailLink(uint32_t link, Time t);
 
   // --- Runtime topology operations (call from global events only) ---
 
@@ -171,6 +192,30 @@ class Network {
   uint64_t ClaimInjectionStream(uint64_t base) {
     return base + injection_epoch_++ * 0x9e3779b97f4a7c15ULL;
   }
+
+  // The injection counter is session state: snapshots capture it so sibling
+  // forks claim the same next stream (identical injections draw identical
+  // flows) while the parent's post-snapshot injections stay independent.
+  uint64_t injection_epoch() const { return injection_epoch_; }
+  void set_injection_epoch(uint64_t epoch) { injection_epoch_ = epoch; }
+
+  // --- Streaming flow-source registry (snapshot support) ---
+
+  // Retains `set` for the network's lifetime and assigns it a dense index;
+  // scheduled arrival events reference sources as (set index, source index)
+  // so they can be serialized and rebound to a forked network. Called by
+  // InstallFlowSources for every set, in installation order — which is why
+  // indices line up between a parent and its forks.
+  uint32_t RegisterFlowSourceSet(std::shared_ptr<FlowSourceSet> set);
+  FlowSourceSet* flow_source_set(uint32_t index);
+  uint32_t num_flow_source_sets() const {
+    return static_cast<uint32_t>(flow_source_sets_.size());
+  }
+
+  // Lends the executor pool of another (live, quiescent) kernel to this
+  // network's kernel. Must be called before Finalize; Session::Fork uses it
+  // so branch runs reuse the parent's warm workers — zero thread respawns.
+  void set_external_pool(ExecutorPool* pool) { pending_external_pool_ = pool; }
 
   // Retains `obj` for the network's lifetime. For closures scheduled into
   // the kernel that capture raw pointers into long-lived helper objects
@@ -212,6 +257,8 @@ class Network {
   Time dv_period_;
   bool use_dv_ = false;
   uint64_t injection_epoch_ = 0;
+  ExecutorPool* pending_external_pool_ = nullptr;  // Applied at Finalize.
+  std::vector<std::shared_ptr<FlowSourceSet>> flow_source_sets_;
   // Closures that must outlive the run (progress tickers etc.).
   std::vector<std::shared_ptr<void>> keepalive_;
 };

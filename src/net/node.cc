@@ -128,6 +128,12 @@ TcpSender* Node::FindSender(uint32_t flow_id) {
   return it == senders_.end() ? nullptr : it->second.get();
 }
 
+TcpReceiver* Node::AddReceiver(uint32_t flow_id, std::unique_ptr<TcpReceiver> receiver) {
+  TcpReceiver* const raw = receiver.get();
+  receivers_.emplace(flow_id, std::move(receiver));
+  return raw;
+}
+
 void Node::set_dv(std::unique_ptr<DvState> dv) { dv_ = std::move(dv); }
 
 }  // namespace unison

@@ -54,12 +54,25 @@ class Node {
   // --- TCP endpoints ---
   TcpSender* AddSender(uint32_t flow_id, std::unique_ptr<TcpSender> sender);
   TcpSender* FindSender(uint32_t flow_id);
+  // Receivers normally instantiate lazily on the first data segment; a fork
+  // pre-installs captured ones so their cumulative-ack state carries over.
+  TcpReceiver* AddReceiver(uint32_t flow_id, std::unique_ptr<TcpReceiver> receiver);
+
+  // Endpoint maps for snapshot capture. Iteration order is unspecified
+  // (unordered_map) — serialization sorts by flow id.
+  const std::unordered_map<uint32_t, std::unique_ptr<TcpSender>>& senders() const {
+    return senders_;
+  }
+  const std::unordered_map<uint32_t, std::unique_ptr<TcpReceiver>>& receivers() const {
+    return receivers_;
+  }
 
   // --- Distance-vector routing state (installed by DistanceVectorRouting) ---
   DvState* dv() { return dv_.get(); }
   void set_dv(std::unique_ptr<DvState> dv);
 
   const NodeStats& stats() const { return stats_; }
+  void set_stats(const NodeStats& stats) { stats_ = stats; }
 
  private:
   // Chooses the egress port for `pkt`, or -1 when unroutable.

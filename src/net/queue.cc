@@ -29,7 +29,43 @@ bool DropTailQueue::Dequeue(Packet* out, Time now) {
   return true;
 }
 
+std::vector<QueueEntry> DropTailQueue::Entries() const {
+  std::vector<QueueEntry> out;
+  out.reserve(q_.size());
+  for (const Entry& e : q_) {
+    out.push_back(QueueEntry{e.pkt, e.enqueue_time});
+  }
+  return out;
+}
+
+void DropTailQueue::RestoreEntries(std::vector<QueueEntry> entries) {
+  q_.clear();
+  bytes_ = 0;
+  for (QueueEntry& e : entries) {
+    bytes_ += e.pkt.size_bytes;
+    q_.push_back(Entry{std::move(e.pkt), e.enqueue_time});
+  }
+}
+
 RedQueue::RedQueue(const RedConfig& config) : cfg_(config), rng_state_(config.seed | 1) {}
+
+std::vector<QueueEntry> RedQueue::Entries() const {
+  std::vector<QueueEntry> out;
+  out.reserve(q_.size());
+  for (const Entry& e : q_) {
+    out.push_back(QueueEntry{e.pkt, e.enqueue_time});
+  }
+  return out;
+}
+
+void RedQueue::RestoreEntries(std::vector<QueueEntry> entries) {
+  q_.clear();
+  bytes_ = 0;
+  for (QueueEntry& e : entries) {
+    bytes_ += e.pkt.size_bytes;
+    q_.push_back(Entry{std::move(e.pkt), e.enqueue_time});
+  }
+}
 
 std::unique_ptr<RedQueue> RedQueue::MakeDctcp(uint32_t k_bytes, uint32_t capacity_bytes) {
   RedConfig cfg;

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <vector>
 
 #include "src/core/time.h"
 #include "src/net/packet.h"
@@ -22,6 +23,13 @@ struct QueueStats {
   // Accumulated queueing delay (time between enqueue and dequeue).
   Time total_delay;
   uint64_t dequeued = 0;
+};
+
+// One queued packet with its enqueue timestamp, in FIFO order; the snapshot
+// representation of a queue's contents.
+struct QueueEntry {
+  Packet pkt;
+  Time enqueue_time;
 };
 
 class Queue {
@@ -41,6 +49,16 @@ class Queue {
 
   const QueueStats& stats() const { return stats_; }
 
+  // --- Snapshot support ---
+
+  // Copies the occupancy, head first.
+  virtual std::vector<QueueEntry> Entries() const = 0;
+  // Replaces the occupancy (byte counters are recomputed from the entries).
+  // Bypasses admission — these packets were already accepted by the captured
+  // queue; stats are restored separately via set_stats.
+  virtual void RestoreEntries(std::vector<QueueEntry> entries) = 0;
+  void set_stats(const QueueStats& stats) { stats_ = stats; }
+
  protected:
   QueueStats stats_;
 };
@@ -53,6 +71,9 @@ class DropTailQueue : public Queue {
   bool Dequeue(Packet* out, Time now) override;
   uint32_t bytes() const override { return bytes_; }
   uint32_t packets() const override { return static_cast<uint32_t>(q_.size()); }
+
+  std::vector<QueueEntry> Entries() const override;
+  void RestoreEntries(std::vector<QueueEntry> entries) override;
 
  private:
   struct Entry {
@@ -90,6 +111,26 @@ class RedQueue : public Queue {
   // DCTCP threshold queue: step-mark every packet once the instantaneous
   // queue exceeds K bytes.
   static std::unique_ptr<RedQueue> MakeDctcp(uint32_t k_bytes, uint32_t capacity_bytes);
+
+  std::vector<QueueEntry> Entries() const override;
+  void RestoreEntries(std::vector<QueueEntry> entries) override;
+
+  // RED marking state beyond the FIFO contents: the EWMA average, the
+  // gentle-spacing counter, and the marking RNG. All three feed future
+  // mark decisions, so forks must resume them exactly.
+  struct MarkerState {
+    double avg = 0;
+    uint64_t count_since_mark = 0;
+    uint64_t rng_state = 0;
+  };
+  MarkerState marker_state() const {
+    return MarkerState{avg_, count_since_mark_, rng_state_};
+  }
+  void set_marker_state(const MarkerState& m) {
+    avg_ = m.avg;
+    count_since_mark_ = m.count_since_mark;
+    rng_state_ = m.rng_state;
+  }
 
  private:
   struct Entry {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/net/model_events.h"
 #include "src/net/network.h"
 #include "src/net/node.h"
 
@@ -90,7 +91,8 @@ void TcpSender::ArmRto() {
   rto_deadline_ = net_->sim().Now() + timeout;
   if (!rto_pending_) {
     rto_pending_ = true;
-    net_->sim().ScheduleOnNode(node_->id(), timeout, [this] { OnRto(0); });
+    net_->sim().ScheduleOnNode(node_->id(), timeout,
+                               TcpRtoEvent{net_, node_->id(), flow_id_});
   }
 }
 
@@ -103,7 +105,8 @@ void TcpSender::OnRto(uint64_t /*generation*/) {
   if (now < rto_deadline_) {
     // The deadline moved forward since this timer was armed: re-arm.
     rto_pending_ = true;
-    net_->sim().Schedule(rto_deadline_ - now, [this] { OnRto(0); });
+    net_->sim().Schedule(rto_deadline_ - now,
+                         TcpRtoEvent{net_, node_->id(), flow_id_});
     return;
   }
   // Timeout: collapse to one segment, go back to slow start, resend from the
@@ -217,6 +220,60 @@ void TcpSender::OnAck(const Packet& ack) {
     OnEcnEcho(0, ack.ece);
   }
   TrySend();
+}
+
+TcpSender::Image TcpSender::Save() const {
+  Image im;
+  im.path_tag = path_tag_;
+  im.state = static_cast<uint8_t>(state_);
+  im.snd_una = snd_una_;
+  im.snd_nxt = snd_nxt_;
+  im.high_tx = high_tx_;
+  im.cwnd = cwnd_;
+  im.ssthresh = ssthresh_;
+  im.recover = recover_;
+  im.dup_acks = dup_acks_;
+  im.completed = completed_;
+  im.retransmits = retransmits_;
+  im.srtt_ps = srtt_.ps();
+  im.rttvar_ps = rttvar_.ps();
+  im.rto_ps = rto_.ps();
+  im.rtt_valid = rtt_valid_;
+  im.rto_pending = rto_pending_;
+  im.rto_deadline_ps = rto_deadline_.ps();
+  im.rto_backoff = rto_backoff_;
+  im.cwr_end = cwr_end_;
+  im.alpha = alpha_;
+  im.dctcp_bytes_acked = dctcp_bytes_acked_;
+  im.dctcp_bytes_marked = dctcp_bytes_marked_;
+  im.dctcp_window_end = dctcp_window_end_;
+  return im;
+}
+
+void TcpSender::Restore(const Image& im) {
+  path_tag_ = im.path_tag;
+  state_ = static_cast<State>(im.state);
+  snd_una_ = im.snd_una;
+  snd_nxt_ = im.snd_nxt;
+  high_tx_ = im.high_tx;
+  cwnd_ = im.cwnd;
+  ssthresh_ = im.ssthresh;
+  recover_ = im.recover;
+  dup_acks_ = im.dup_acks;
+  completed_ = im.completed;
+  retransmits_ = im.retransmits;
+  srtt_ = Time::Picoseconds(im.srtt_ps);
+  rttvar_ = Time::Picoseconds(im.rttvar_ps);
+  rto_ = Time::Picoseconds(im.rto_ps);
+  rtt_valid_ = im.rtt_valid;
+  rto_pending_ = im.rto_pending;
+  rto_deadline_ = Time::Picoseconds(im.rto_deadline_ps);
+  rto_backoff_ = im.rto_backoff;
+  cwr_end_ = im.cwr_end;
+  alpha_ = im.alpha;
+  dctcp_bytes_acked_ = im.dctcp_bytes_acked;
+  dctcp_bytes_marked_ = im.dctcp_bytes_marked;
+  dctcp_window_end_ = im.dctcp_window_end;
 }
 
 void TcpSender::Complete() {

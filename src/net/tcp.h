@@ -48,7 +48,46 @@ class TcpSender {
   uint64_t retransmits() const { return retransmits_; }
   double dctcp_alpha() const { return alpha_; }
 
+  // Construction parameters, re-read when a fork reconstructs the endpoint.
+  NodeId dst() const { return dst_; }
+  uint64_t size() const { return size_; }
+  const TcpConfig& config() const { return cfg_; }
+
+  // Every mutable field of the connection, for snapshot/restore. Restore
+  // overwrites the constructor-derived path_tag_ too: the constructor keys
+  // it off Now(), which is zero when a fork rebuilds endpoints at setup
+  // time, not the flow's original start.
+  struct Image {
+    uint32_t path_tag = 0;
+    uint8_t state = 0;
+    uint64_t snd_una = 0;
+    uint64_t snd_nxt = 0;
+    uint64_t high_tx = 0;
+    uint64_t cwnd = 0;
+    uint64_t ssthresh = 0;
+    uint64_t recover = 0;
+    uint32_t dup_acks = 0;
+    bool completed = false;
+    uint64_t retransmits = 0;
+    int64_t srtt_ps = 0;
+    int64_t rttvar_ps = 0;
+    int64_t rto_ps = 0;
+    bool rtt_valid = false;
+    bool rto_pending = false;
+    int64_t rto_deadline_ps = 0;
+    uint32_t rto_backoff = 0;
+    uint64_t cwr_end = 0;
+    double alpha = 0;
+    uint64_t dctcp_bytes_acked = 0;
+    uint64_t dctcp_bytes_marked = 0;
+    uint64_t dctcp_window_end = 0;
+  };
+  Image Save() const;
+  void Restore(const Image& image);
+
  private:
+  friend struct TcpRtoEvent;  // Invokes OnRto() when the timer fires.
+
   enum class State { kSlowStart, kCongestionAvoidance, kFastRecovery };
 
   uint64_t InFlight() const { return snd_nxt_ - snd_una_; }
@@ -108,6 +147,17 @@ class TcpReceiver {
   void OnData(const Packet& pkt);
 
   uint64_t rcv_nxt() const { return rcv_nxt_; }
+  NodeId src() const { return src_; }
+
+  struct Image {
+    uint64_t rcv_nxt = 0;
+    std::map<uint64_t, uint64_t> out_of_order;
+  };
+  Image Save() const { return Image{rcv_nxt_, out_of_order_}; }
+  void Restore(const Image& image) {
+    rcv_nxt_ = image.rcv_nxt;
+    out_of_order_ = image.out_of_order;
+  }
 
  private:
   Network* const net_;

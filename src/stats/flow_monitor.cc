@@ -169,12 +169,16 @@ FlowSummary FlowMonitor::Summarize() const {
       thr_sum += static_cast<double>(rec.bytes) * 8.0 / rec.fct.ToSeconds() / 1e6;
     }
   });
-  if (s.completed > 0) {
+  if (s.completed > 0 && !fcts.empty()) {
     s.mean_fct_ms = fct_ms_sum / static_cast<double>(s.completed);
     s.mean_throughput_mbps = thr_sum / static_cast<double>(s.completed);
     // p99 by selection, not a full sort: summaries stay O(n) at millions of
-    // flows. nth_element places the same element a sort would.
-    const size_t idx = static_cast<size_t>(0.99 * static_cast<double>(fcts.size() - 1));
+    // flows. nth_element places the same element a sort would. The index is
+    // clamped so the single-flow case (idx computes to 0) and any future
+    // drift between `completed` and fcts.size() stay in bounds; with zero
+    // completions every percentile/mean field keeps its zero default.
+    size_t idx = static_cast<size_t>(0.99 * static_cast<double>(fcts.size() - 1));
+    idx = std::min(idx, fcts.size() - 1);
     std::nth_element(fcts.begin(), fcts.begin() + static_cast<ptrdiff_t>(idx), fcts.end());
     s.p99_fct_ms = fcts[idx];
   }
@@ -182,6 +186,53 @@ FlowSummary FlowMonitor::Summarize() const {
     s.mean_rtt_ms = rtt_ms_sum / static_cast<double>(rtt_count);
   }
   return s;
+}
+
+FlowMonitor::Image FlowMonitor::SaveImage() const {
+  Image image;
+  image.shards = num_shards();
+  image.records.resize(shards_.size());
+  image.deltas.resize(shards_.size());
+  for (uint32_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = *shards_[s];
+    image.records[s].reserve(shard.count);
+    for (uint32_t slot = 0; slot < shard.count; ++slot) {
+      image.records[s].push_back(
+          const_cast<FlowMonitor*>(this)->LocateSlot(const_cast<Shard&>(shard), slot));
+    }
+    image.deltas[s] = shard.delta;
+  }
+  image.merged = merged_;
+  image.windows_merged = windows_merged_;
+  return image;
+}
+
+void FlowMonitor::RestoreImage(const Image& image) {
+  if (image.shards != shards_.size()) {
+    MonitorFatal(
+        "RestoreImage shard-count mismatch; the restored network must be "
+        "finalized with the same executor count as the snapshot source");
+  }
+  for (const auto& shard : shards_) {
+    if (shard->count != 0) {
+      MonitorFatal("RestoreImage into a monitor that already has flows");
+    }
+  }
+  for (uint32_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    const std::vector<FlowRecord>& records = image.records[s];
+    for (uint32_t slot = 0; slot < records.size(); ++slot) {
+      const uint32_t seg = SegmentOf(slot);
+      if (shard.segments[seg] == nullptr) {
+        shard.segments[seg] = std::make_unique<FlowRecord[]>(SegmentSize(seg));
+      }
+      shard.segments[seg][slot - SegmentFirstSlot(seg)] = records[slot];
+    }
+    shard.count = static_cast<uint32_t>(records.size());
+    shard.delta = image.deltas[s];
+  }
+  merged_ = image.merged;
+  windows_merged_ = image.windows_merged;
 }
 
 uint64_t FlowMonitor::Fingerprint() const {

@@ -173,6 +173,22 @@ class FlowMonitor {
   // Records registered in shard `s` so far.
   uint32_t shard_flows(uint32_t s) const { return shards_[s]->count; }
 
+  // Full monitor state for session snapshots: per-shard records (in slot
+  // order) and pending window deltas, plus the merged session totals. Save
+  // from a quiescent context; Restore only into a monitor whose shards are
+  // configured to the same count and still empty (fatal otherwise — flow ids
+  // embed the shard/slot split, so a mismatched restore would corrupt every
+  // outstanding id).
+  struct Image {
+    uint32_t shards = 0;
+    std::vector<std::vector<FlowRecord>> records;  // [shard][slot].
+    std::vector<FlowCounters> deltas;              // [shard].
+    FlowCounters merged;
+    uint32_t windows_merged = 0;
+  };
+  Image SaveImage() const;
+  void RestoreImage(const Image& image);
+
  private:
   // Records are stored in doubling segments: segment k holds kSegBase << k
   // records, so a fixed table of kMaxSegments pointers covers the whole slot

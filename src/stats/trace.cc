@@ -88,6 +88,8 @@ std::string RunSummary::ToJson() const {
   AppendI64(&out, window_stop_ps);
   out += ",\"reason\":\"";
   out += reason;  // One of the fixed RunReasonName strings; no escaping needed.
+  out += "\",\"forked_from\":\"";
+  out += forked_from;  // "snap-<hex>@w<n>" or empty; no escapable characters.
   out += "\"}";
   return out;
 }

@@ -47,6 +47,9 @@ struct RunSummary {
   int64_t window_start_ps = 0;
   int64_t window_stop_ps = 0;
   std::string reason;
+  // Snapshot lineage: "snap-<digest>@w<windows>" when this run belongs to a
+  // forked branch (Session::Fork), empty for monolithic sessions.
+  std::string forked_from;
 
   std::string ToJson() const;
 };

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "src/net/model_events.h"
 #include "src/net/network.h"
 #include "src/net/node.h"
 
@@ -74,9 +75,10 @@ bool FlowSource::Bootstrap() {
     return false;
   }
   // Setup / between-window context: Now() is zero, so the absolute arrival
-  // time doubles as the delay (same convention as InstallFlow).
+  // time doubles as the delay (same convention as InstallFlow). The event
+  // carries registry coordinates, not `this`, so snapshots can serialize it.
   net_->sim().ScheduleOnNode(spec_->hosts[pending_.src_index], pending_.start,
-                             [this] { OnArrival(); });
+                             FlowArrivalEvent{net_, set_index_, source_index_});
   return true;
 }
 
@@ -107,7 +109,8 @@ void FlowSource::ScheduleNext(Time now) {
   }
   // Schedule() keys the event off the current LP context; arrival offsets
   // are nondecreasing, so the delay is never negative.
-  net_->sim().Schedule(pending_.start - now, [this] { OnArrival(); });
+  net_->sim().Schedule(pending_.start - now,
+                       FlowArrivalEvent{net_, set_index_, source_index_});
 }
 
 FlowSourceSet::FlowSourceSet(Network* net, TrafficSpec spec)
@@ -120,6 +123,12 @@ FlowSourceSet::FlowSourceSet(Network* net, TrafficSpec spec)
   sources_.reserve(num_hosts);  // Addresses must stay stable once scheduled.
   for (uint32_t h = 0; h < num_hosts; ++h) {
     sources_.emplace_back(net_, &spec_, h, mean_gap_s_);
+  }
+}
+
+void FlowSourceSet::AssignIndex(uint32_t set_index) {
+  for (uint32_t h = 0; h < sources_.size(); ++h) {
+    sources_[h].SetIndices(set_index, h);
   }
 }
 
@@ -153,10 +162,12 @@ StreamingTraffic InstallFlowSources(Network& net, const TrafficSpec& spec) {
   net.Finalize();
   StreamingTraffic out;
   auto set = std::make_shared<FlowSourceSet>(&net, spec);
+  // Register before Bootstrap: arrival events carry the set's registry index,
+  // which must be assigned before the first event is scheduled. Every set is
+  // registered — even a dry one — so indices are dense and stable, matching
+  // the serialization order a fork restores against.
+  net.RegisterFlowSourceSet(set);
   out.sources = set->Bootstrap();
-  if (out.sources > 0) {
-    net.Keep(set);  // Arrival events hold raw pointers into the set.
-  }
   out.set = std::move(set);
   return out;
 }

@@ -18,6 +18,7 @@
 #ifndef UNISON_SRC_TRAFFIC_FLOW_SOURCE_H_
 #define UNISON_SRC_TRAFFIC_FLOW_SOURCE_H_
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -29,6 +30,7 @@
 namespace unison {
 
 class Network;
+struct FlowArrivalEvent;
 
 // One drawn arrival of a per-host Poisson flow stream.
 struct FlowArrival {
@@ -60,6 +62,19 @@ class PoissonFlowStream {
   // nondecreasing).
   bool Next(FlowArrival* out);
 
+  // The stream's mutable state (RNG registers plus the next undrawn offset):
+  // everything a snapshot needs so a restored stream resumes the exact draw
+  // sequence of its parent.
+  struct State {
+    std::array<uint64_t, 4> rng{};
+    double t = 0;
+  };
+  State Save() const { return State{rng_.state(), t_}; }
+  void Restore(const State& s) {
+    rng_.set_state(s.rng);
+    t_ = s.t;
+  }
+
  private:
   const TrafficSpec* spec_;
   uint32_t host_index_;
@@ -86,7 +101,35 @@ class FlowSource {
   uint64_t installed_flows() const { return installed_flows_; }
   uint64_t total_bytes() const { return total_bytes_; }
 
+  // Registry coordinates (set by FlowSourceSet::AssignIndex). Arrival events
+  // carry these instead of a raw pointer so they can be serialized and
+  // rebound to a forked network's equivalent source.
+  void SetIndices(uint32_t set_index, uint32_t source_index) {
+    set_index_ = set_index;
+    source_index_ = source_index;
+  }
+
+  // Snapshot state: the stream registers, the already-drawn pending arrival
+  // (its event lives in the captured FEL) and the aggregate counters.
+  struct Image {
+    PoissonFlowStream::State stream;
+    FlowArrival pending;
+    uint64_t installed_flows = 0;
+    uint64_t total_bytes = 0;
+  };
+  Image Save() const { return Image{stream_.Save(), pending_, installed_flows_, total_bytes_}; }
+  // Restore does NOT reschedule: the pending arrival's event is restored
+  // with the rest of the FEL.
+  void Restore(const Image& img) {
+    stream_.Restore(img.stream);
+    pending_ = img.pending;
+    installed_flows_ = img.installed_flows;
+    total_bytes_ = img.total_bytes;
+  }
+
  private:
+  friend struct FlowArrivalEvent;
+
   void OnArrival();
   void ScheduleNext(Time now);
 
@@ -96,6 +139,8 @@ class FlowSource {
   FlowArrival pending_;
   uint64_t installed_flows_ = 0;
   uint64_t total_bytes_ = 0;
+  uint32_t set_index_ = 0;
+  uint32_t source_index_ = 0;
 };
 
 // Owns one TrafficSpec copy and its per-host sources. Scheduled arrival
@@ -113,6 +158,14 @@ class FlowSourceSet {
   uint64_t installed_flows() const;
   uint64_t total_bytes() const;
   const TrafficSpec& spec() const { return spec_; }
+
+  // Stamps the network-registry index onto the set's sources so their
+  // arrival events carry (set, source) coordinates. Called by
+  // Network::RegisterFlowSourceSet.
+  void AssignIndex(uint32_t set_index);
+
+  FlowSource& source(uint32_t index) { return sources_[index]; }
+  uint32_t num_sources() const { return static_cast<uint32_t>(sources_.size()); }
 
  private:
   Network* net_;

@@ -7,11 +7,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <tuple>
 #include <vector>
 
 #include "src/kernel/engine/executor_pool.h"
+#include "src/net/session.h"
 #include "tests/test_util.h"
 
 namespace unison {
@@ -274,6 +276,205 @@ TEST(SessionInjection, MidSessionTrafficMatchesUpFrontInstall) {
             mono.flow_monitor().Fingerprint());
   EXPECT_EQ(windowed.kernel().session_events(),
             mono.kernel().session_events());
+}
+
+// --- Snapshot/Fork ---
+
+class ForkTransparency
+    : public ::testing::TestWithParam<std::tuple<int, uint32_t, int>> {};
+
+// The fork-transparency contract: Snapshot after k warm windows + Fork + Run
+// to T is bit-identical to one monolithic run to T — FlowMonitor
+// fingerprint, completion counts, and the session event accumulator — for
+// every kernel and fork count. Forks borrow the parent's warm pool, so the
+// whole sweep spawns zero new OS threads; and the snapshot itself is
+// execution-neutral, so the parent still converges to the same state.
+TEST_P(ForkTransparency, ForkedRunMatchesMonolithic) {
+  const int kernel_index = std::get<0>(GetParam());
+  const uint32_t snap_ms = std::get<1>(GetParam());
+  const int forks = std::get<2>(GetParam());
+  const KernelCase kc = AllKernels()[kernel_index];
+  SCOPED_TRACE(std::string(kc.name) + " snap@" + std::to_string(snap_ms) +
+               "ms x" + std::to_string(forks));
+
+  const RunOutcome mono =
+      RunFatTreeScenarioStreaming(kc.config, kc.partition, 1);
+
+  FatTreeScenario parent =
+      BuildFatTreeScenarioStreaming(kc.config, kc.partition);
+  for (uint32_t w = 1; w <= snap_ms; ++w) {
+    parent.net->Run(Time::Milliseconds(w));
+  }
+  Session session(parent.net.get());
+  const SessionSnapshot snap = session.Snapshot();
+  EXPECT_GT(snap.size_bytes(), 0u);
+
+  const uint64_t spawned_before = ExecutorPool::TotalThreadsSpawned();
+  for (int f = 0; f < forks; ++f) {
+    std::unique_ptr<Network> branch = session.Fork(snap);
+    branch->Run(Time::Milliseconds(5));
+    EXPECT_EQ(branch->flow_monitor().Fingerprint(), mono.fingerprint);
+    EXPECT_EQ(branch->kernel().session_events(), mono.events);
+    EXPECT_EQ(branch->flow_monitor().Summarize().completed,
+              mono.summary.completed);
+    EXPECT_EQ(branch->kernel().num_lps(), mono.lps);
+    // Lineage: every branch RunSummary names the snapshot it grew from.
+    const std::string& lineage = branch->kernel().run_summary().forked_from;
+    EXPECT_EQ(lineage.rfind("snap-", 0), 0u) << lineage;
+    EXPECT_NE(lineage.find("@w" + std::to_string(snap_ms)), std::string::npos)
+        << lineage;
+  }
+  EXPECT_EQ(ExecutorPool::TotalThreadsSpawned() - spawned_before, 0u);
+
+  parent.net->Run(Time::Milliseconds(5));
+  EXPECT_EQ(parent.net->flow_monitor().Fingerprint(), mono.fingerprint);
+  EXPECT_EQ(parent.net->kernel().session_events(), mono.events);
+  EXPECT_TRUE(parent.net->kernel().run_summary().forked_from.empty());
+}
+
+std::string ForkCaseName(
+    const ::testing::TestParamInfo<std::tuple<int, uint32_t, int>>& info) {
+  static const char* const names[5] = {"sequential", "barrier", "nullmsg",
+                                       "unison", "hybrid"};
+  return std::string(names[std::get<0>(info.param)]) + "_snap" +
+         std::to_string(std::get<1>(info.param)) + "ms_x" +
+         std::to_string(std::get<2>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, ForkTransparency,
+                         ::testing::Combine(::testing::Range(0, 5),
+                                            ::testing::Values(1u, 2u),
+                                            ::testing::Values(1, 3)),
+                         ForkCaseName);
+
+// SaveTo/LoadFrom is the long-simulation resume format: the roundtrip is
+// byte-exact, and a cold Restore in lieu of a warm Fork still satisfies the
+// transparency contract.
+TEST(SessionSnapshotIo, SaveLoadRoundtripAndColdRestore) {
+  KernelConfig k;
+  k.type = KernelType::kUnison;
+  k.threads = 2;
+  const RunOutcome mono = RunFatTreeScenarioStreaming(k, PartitionMode::kAuto, 1);
+
+  FatTreeScenario parent = BuildFatTreeScenarioStreaming(k, PartitionMode::kAuto);
+  parent.net->Run(Time::Milliseconds(2));
+  Session session(parent.net.get());
+  const SessionSnapshot snap = session.Snapshot();
+
+  const std::string path = ::testing::TempDir() + "unison_fork_test.usnp";
+  snap.SaveTo(path);
+  const SessionSnapshot loaded = SessionSnapshot::LoadFrom(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(loaded.bytes(), snap.bytes());
+  EXPECT_EQ(loaded.Digest(), snap.Digest());
+
+  std::unique_ptr<Network> resumed = Session::Restore(loaded);
+  resumed->Run(Time::Milliseconds(5));
+  EXPECT_EQ(resumed->flow_monitor().Fingerprint(), mono.fingerprint);
+  EXPECT_EQ(resumed->kernel().session_events(), mono.events);
+}
+
+// Satellite: the injection-stream counter is session state. Sibling forks
+// that inject the same spec draw the same derived rng stream — identical to
+// each other and to the parent performing the same injection after the
+// snapshot (transparency extends through the injection path).
+TEST(SessionFork, SiblingForksDrawIdenticalInjections) {
+  KernelConfig k;
+  k.type = KernelType::kUnison;
+  k.threads = 2;
+  FatTreeScenario parent = BuildFatTreeScenarioStreaming(k, PartitionMode::kAuto);
+
+  auto burst = [&parent](uint64_t stream) {
+    TrafficSpec spec;
+    spec.hosts = parent.topo.hosts;
+    spec.bisection_bps = parent.topo.bisection_bps;
+    spec.load = 0.3;
+    spec.duration = Time::Milliseconds(2);
+    spec.rng_stream = stream;
+    return spec;
+  };
+
+  parent.net->Run(Time::Milliseconds(1));
+  const GeneratedTraffic first = InjectTraffic(*parent.net, burst(700));
+  ASSERT_FALSE(first.flow_ids.empty());
+  parent.net->Run(Time::Milliseconds(2));
+  ASSERT_EQ(parent.net->injection_epoch(), 1u);
+
+  Session session(parent.net.get());
+  const SessionSnapshot snap = session.Snapshot();
+
+  auto branch = [&session, &burst, &snap](bool inject) {
+    std::unique_ptr<Network> fork = session.Fork(snap);
+    EXPECT_EQ(fork->injection_epoch(), 1u);
+    if (inject) {
+      const GeneratedTraffic injected = InjectTraffic(*fork, burst(900));
+      EXPECT_FALSE(injected.flow_ids.empty());
+    }
+    fork->Run(Time::Milliseconds(5));
+    return fork->flow_monitor().Fingerprint();
+  };
+  const uint64_t sibling_a = branch(true);
+  const uint64_t sibling_b = branch(true);
+  const uint64_t no_inject = branch(false);
+  EXPECT_EQ(sibling_a, sibling_b);
+  EXPECT_NE(sibling_a, no_inject);
+
+  InjectTraffic(*parent.net, burst(900));
+  parent.net->Run(Time::Milliseconds(5));
+  EXPECT_EQ(parent.net->flow_monitor().Fingerprint(), sibling_a);
+}
+
+// Divergence knobs: FailLink and ForkOptions::mutate_queue steer a branch
+// away from the baseline, and equally-configured branches stay bit-identical
+// to each other — the what-if sweep is deterministic per scenario.
+// (Null-message is excluded: runtime global events like the link-down are
+// outside that baseline's protocol, which session_test documents elsewhere.)
+TEST(SessionFork, FailLinkAndQueueMutationDivergeDeterministically) {
+  KernelConfig k;
+  k.type = KernelType::kUnison;
+  k.threads = 2;
+  // Load 0.5: enough post-snapshot traffic that every core link matters and
+  // shallow queues actually drop.
+  FatTreeScenario parent = BuildFatTreeScenarioStreaming(
+      k, PartitionMode::kAuto, 4, 10, 5, 1, 0.5);
+  parent.net->Run(Time::Milliseconds(2));
+  Session session(parent.net.get());
+  const SessionSnapshot snap = session.Snapshot();
+
+  auto run_to_end = [](std::unique_ptr<Network> net) {
+    net->Run(Time::Milliseconds(5));
+    return net->flow_monitor().Fingerprint();
+  };
+
+  const uint64_t baseline = run_to_end(session.Fork(snap));
+
+  const uint32_t victim = static_cast<uint32_t>(parent.net->links().size()) - 1;
+  auto failed_branch = [&] {
+    std::unique_ptr<Network> fork = session.Fork(snap);
+    fork->FailLink(victim, Time::Microseconds(2200));
+    return run_to_end(std::move(fork));
+  };
+  const uint64_t failed_a = failed_branch();
+  const uint64_t failed_b = failed_branch();
+  EXPECT_EQ(failed_a, failed_b);
+  EXPECT_NE(failed_a, baseline);
+
+  ForkOptions shallow;
+  shallow.mutate_queue = [](QueueConfig& q) { q.capacity_bytes = 3000; };
+  auto shallow_branch = [&] { return run_to_end(session.Fork(snap, shallow)); };
+  const uint64_t shallow_a = shallow_branch();
+  const uint64_t shallow_b = shallow_branch();
+  EXPECT_EQ(shallow_a, shallow_b);
+  EXPECT_NE(shallow_a, baseline);
+}
+
+// Satellite: reading the session clock before Finalize is a configuration
+// error with a diagnostic, not a null-kernel dereference.
+TEST(SessionStateDeathTest, SessionTimeBeforeFinalizeIsFatal) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  SimConfig cfg;
+  Network net(cfg);
+  EXPECT_DEATH((void)net.session_time(), "session_time");
 }
 
 // Satellite: KernelConfig::Validate rejects nonsense with a clear message.

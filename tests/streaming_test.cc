@@ -347,5 +347,28 @@ TEST(FlowMonitorShards, SummaryAndFingerprintMatchUnshardedMonitor) {
   EXPECT_EQ(s.p99_fct_ms, p.p99_fct_ms);  // Selection picks the same element.
 }
 
+// Regression for the percentile edge cases: registered-but-uncompleted flows
+// must leave every FCT-derived field at its zero default (no selection on an
+// empty vector), and a single completion is its own p99 and mean.
+TEST(FlowMonitorShards, SummaryPercentilesWithZeroAndOneCompletion) {
+  FlowMonitor monitor;  // Default single shard; ops land in shard 0.
+  const uint32_t flow = monitor.Register(0, 1, 1000, Time::Zero());
+  monitor.Register(2, 3, 2000, Time::Zero());
+
+  const FlowSummary none = monitor.Summarize();
+  EXPECT_EQ(none.flows, 2u);
+  EXPECT_EQ(none.completed, 0u);
+  EXPECT_EQ(none.mean_fct_ms, 0.0);
+  EXPECT_EQ(none.p99_fct_ms, 0.0);
+  EXPECT_EQ(none.mean_throughput_mbps, 0.0);
+
+  monitor.AddRxBytes(flow, 1000, Time::Microseconds(40));
+  monitor.Complete(flow, Time::Microseconds(40));
+  const FlowSummary one = monitor.Summarize();
+  EXPECT_EQ(one.completed, 1u);
+  EXPECT_DOUBLE_EQ(one.p99_fct_ms, Time::Microseconds(40).ToMilliseconds());
+  EXPECT_DOUBLE_EQ(one.mean_fct_ms, one.p99_fct_ms);
+}
+
 }  // namespace
 }  // namespace unison

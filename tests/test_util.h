@@ -117,6 +117,52 @@ inline RunOutcome RunFatTreeScenarioWindowed(
   return out;
 }
 
+// A built-but-not-yet-run fat-tree scenario: permutation flows installed up
+// front plus streaming per-host FlowSources. The snapshot/fork tests advance
+// the network window by window, so they need the live Network rather than a
+// finished RunOutcome.
+struct FatTreeScenario {
+  std::unique_ptr<Network> net;
+  FatTreeTopo topo;
+  StreamingTraffic stream;
+};
+
+inline FatTreeScenario BuildFatTreeScenarioStreaming(
+    const KernelConfig& kcfg, PartitionMode partition, uint32_t k = 4,
+    uint64_t gbps = 10, int sim_ms = 5, uint64_t seed = 1, double load = 0.1) {
+  SimConfig cfg;
+  cfg.kernel = kcfg;
+  cfg.partition = partition;
+  cfg.seed = seed;
+  FatTreeScenario s;
+  s.net = std::make_unique<Network>(cfg);
+  s.topo = BuildFatTree(*s.net, k, gbps * 1000000000ULL, Time::Microseconds(3));
+  if (partition == PartitionMode::kManual) {
+    auto lp = FatTreePodPartition(s.topo, s.net->num_nodes());
+    s.net->SetManualPartition(k, std::move(lp));
+  }
+  s.net->Finalize();
+
+  GeneratePermutation(*s.net, s.topo.hosts, 200 * 1024, Time::Zero());
+  TrafficSpec traffic;
+  traffic.hosts = s.topo.hosts;
+  traffic.bisection_bps = s.topo.bisection_bps;
+  traffic.load = load;
+  traffic.duration = Time::Milliseconds(sim_ms);
+  s.stream = InstallFlowSources(*s.net, traffic);
+  return s;
+}
+
+inline RunOutcome OutcomeOf(Network& net) {
+  RunOutcome out;
+  out.events = net.kernel().session_events();
+  out.fingerprint = net.flow_monitor().Fingerprint();
+  out.summary = net.flow_monitor().Summarize();
+  out.rounds = net.kernel().session_rounds();
+  out.lps = net.kernel().num_lps();
+  return out;
+}
+
 // The same scenario with the Poisson load installed as streaming per-host
 // FlowSources (one pending arrival each) instead of materialized flows, run
 // in `windows` consecutive Run() slices (1 = monolithic). Per the streaming
@@ -128,45 +174,20 @@ inline RunOutcome RunFatTreeScenarioStreaming(
     const KernelConfig& kcfg, PartitionMode partition, uint32_t windows = 1,
     uint32_t k = 4, uint64_t gbps = 10, int sim_ms = 5, uint64_t seed = 1,
     double load = 0.1, uint64_t* streamed_flows = nullptr) {
-  SimConfig cfg;
-  cfg.kernel = kcfg;
-  cfg.partition = partition;
-  cfg.seed = seed;
-  Network net(cfg);
-  FatTreeTopo topo =
-      BuildFatTree(net, k, gbps * 1000000000ULL, Time::Microseconds(3));
-  if (partition == PartitionMode::kManual) {
-    auto lp = FatTreePodPartition(topo, net.num_nodes());
-    net.SetManualPartition(k, std::move(lp));
-  }
-  net.Finalize();
-
-  GeneratePermutation(net, topo.hosts, 200 * 1024, Time::Zero());
-  TrafficSpec traffic;
-  traffic.hosts = topo.hosts;
-  traffic.bisection_bps = topo.bisection_bps;
-  traffic.load = load;
-  traffic.duration = Time::Milliseconds(sim_ms);
-  const StreamingTraffic stream = InstallFlowSources(net, traffic);
+  FatTreeScenario s =
+      BuildFatTreeScenarioStreaming(kcfg, partition, k, gbps, sim_ms, seed, load);
 
   const int64_t total_ps = Time::Milliseconds(sim_ms).ps();
   for (uint32_t w = 1; w <= windows; ++w) {
     const Time stop = w == windows
                           ? Time::Milliseconds(sim_ms)
                           : Time::Picoseconds(total_ps * w / windows);
-    net.Run(stop);
+    s.net->Run(stop);
   }
   if (streamed_flows != nullptr) {
-    *streamed_flows = stream.set->installed_flows();
+    *streamed_flows = s.stream.set->installed_flows();
   }
-
-  RunOutcome out;
-  out.events = net.kernel().session_events();
-  out.fingerprint = net.flow_monitor().Fingerprint();
-  out.summary = net.flow_monitor().Summarize();
-  out.rounds = net.kernel().session_rounds();
-  out.lps = net.kernel().num_lps();
-  return out;
+  return OutcomeOf(*s.net);
 }
 
 }  // namespace unison
