@@ -1,0 +1,186 @@
+#include "src/control/controller.h"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace unison {
+
+namespace {
+// Horizon cap past which the window bound reverts to unbounded when the
+// config leaves max_window_ps at 0: one second of simulated time.
+constexpr int64_t kDefaultHorizonCapPs = 1'000'000'000'000LL;
+}  // namespace
+
+Controller::Controller(const ControllerConfig& config, TunableStore* store)
+    : config_(config), store_(store) {
+  if (config_.cpu_limit == 0) {
+    // Detect once, before any controller-driven pinning can narrow the
+    // process affinity mask this reads.
+    config_.cpu_limit =
+        static_cast<uint32_t>(CpuTopology::Detect().cpus.size());
+  }
+  config_.cpu_limit = std::max(1u, config_.cpu_limit);
+}
+
+double Controller::ResortDrift(const WindowTraceSegment& segment) {
+  const auto& round_p = segment.round_p;
+  // Imbalance of one round's per-executor processing times: the busiest
+  // executor's share over the ideal 1/W share, minus one (0 = perfectly
+  // balanced). Undefined (false) for rounds without usable rows.
+  const auto imbalance = [&round_p](uint32_t round, double* out) {
+    if (round >= round_p.size()) {
+      return false;
+    }
+    const std::vector<uint64_t>& row = round_p[round];
+    if (row.size() < 2) {
+      return false;
+    }
+    uint64_t sum = 0;
+    uint64_t max = 0;
+    for (uint64_t v : row) {
+      sum += v;
+      max = std::max(max, v);
+    }
+    if (sum == 0) {
+      return false;
+    }
+    *out = static_cast<double>(max) * static_cast<double>(row.size()) /
+               static_cast<double>(sum) -
+           1.0;
+    return true;
+  };
+
+  // A stretch is a maximal run of rounds sharing one claim order (from one
+  // re-sort to just before the next). Its drift is how much the imbalance
+  // grew while the order went stale.
+  const auto& records = segment.records;
+  double total = 0.0;
+  uint32_t stretches = 0;
+  size_t i = 0;
+  while (i < records.size()) {
+    size_t j = i + 1;
+    while (j < records.size() && !records[j].resorted) {
+      ++j;
+    }
+    if (j - i >= 2) {
+      double first = 0.0;
+      double last = 0.0;
+      if (imbalance(records[i].round, &first) &&
+          imbalance(records[j - 1].round, &last)) {
+        total += last - first;
+        ++stretches;
+      }
+    }
+    i = j;
+  }
+  return stretches == 0 ? 0.0 : total / stretches;
+}
+
+bool Controller::OnWindowEnd(const WindowTraceSegment& segment) {
+  const RunSummary& sum = segment.summary;
+  const uint64_t rounds = segment.records.size();
+  if (rounds < std::max(1u, config_.min_rounds)) {
+    // Too little signal — and the sequential/null-message kernels, which
+    // have no synchronization rounds at all, land here every window.
+    return false;
+  }
+
+  Tunables next = store_->Get();
+  std::string rule;
+  const auto fire = [&rule](const char* name) {
+    if (!rule.empty()) {
+      rule += ',';
+    }
+    rule += name;
+  };
+
+  const uint32_t knob = std::max(1u, sum.parties);
+  const uint32_t executors = std::max(1u, sum.executors);
+
+  // Rule 1 — oversubscription: futex parks at the reduction barrier mean
+  // workers waiting on descheduled peers. Fit the party knob to the machine
+  // first; at the floor, release the pins instead (a pinned worker sharing
+  // its core with an unpinned stranger parks forever).
+  uint64_t parked = 0;
+  for (const RoundTraceRecord& rec : segment.records) {
+    parked += rec.parked;
+  }
+  if (static_cast<double>(parked) / static_cast<double>(rounds) >
+      config_.parks_per_round_high) {
+    uint32_t want = knob;
+    if (executors > config_.cpu_limit) {
+      // Scale the knob so the *total* executor count fits the machine (the
+      // knob is lanes-per-rank for hybrid, so knob != executors there).
+      want = static_cast<uint32_t>(static_cast<uint64_t>(knob) *
+                                   config_.cpu_limit / executors);
+    } else {
+      want = knob / 2;
+    }
+    want = std::max(config_.min_parties, want);
+    if (want < knob) {
+      next.parties = want;
+      fire("oversubscribed");
+    } else if (next.affinity != AffinityPolicy::kNone) {
+      next.affinity = AffinityPolicy::kNone;
+      fire("affinity-fallback");
+    }
+  }
+
+  // Rule 2 — re-sort cadence: replace the static ceil(log2 n) of §4.3 with
+  // the observed payoff. Fast-growing imbalance between re-sorts means the
+  // order goes stale too quickly (shrink the period); flat imbalance means
+  // re-sorting buys nothing (grow it).
+  bool any_resort = false;
+  for (const RoundTraceRecord& rec : segment.records) {
+    any_resort = any_resort || rec.resorted;
+  }
+  if (any_resort && executors > 1 && !segment.round_p.empty()) {
+    const double drift = ResortDrift(segment);
+    const uint32_t period = std::max(1u, sum.sched_period);
+    if (drift > config_.drift_shrink && period > config_.min_period) {
+      next.sched_period = std::max(config_.min_period, period / 2);
+      fire("resort-shrink");
+    } else if (drift < config_.drift_grow && period < config_.max_period) {
+      next.sched_period = std::min(config_.max_period, period * 2);
+      fire("resort-grow");
+    }
+  }
+
+  // Rule 3 — window horizon: a sync-bound window (low P/(P+S)) gets a
+  // shorter Run() slice so tuning reacts more often; a processing-bound one
+  // sheds the slicing overhead again, reverting to unbounded past the cap.
+  const uint64_t p_ns = sum.processing_ns;
+  const uint64_t s_ns = sum.synchronization_ns;
+  if (executors > 1 && p_ns + s_ns > 0) {
+    const double ps_ratio =
+        static_cast<double>(p_ns) / static_cast<double>(p_ns + s_ns);
+    const int64_t cap = config_.max_window_ps > 0 ? config_.max_window_ps
+                                                  : kDefaultHorizonCapPs;
+    if (ps_ratio < config_.ps_low) {
+      const int64_t span = sum.window_stop_ps - sum.window_start_ps;
+      const int64_t current =
+          next.max_window_ps > 0
+              ? next.max_window_ps
+              : std::max<int64_t>(span, 2 * config_.min_window_ps);
+      const int64_t want = std::max(config_.min_window_ps, current / 2);
+      if (want != next.max_window_ps) {
+        next.max_window_ps = want;
+        fire("window-shrink");
+      }
+    } else if (ps_ratio > config_.ps_high && next.max_window_ps > 0) {
+      const int64_t want = next.max_window_ps * 2;
+      next.max_window_ps = want > cap ? 0 : want;
+      fire("window-grow");
+    }
+  }
+
+  if (rule.empty()) {
+    return false;
+  }
+  store_->Publish(next);
+  decisions_.push_back(
+      Decision{store_->epoch(), sum.window_index, std::move(rule), next});
+  return true;
+}
+
+}  // namespace unison

@@ -1,0 +1,116 @@
+// Trace-driven closed-loop controller: turns WindowTraceSegments into
+// tunable updates.
+//
+// The kernel already measures everything a tuner needs — per-round P/S/M,
+// barrier latency, futex parks, re-sort markers — but until this module every
+// knob was frozen at MakeKernel. The controller closes the loop: it consumes
+// each completed window's trace segment (never anything mid-round, so
+// simulation results are bit-identical with tuning on or off — scheduling
+// order, party count, and window slicing are all results-neutral by the
+// session invariants established in PRs 4–6) and publishes at most one
+// tunable epoch per window:
+//
+//   rule              | signal (from the segment)        | action
+//   ------------------+----------------------------------+----------------------
+//   oversubscribed    | parked/round > threshold         | parties -> fit the
+//                     |                                  | machine; at the floor,
+//                     |                                  | drop affinity to none
+//   re-sort cadence   | per-round P imbalance drift      | halve/double
+//                     | across re-sort stretches         | sched_period
+//   window horizon    | P/(P+S) ratio of the window      | halve/double the
+//                     |                                  | Run() slice bound
+//
+// PARSIR's observation (PAPERS.md) is that exploiting the *actual*
+// multiprocessor — not the nominal one — is the whole game; the
+// oversubscription rule is exactly that, applied unattended.
+#ifndef UNISON_SRC_CONTROL_CONTROLLER_H_
+#define UNISON_SRC_CONTROL_CONTROLLER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/control/tunables.h"
+#include "src/stats/trace.h"
+
+namespace unison {
+
+struct ControllerConfig {
+  // Re-sort cadence rule: mean per-stretch growth of the processing-time
+  // imbalance (max-executor share over the ideal share, minus one). Above
+  // `drift_shrink` the claim order goes stale too fast between re-sorts —
+  // halve the period; below `drift_grow` re-sorting buys nothing — double it.
+  // The defaults come from the claim-order drift replay (bench_claim_drift):
+  // the offline payoff curve stays within ~5% of the every-round oracle for
+  // small staleness and inflects past ~30%.
+  double drift_shrink = 0.30;
+  double drift_grow = 0.05;
+  uint32_t min_period = 1;
+  uint32_t max_period = 4096;
+
+  // Window-horizon rule on the P/(P+S) ratio. Below `ps_low` the windows are
+  // sync-bound — halve the Run() slice so the controller gets to react more
+  // often and short LBTS windows stop being amortized over a long horizon;
+  // above `ps_high` the slicing itself is overhead — double it, reverting to
+  // unbounded past the cap.
+  double ps_low = 0.35;
+  double ps_high = 0.70;
+  int64_t min_window_ps = 50'000'000;  // 50 us of simulated time.
+  // Horizon cap past which the bound reverts to 0 (unbounded); 0 selects the
+  // built-in 1 s (1e12 ps) default.
+  int64_t max_window_ps = 0;
+  // Seed horizon installed when tuning is enabled (0 = leave unbounded). A
+  // controller can only act at window boundaries; without an initial bound,
+  // a single long Run() would give it exactly one observation, at the end.
+  // Window slicing is results-neutral, so the seed only affects wall time.
+  int64_t initial_window_ps = 1'000'000'000;  // 1 ms of simulated time.
+
+  // Oversubscription rule: mean futex parks per round across the window's
+  // reduction barriers. Parks mean workers waiting on descheduled peers —
+  // the signature of more parties than the machine can run.
+  double parks_per_round_high = 4.0;
+  uint32_t min_parties = 1;
+  // Machine size used to fit the party count; 0 = detect at construction.
+  uint32_t cpu_limit = 0;
+
+  // Windows with fewer rounds than this carry too little signal to act on
+  // (and sequential/null-message windows have no round records at all).
+  uint32_t min_rounds = 8;
+};
+
+class Controller {
+ public:
+  Controller(const ControllerConfig& config, TunableStore* store);
+
+  // Consumes one completed window's segment; publishes at most one tunable
+  // epoch. Returns true when something was published. Call only between
+  // Run() windows.
+  bool OnWindowEnd(const WindowTraceSegment& segment);
+
+  // Audit log: one entry per published epoch.
+  struct Decision {
+    uint64_t epoch = 0;
+    uint32_t window = 0;
+    std::string rule;  // "oversubscribed" | "affinity-fallback" |
+                       // "resort-shrink" | "resort-grow" |
+                       // "window-shrink" | "window-grow" (comma-joined when
+                       // several rules fire in one window).
+    Tunables tunables;
+  };
+  const std::vector<Decision>& decisions() const { return decisions_; }
+
+  const ControllerConfig& config() const { return config_; }
+
+  // Mean growth of the per-round processing imbalance across the window's
+  // re-sort stretches; exposed for tests and the trace tooling.
+  static double ResortDrift(const WindowTraceSegment& segment);
+
+ private:
+  ControllerConfig config_;
+  TunableStore* const store_;
+  std::vector<Decision> decisions_;
+};
+
+}  // namespace unison
+
+#endif  // UNISON_SRC_CONTROL_CONTROLLER_H_

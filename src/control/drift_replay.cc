@@ -1,0 +1,109 @@
+#include "src/control/drift_replay.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace unison {
+
+namespace {
+
+// LPT list scheduling: assign LPs in `order` to the least-loaded of
+// `workers` executors; the makespan is the heaviest executor's total. This
+// mirrors the kernel's claim cursor, where the next free worker takes the
+// next LP in claim order.
+uint64_t Makespan(const std::vector<uint32_t>& order,
+                  const std::vector<uint64_t>& costs, uint32_t workers,
+                  std::vector<uint64_t>* load) {
+  load->assign(workers, 0);
+  for (uint32_t lp : order) {
+    uint64_t* slot = &(*load)[0];
+    for (uint32_t w = 1; w < workers; ++w) {
+      if ((*load)[w] < *slot) {
+        slot = &(*load)[w];
+      }
+    }
+    *slot += costs[lp];
+  }
+  return *std::max_element(load->begin(), load->end());
+}
+
+// The kernel's deterministic re-sort: cost descending, LP id ascending.
+void SortByCost(std::vector<uint32_t>* order,
+                const std::vector<uint64_t>& costs) {
+  std::sort(order->begin(), order->end(), [&costs](uint32_t a, uint32_t b) {
+    return costs[a] != costs[b] ? costs[a] > costs[b] : a < b;
+  });
+}
+
+}  // namespace
+
+std::vector<DriftReplayPoint> ReplayClaimOrderDrift(
+    const std::vector<std::vector<uint64_t>>& costs, uint32_t workers,
+    const std::vector<uint32_t>& stalenesses) {
+  workers = std::max(1u, workers);
+  std::vector<DriftReplayPoint> curve;
+  curve.reserve(stalenesses.size());
+  const uint32_t rounds = static_cast<uint32_t>(costs.size());
+  const uint32_t lps = rounds == 0 ? 0 : static_cast<uint32_t>(costs[0].size());
+
+  std::vector<uint64_t> load;
+  std::vector<uint32_t> oracle_order(lps);
+  std::vector<uint32_t> stale_order(lps);
+
+  for (uint32_t k : stalenesses) {
+    k = std::max(1u, k);
+    // Round 0 starts from id order on both sides of the kernel's policy: the
+    // scheduler has no cost history yet, and all-equal costs tie-break to id
+    // order.
+    std::iota(stale_order.begin(), stale_order.end(), 0);
+    double ratio_sum = 0.0;
+    uint32_t counted = 0;
+    for (uint32_t r = 0; r < rounds; ++r) {
+      if (r > 0 && r % k == 0) {
+        // The kernel's information set at a re-sort: the previous round's
+        // measured costs (SchedulingMetric::kByLastRoundTime).
+        SortByCost(&stale_order, costs[r - 1]);
+      }
+      // Clairvoyant reference: re-sorted every round on the true costs.
+      std::iota(oracle_order.begin(), oracle_order.end(), 0);
+      SortByCost(&oracle_order, costs[r]);
+      const uint64_t oracle = Makespan(oracle_order, costs[r], workers, &load);
+      if (oracle == 0) {
+        continue;  // Nothing to schedule this round.
+      }
+      const uint64_t stale = Makespan(stale_order, costs[r], workers, &load);
+      ratio_sum += static_cast<double>(stale) / static_cast<double>(oracle);
+      ++counted;
+    }
+    DriftReplayPoint pt;
+    pt.staleness = k;
+    pt.makespan_ratio = counted == 0 ? 1.0 : ratio_sum / counted;
+    curve.push_back(pt);
+  }
+  return curve;
+}
+
+uint32_t RecommendPeriod(const std::vector<DriftReplayPoint>& curve,
+                         double tolerance) {
+  if (curve.empty()) {
+    return 1;
+  }
+  // Baseline: the freshest order the kernel can actually run with (smallest
+  // staleness in the curve, normally 1).
+  const DriftReplayPoint* base = &curve[0];
+  for (const DriftReplayPoint& pt : curve) {
+    if (pt.staleness < base->staleness) {
+      base = &pt;
+    }
+  }
+  uint32_t best = base->staleness;
+  for (const DriftReplayPoint& pt : curve) {
+    if (pt.makespan_ratio <= base->makespan_ratio + tolerance &&
+        pt.staleness > best) {
+      best = pt.staleness;
+    }
+  }
+  return best;
+}
+
+}  // namespace unison

@@ -1,0 +1,47 @@
+// Claim-order drift replay: the offline counterpart of the controller's
+// online re-sort rule.
+//
+// The kernel re-sorts its LPT claim order every sched_period rounds; between
+// re-sorts workers claim by a stale order. This module quantifies what that
+// staleness costs: replay a recorded per-(round, LP) cost matrix through LPT
+// list scheduling twice — once with a clairvoyant order re-sorted every round
+// on the true costs, once with the kernel's actual policy (re-sort every k
+// rounds on the *previous* round's costs, cost-descending with the id-ascending
+// tie-break) — and report the makespan inflation as a function of k. The
+// resulting payoff curve seeds ControllerConfig's drift thresholds and lets
+// bench_claim_drift check the paper's ceil(log2 n) default against measured
+// data.
+//
+// Costs are abstract units; the traced bench feeds per-round event counts
+// (deterministic across runs), tests feed synthetic matrices.
+#ifndef UNISON_SRC_CONTROL_DRIFT_REPLAY_H_
+#define UNISON_SRC_CONTROL_DRIFT_REPLAY_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace unison {
+
+struct DriftReplayPoint {
+  uint32_t staleness = 1;       // Rounds between re-sorts (k).
+  double makespan_ratio = 1.0;  // Mean per-round stale/oracle makespan.
+};
+
+// Replays `costs` ([round][lp] nonnegative units) on `workers` parallel
+// executors for each staleness in `stalenesses`. Rounds whose total cost is
+// zero are skipped (no work to schedule). Returns one point per requested
+// staleness, in input order. Deterministic: pure function of its inputs.
+std::vector<DriftReplayPoint> ReplayClaimOrderDrift(
+    const std::vector<std::vector<uint64_t>>& costs, uint32_t workers,
+    const std::vector<uint32_t>& stalenesses);
+
+// Largest staleness whose makespan ratio stays within `tolerance` of the
+// curve's staleness-1 baseline (the freshest order the kernel can actually
+// have: one round old). Falls back to the smallest staleness when even the
+// baseline is the only point within tolerance.
+uint32_t RecommendPeriod(const std::vector<DriftReplayPoint>& curve,
+                         double tolerance);
+
+}  // namespace unison
+
+#endif  // UNISON_SRC_CONTROL_DRIFT_REPLAY_H_

@@ -22,6 +22,13 @@ void BarrierKernel::Setup(const TopoGraph& graph, const Partition& partition) {
 
 RunResult BarrierKernel::Run(Time stop_time) {
   const uint32_t ranks = num_lps();
+  // The rank count is structural (one per LP), so only placement is live
+  // here; re-Ensure covers a borrowed pool resized by its owner's tuning.
+  tuning_ = SampleTuning(ranks, /*parties_tunable=*/false);
+  if (active_pool_ == &pool_) {
+    pool_.ApplyPlacement(tuning_.affinity);
+  }
+  active_pool_->Ensure(ranks);
   sync_.BeginRun("barrier", ranks, stop_time);
   sync_.SetParkBaseline(barrier_->parks());
   const uint64_t run_t0 = Profiler::NowNs();

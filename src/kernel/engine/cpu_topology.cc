@@ -157,4 +157,23 @@ bool PinCurrentThreadToCpu(uint32_t cpu) {
 #endif
 }
 
+bool PinCurrentThreadToCpus(const std::vector<uint32_t>& cpus) {
+#if defined(__linux__)
+  if (cpus.empty()) {
+    return false;
+  }
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  for (uint32_t cpu : cpus) {
+    if (cpu < CPU_SETSIZE) {
+      CPU_SET(cpu, &mask);
+    }
+  }
+  return sched_setaffinity(0, sizeof(mask), &mask) == 0;
+#else
+  (void)cpus;
+  return false;
+#endif
+}
+
 }  // namespace unison

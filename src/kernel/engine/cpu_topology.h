@@ -58,6 +58,11 @@ struct CpuTopology {
 // portable no-op) or when the kernel rejects the mask.
 bool PinCurrentThreadToCpu(uint32_t cpu);
 
+// Widens the calling thread's mask to all of `cpus` — the inverse of a pin,
+// used when a live placement policy is dropped back to kNone. Returns false
+// where unsupported or when `cpus` is empty.
+bool PinCurrentThreadToCpus(const std::vector<uint32_t>& cpus);
+
 }  // namespace unison
 
 #endif  // UNISON_SRC_KERNEL_ENGINE_CPU_TOPOLOGY_H_

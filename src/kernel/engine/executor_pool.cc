@@ -30,15 +30,55 @@ void ExecutorPool::Shutdown() {
   parties_ = 0;
 }
 
+void ExecutorPool::EnsureTopology() {
+  if (topology_cached_) {
+    return;
+  }
+  // Detect once per pool, and strictly before the first pin: Detect() reads
+  // the calling thread's allowed-CPU mask, which pinning narrows to one CPU.
+  // The cached full set is also what un-pinning restores.
+  topology_ = CpuTopology::Detect();
+  all_cpus_.clear();
+  all_cpus_.reserve(topology_.cpus.size());
+  for (const CpuTopology::Cpu& c : topology_.cpus) {
+    all_cpus_.push_back(c.id);
+  }
+  topology_cached_ = true;
+}
+
+void ExecutorPool::ApplyPlacement(AffinityPolicy policy) {
+  if (policy == placement_) {
+    return;
+  }
+  if (policy == AffinityPolicy::kNone) {
+    placement_ = policy;
+    if (!caller_pinned_) {
+      return;  // Nothing was ever pinned; nothing to undo.
+    }
+    cpu_order_.clear();
+    ++placement_gen_;
+    PinCurrentThreadToCpus(all_cpus_);
+    return;
+  }
+  placement_ = policy;
+  EnsureTopology();
+  cpu_order_ = topology_.PlacementOrder(policy);
+  if (cpu_order_.empty()) {
+    return;  // Portable fallback: pinning unsupported here.
+  }
+  ++placement_gen_;
+  PinCurrentThreadToCpu(cpu_order_[0]);  // The caller is worker 0.
+  caller_pinned_ = true;
+}
+
 void ExecutorPool::Ensure(uint32_t parties) {
   if (parties == parties_) {
     return;
   }
   parties_ = parties;
   if (!caller_pinned_ && placement_ != AffinityPolicy::kNone) {
-    // Detect once per pool; the order is a pure function of the machine and
-    // the policy, and re-detection mid-session would tear running pins.
-    cpu_order_ = CpuTopology::Detect().PlacementOrder(placement_);
+    EnsureTopology();
+    cpu_order_ = topology_.PlacementOrder(placement_);
     if (!cpu_order_.empty()) {
       PinCurrentThreadToCpu(cpu_order_[0]);  // The caller is worker 0.
     }
@@ -55,13 +95,14 @@ void ExecutorPool::Ensure(uint32_t parties) {
   // read the counter only after a later Run() bumped it would mistake that
   // run's epoch for "already seen" and sleep through it.
   const uint64_t seen = epoch_.load(std::memory_order_relaxed);
+  const uint64_t pin_gen = placement_gen_;
   for (uint32_t id = static_cast<uint32_t>(threads_.size()) + 1;
        id <= want_threads; ++id) {
-    threads_.emplace_back([this, id, seen] {
+    threads_.emplace_back([this, id, seen, pin_gen] {
       if (!cpu_order_.empty()) {
         PinCurrentThreadToCpu(cpu_order_[id % cpu_order_.size()]);
       }
-      Loop(id, seen);
+      Loop(id, seen, pin_gen);
     });
     ++threads_spawned_;
     g_total_threads_spawned.fetch_add(1, std::memory_order_relaxed);
@@ -87,7 +128,7 @@ void ExecutorPool::Run(std::function<void(uint32_t)> body) {
   }
 }
 
-void ExecutorPool::Loop(uint32_t id, uint64_t seen) {
+void ExecutorPool::Loop(uint32_t id, uint64_t seen, uint64_t pin_gen) {
   for (;;) {
     uint64_t e = epoch_.load(std::memory_order_acquire);
     while (e == seen) {
@@ -99,6 +140,17 @@ void ExecutorPool::Loop(uint32_t id, uint64_t seen) {
       return;
     }
     if (id < parties_) {  // Excess (parked) workers sit this epoch out.
+      if (pin_gen != placement_gen_) {
+        // Placement changed since this worker last ran: chase it lazily.
+        // Safe to read here — ApplyPlacement writes strictly before the
+        // epoch bump this iteration just acquired.
+        pin_gen = placement_gen_;
+        if (!cpu_order_.empty()) {
+          PinCurrentThreadToCpu(cpu_order_[id % cpu_order_.size()]);
+        } else {
+          PinCurrentThreadToCpus(all_cpus_);
+        }
+      }
       SetCurrentExecutorId(static_cast<int>(id));
       body_(id);
       SetCurrentExecutorId(kNoExecutor);

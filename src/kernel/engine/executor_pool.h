@@ -44,6 +44,12 @@ class ExecutorPool {
   // before the first Ensure — kernels do so in Setup.
   void SetPlacement(AffinityPolicy policy) { placement_ = policy; }
 
+  // Live placement change between runs: re-pins the caller now and each
+  // worker lazily at its next run epoch (no thread is retired or spawned).
+  // Dropping back to kNone widens every thread to the pre-pin CPU set. Call
+  // only with no Run() in flight — kernels do so when sampling tunables.
+  void ApplyPlacement(AffinityPolicy policy);
+
   // Ensures the pool runs `parties` workers, the caller counting as worker 0.
   // Growth beyond the high-water mark spawns only the missing threads;
   // shrinking parks the excess in place (no retire/respawn).
@@ -66,7 +72,10 @@ class ExecutorPool {
 
  private:
   void Shutdown();
-  void Loop(uint32_t id, uint64_t seen);
+  void Loop(uint32_t id, uint64_t seen, uint64_t pin_gen);
+  // Caches the machine topology (and the full allowed-CPU set, for un-pin)
+  // once, before any pin narrows the mask Detect() reads.
+  void EnsureTopology();
 
   // Active party count for the current/next Run. Plain field: workers read it
   // only after acquiring the run epoch, which the caller bumps (release)
@@ -80,7 +89,14 @@ class ExecutorPool {
   uint64_t threads_spawned_ = 0;
   AffinityPolicy placement_ = AffinityPolicy::kNone;
   std::vector<uint32_t> cpu_order_;  // Pin targets; empty = no pinning.
+  // Bumped on every placement change; workers re-pin when their last-seen
+  // generation lags. Plain field under the same epoch release/acquire edge
+  // as parties_.
+  uint64_t placement_gen_ = 0;
   bool caller_pinned_ = false;
+  bool topology_cached_ = false;
+  CpuTopology topology_;
+  std::vector<uint32_t> all_cpus_;  // Allowed set before any pin; for un-pin.
 };
 
 }  // namespace unison

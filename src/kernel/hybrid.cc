@@ -1,7 +1,6 @@
 #include "src/kernel/hybrid.h"
 
 #include <algorithm>
-#include <bit>
 #include <numeric>
 
 #include "src/kernel/engine/phase_accountant.h"
@@ -38,8 +37,6 @@ void HybridKernel::Setup(const TopoGraph& graph, const Partition& partition) {
     rank_claim_.push_back(std::make_unique<std::atomic<uint32_t>>(0));
     rank_claim_recv_.push_back(std::make_unique<std::atomic<uint32_t>>(0));
   }
-  const uint32_t n = std::max(2u, num_lps());
-  period_ = config_.sched_period > 0 ? config_.sched_period : std::bit_width(n - 1);
   last_round_ns_.assign(num_lps(), 0);
   const uint32_t workers = ranks_ * lanes_;
   barrier_ = std::make_unique<CombiningBarrier>(workers);
@@ -55,7 +52,21 @@ void HybridKernel::Setup(const TopoGraph& graph, const Partition& partition) {
 }
 
 RunResult HybridKernel::Run(Time stop_time) {
+  // Per-window tunable sample. The knob is lanes-per-rank (the rank count is
+  // simulation identity — it decides which host owns which LP — so it stays
+  // immutable); shrinking lanes shrinks every rank uniformly.
+  tuning_ = SampleTuning(std::max(1u, config_.threads));
+  period_ = tuning_.sched_period;
+  if (tuning_.parties != lanes_) {
+    lanes_ = tuning_.parties;
+    barrier_ = std::make_unique<CombiningBarrier>(ranks_ * lanes_);
+  }
+  if (active_pool_ == &pool_) {
+    pool_.ApplyPlacement(tuning_.affinity);
+  }
   const uint32_t workers = ranks_ * lanes_;
+  active_pool_->Ensure(workers);
+
   sync_.BeginRun("hybrid", workers, stop_time);
   sync_.SetParkBaseline(barrier_->parks());
   timing_ =

@@ -18,6 +18,7 @@
 #ifndef UNISON_SRC_KERNEL_HYBRID_H_
 #define UNISON_SRC_KERNEL_HYBRID_H_
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <vector>
@@ -36,8 +37,12 @@ class HybridKernel : public Kernel {
   void Setup(const TopoGraph& graph, const Partition& partition) override;
   RunResult Run(Time stop_time) override;
 
-  // Worker ids are rank-major: worker = rank * lanes + lane.
-  uint32_t MaxExecutors() const override { return ranks_ * lanes_; }
+  // Worker ids are rank-major: worker = rank * lanes + lane. This is the
+  // ceiling (config lanes), not the live count — tuning may shrink lanes_
+  // between windows, but per-executor state sized at Finalize must cover all.
+  uint32_t MaxExecutors() const override {
+    return ranks_ * std::max(1u, config_.threads);
+  }
 
   ExecutorPool* executor_pool() override { return active_pool_; }
 

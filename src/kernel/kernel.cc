@@ -1,6 +1,7 @@
 #include "src/kernel/kernel.h"
 
 #include <algorithm>
+#include <bit>
 #include <cstdio>
 #include <cstdlib>
 #include <utility>
@@ -150,6 +151,35 @@ uint64_t Kernel::RunGlobalEvents(Time upto, Time stop) {
   return public_lp_->ProcessUntil(bound);
 }
 
+Kernel::WindowTuning Kernel::SampleTuning(uint32_t default_parties,
+                                          bool parties_tunable) const {
+  WindowTuning t;
+  uint32_t period = config_.sched_period;
+  uint32_t parties = default_parties;
+  AffinityPolicy affinity = config_.affinity;
+  if (tunables_ != nullptr) {
+    const Tunables& live = tunables_->Get();
+    t.epoch = tunables_->epoch();
+    if (live.sched_period > 0) {
+      period = live.sched_period;
+    }
+    if (parties_tunable && live.parties > 0) {
+      // The config default is also the ceiling: FlowMonitor shards and other
+      // per-executor state were sized from it at Finalize.
+      parties = std::min(live.parties, default_parties);
+    }
+    affinity = live.affinity;
+  }
+  if (period == 0) {
+    const uint32_t n = std::max(2u, num_lps());
+    period = static_cast<uint32_t>(std::bit_width(n - 1));  // ceil(log2 n)
+  }
+  t.sched_period = period;
+  t.parties = std::max(1u, parties);
+  t.affinity = affinity;
+  return t;
+}
+
 RunResult Kernel::FinishRun(const char* kernel_name, uint32_t executors,
                             uint64_t wall_ns, Time stop, RunReason reason) {
   // Every kernel reaches here with its executors quiesced (the pool's Run
@@ -171,6 +201,9 @@ RunResult Kernel::FinishRun(const char* kernel_name, uint32_t executors,
   run_summary_.window_stop_ps = stop.ps();
   run_summary_.reason = RunReasonName(reason);
   run_summary_.forked_from = lineage_;
+  run_summary_.tuning_epoch = tuning_.epoch;
+  run_summary_.sched_period = tuning_.sched_period;
+  run_summary_.parties = tuning_.parties;
   if (profiler_ != nullptr && profiler_->enabled) {
     run_summary_.processing_ns = profiler_->TotalProcessingNs();
     run_summary_.synchronization_ns = profiler_->TotalSyncNs();

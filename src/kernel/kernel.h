@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "src/control/tunables.h"
 #include "src/core/event.h"
 #include "src/core/time.h"
 #include "src/kernel/engine/cpu_topology.h"
@@ -236,6 +237,25 @@ class Kernel {
   // worker counters are quiescent during the global-event phase).
   virtual uint64_t LiveEvents() const { return processed_events_; }
 
+  // --- Live tuning (two-tier config split) ---
+
+  // Attaches the session's tunable store. The kernel samples it once per
+  // Run() window, before any worker is released; absent a store, every
+  // window runs on the KernelConfig values — the two paths are equivalent
+  // when the store only ever holds its config-derived seed.
+  void set_tunables(const TunableStore* store) { tunables_ = store; }
+
+  // The tunable values one Run() window actually executed with, resolved
+  // from store + config defaults. Refreshed at the start of each window;
+  // FinishRun stamps it into the RunSummary.
+  struct WindowTuning {
+    uint64_t epoch = 0;
+    uint32_t sched_period = 0;
+    uint32_t parties = 0;  // Kernel-native knob units (see Tunables).
+    AffinityPolicy affinity = AffinityPolicy::kNone;
+  };
+  const WindowTuning& window_tuning() const { return tuning_; }
+
   void set_profiler(Profiler* profiler) { profiler_ = profiler; }
   Profiler* profiler() { return profiler_; }
 
@@ -282,6 +302,15 @@ class Kernel {
   // lies below it. Zero for a fresh session or after an early stop.
   Time resume_floor() const { return resume_floor_; }
 
+  // Resolves this window's tunables: live store values where published,
+  // config defaults otherwise, ceil(log2 n) when the period is still 0
+  // (§4.3). `default_parties` is the config-derived knob value and also the
+  // ceiling — per-executor state sized at Finalize is never exceeded;
+  // kernels whose party count is structural pass parties_tunable=false.
+  // Every kernel calls this at the start of Run(), before workers release.
+  WindowTuning SampleTuning(uint32_t default_parties,
+                            bool parties_tunable = true) const;
+
   friend class Simulator;
   friend class RoundSync;
 
@@ -306,6 +335,8 @@ class Kernel {
   std::function<void()> window_end_hook_;
   ExecutorPool* external_pool_ = nullptr;  // Borrowed; see set_external_pool.
   std::string lineage_;                    // Empty unless forked.
+  const TunableStore* tunables_ = nullptr;  // Borrowed; see set_tunables.
+  WindowTuning tuning_;  // What the current/last window ran with.
 };
 
 // Constructs the kernel named by `config.type`.

@@ -105,6 +105,13 @@ RunResult NullMessageKernel::Run(Time stop_time) {
       std::abort();
     }
   }
+  // The party count is structural (one LP loop per LP), so only placement is
+  // live; re-Ensure covers a borrowed pool resized by its owner's tuning.
+  tuning_ = SampleTuning(num_lps(), /*parties_tunable=*/false);
+  if (active_pool_ == &pool_) {
+    pool_.ApplyPlacement(tuning_.affinity);
+  }
+  active_pool_->Ensure(num_lps());
   // No shared synchronization rounds in this algorithm: BeginRun covers the
   // run-level profiler/trace bookkeeping; the trace carries the summary and
   // per-executor P/S/M only.

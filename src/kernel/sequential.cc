@@ -9,6 +9,9 @@ RunResult SequentialKernel::Run(Time stop_time) {
   // larger partition would still execute correctly but pay mailbox overhead
   // for nothing.
   Lp* const lp = lps_[0].get();
+  // Nothing here is tunable (no rounds, no pool), but sampling stamps the
+  // window's tuning epoch into the summary like every other kernel.
+  tuning_ = SampleTuning(1, /*parties_tunable=*/false);
   BeginWindow();
   const bool profiling = profiler_ != nullptr && profiler_->enabled;
   if (profiling) {

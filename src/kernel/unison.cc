@@ -1,7 +1,6 @@
 #include "src/kernel/unison.h"
 
 #include <algorithm>
-#include <bit>
 #include <numeric>
 
 #include "src/kernel/engine/phase_accountant.h"
@@ -13,14 +12,6 @@ namespace unison {
 void UnisonKernel::Setup(const TopoGraph& graph, const Partition& partition) {
   Kernel::Setup(graph, partition);
   num_workers_ = std::max(1u, config_.threads);
-  // Schedule period: ceil(log2(n)) rounds between re-sorts (§4.3), unless
-  // the user pinned a period explicitly.
-  if (config_.sched_period > 0) {
-    period_ = config_.sched_period;
-  } else {
-    const uint32_t n = std::max(2u, num_lps());
-    period_ = std::bit_width(n - 1);  // == ceil(log2(n))
-  }
   order_.resize(num_lps());
   std::iota(order_.begin(), order_.end(), 0);
   last_round_ns_.assign(num_lps(), 0);
@@ -34,6 +25,24 @@ void UnisonKernel::Setup(const TopoGraph& graph, const Partition& partition) {
 }
 
 RunResult UnisonKernel::Run(Time stop_time) {
+  // Sample the live tunables once per window, before any worker releases:
+  // re-sort cadence, active worker count (≤ the config thread count, so
+  // Finalize-sized per-executor state still fits), and placement. A window is
+  // the only safe boundary — the barrier tree and the claim stride both key
+  // off num_workers_.
+  tuning_ = SampleTuning(std::max(1u, config_.threads));
+  period_ = tuning_.sched_period;
+  if (tuning_.parties != num_workers_) {
+    num_workers_ = tuning_.parties;
+    barrier_ = std::make_unique<CombiningBarrier>(num_workers_);
+  }
+  if (active_pool_ == &pool_) {
+    pool_.ApplyPlacement(tuning_.affinity);
+  }
+  // Re-Ensure every window (no-op when unchanged): a borrowed pool may have
+  // been resized by its owner, and tuning resizes ours.
+  active_pool_->Ensure(num_workers_);
+
   sync_.BeginRun("unison", num_workers_, stop_time);
   sync_.SetParkBaseline(barrier_->parks());
   timing_ =

@@ -25,6 +25,7 @@
 #ifndef UNISON_SRC_KERNEL_UNISON_H_
 #define UNISON_SRC_KERNEL_UNISON_H_
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <vector>
@@ -43,7 +44,11 @@ class UnisonKernel : public Kernel {
   void Setup(const TopoGraph& graph, const Partition& partition) override;
   RunResult Run(Time stop_time) override;
 
-  uint32_t MaxExecutors() const override { return num_workers_; }
+  // The ceiling, not the live count: tuning may shrink num_workers_ between
+  // windows, but per-executor state sized at Finalize must cover every window.
+  uint32_t MaxExecutors() const override {
+    return std::max(1u, config_.threads);
+  }
 
   ExecutorPool* executor_pool() override { return active_pool_; }
 

@@ -1,5 +1,6 @@
 #include "src/net/network.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <utility>
@@ -13,12 +14,15 @@ namespace unison {
 
 Network::Network(SimConfig config) : config_(std::move(config)) {
   // Tracing rides on the profiler gate: a trace without the per-round P/S
-  // matrices would be hollow, so cfg.trace implies profile + per-round.
-  profiler_.enabled = config_.profile || config_.trace;
-  profiler_.per_round = config_.profile_per_round || config_.trace;
+  // matrices would be hollow, so cfg.trace implies profile + per-round. The
+  // controller consumes trace segments, so kAuto implies the same machinery —
+  // minus claim-order rows (O(#LP) each), which only a user trace keeps.
+  const bool auto_tuning = config_.tuning == TuningMode::kAuto;
+  profiler_.enabled = config_.profile || config_.trace || auto_tuning;
+  profiler_.per_round = config_.profile_per_round || config_.trace || auto_tuning;
   profiler_.per_lp = config_.profile_per_lp;
-  run_trace_.enabled = config_.trace;
-  run_trace_.record_claim_order = config_.trace_claim_order;
+  run_trace_.enabled = config_.trace || auto_tuning;
+  run_trace_.record_claim_order = config_.trace && config_.trace_claim_order;
 }
 
 Network::~Network() = default;
@@ -154,6 +158,25 @@ void Network::Finalize() {
   kernel_ = MakeKernel(config_.kernel);
   kernel_->set_profiler(&profiler_);
   kernel_->set_trace(&run_trace_);
+  // Two-tier config split: the mutable knobs move into the tunable store,
+  // seeded from the KernelConfig. Every kernel samples the store per window,
+  // tuning on or off — a store that only ever holds its seed (epoch 0) is
+  // exactly the static configuration.
+  Tunables seed;
+  seed.sched_period = config_.kernel.sched_period;
+  seed.parties = config_.kernel.threads;
+  seed.affinity = config_.kernel.affinity;
+  if (config_.tuning == TuningMode::kAuto) {
+    // Bound the first windows so the controller gets observations before the
+    // caller's stop time, not only at it (slicing is results-neutral).
+    seed.max_window_ps = config_.tuning_config.initial_window_ps;
+  }
+  tunable_store_.Seed(seed);
+  kernel_->set_tunables(&tunable_store_);
+  if (config_.tuning == TuningMode::kAuto) {
+    controller_ =
+        std::make_unique<Controller>(config_.tuning_config, &tunable_store_);
+  }
   if (pending_external_pool_ != nullptr) {
     kernel_->set_external_pool(pending_external_pool_);
   }
@@ -177,7 +200,35 @@ void Network::Finalize() {
 
 RunResult Network::Run(Time stop) {
   Finalize();
-  return kernel_->Run(stop);
+  if (controller_ == nullptr) {
+    return kernel_->Run(stop);
+  }
+  // Closed loop: slice the caller's horizon by the live window bound, feed
+  // each completed window's trace segment to the controller, and continue
+  // until the caller's stop is reached (or the run ends for another reason).
+  // Window slicing is results-neutral (K windowed runs are bit-identical to
+  // one monolithic run), so this loop changes wall time only.
+  RunResult total;
+  for (;;) {
+    const int64_t horizon = tunable_store_.Get().max_window_ps;
+    Time next = stop;
+    if (horizon > 0 && !stop.IsMax()) {
+      next = std::min(stop, kernel_->session_now() + Time::Picoseconds(horizon));
+    } else if (horizon > 0) {
+      next = kernel_->session_now() + Time::Picoseconds(horizon);
+    }
+    const RunResult r = kernel_->Run(next);
+    total.reason = r.reason;
+    total.end = r.end;
+    total.events += r.events;
+    total.rounds += r.rounds;
+    if (!run_trace_.segments().empty()) {
+      controller_->OnWindowEnd(run_trace_.segments().back());
+    }
+    if (r.reason != RunReason::kWindowReached || r.end >= stop) {
+      return total;
+    }
+  }
 }
 
 void Network::FailLink(uint32_t link, Time t) {

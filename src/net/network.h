@@ -24,6 +24,8 @@
 #include <memory>
 #include <vector>
 
+#include "src/control/controller.h"
+#include "src/control/tunables.h"
 #include "src/core/rng.h"
 #include "src/core/time.h"
 #include "src/kernel/kernel.h"
@@ -57,6 +59,17 @@ struct QueueConfig {
   double red_weight = 0.002;
 };
 
+// Live tuning plane switch. kOff freezes every knob at its KernelConfig
+// value (the historical behaviour); kAuto attaches a Controller that revises
+// the live tunables (re-sort cadence, active parties, placement, window
+// horizon) between Run() windows from the trace segments. Results are
+// bit-identical either way — the controller only ever acts at window
+// boundaries, and every knob it touches is results-neutral.
+enum class TuningMode : uint8_t {
+  kOff = 0,
+  kAuto = 1,
+};
+
 struct SimConfig {
   KernelConfig kernel;
   PartitionMode partition = PartitionMode::kAuto;
@@ -68,6 +81,12 @@ struct SimConfig {
   // the exported trace carries the P/S matrices.
   bool trace = false;
   bool trace_claim_order = true;  // Record claim orders on re-sort rounds.
+  // Closed-loop tuning (src/control/). kAuto implies the trace machinery
+  // (profile + per-round + segment archiving) since that is the controller's
+  // input — but not claim-order recording, whose O(#LP) rows are only kept
+  // when the user asked for a trace themselves.
+  TuningMode tuning = TuningMode::kOff;
+  ControllerConfig tuning_config;
   TcpConfig tcp;
   QueueConfig queue;
 };
@@ -172,6 +191,13 @@ class Network {
 
   Simulator& sim() { return sim_; }
   Kernel& kernel() { return *kernel_; }
+  // The session's live-tunable store. Always present (seeded from the
+  // KernelConfig at Finalize); written by the controller under kAuto, by
+  // Session restore, or by tests driving tuning by hand between windows.
+  TunableStore& tunable_store() { return tunable_store_; }
+  const TunableStore& tunable_store() const { return tunable_store_; }
+  // The attached controller, or nullptr when tuning is kOff.
+  Controller* controller() { return controller_.get(); }
   FlowMonitor& flow_monitor() { return flow_monitor_; }
   Profiler& profiler() { return profiler_; }
   RunTrace& run_trace() { return run_trace_; }
@@ -248,6 +274,8 @@ class Network {
   bool has_manual_partition_ = false;
 
   std::unique_ptr<Kernel> kernel_;
+  TunableStore tunable_store_;
+  std::unique_ptr<Controller> controller_;  // Present only under kAuto.
   Simulator sim_;
   FlowMonitor flow_monitor_;
   Profiler profiler_;

@@ -18,11 +18,13 @@
 namespace unison {
 namespace {
 
-// USNP v1: little-endian, field-by-field, no alignment padding. The version
+// USNP v2: little-endian, field-by-field, no alignment padding. The version
 // gates the whole buffer — any layout change bumps it; there is no partial
-// compatibility.
+// compatibility. v2 added the live-tuning plane: TuningMode + ControllerConfig
+// in the SimConfig block, and the tunable epoch + values next to the session
+// counters, so a fork resumes with its parent's learned settings.
 constexpr uint8_t kMagic[4] = {'U', 'S', 'N', 'P'};
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersion = 2;
 
 [[noreturn]] void SnapshotFatal(const std::string& message) {
   FatalConfigError("Session: " + message);
@@ -144,6 +146,20 @@ void PutSimConfig(Writer& w, const SimConfig& c) {
   w.Bool(c.profile_per_lp);
   w.Bool(c.trace);
   w.Bool(c.trace_claim_order);
+  w.U8(static_cast<uint8_t>(c.tuning));
+  w.F64(c.tuning_config.drift_shrink);
+  w.F64(c.tuning_config.drift_grow);
+  w.U32(c.tuning_config.min_period);
+  w.U32(c.tuning_config.max_period);
+  w.F64(c.tuning_config.ps_low);
+  w.F64(c.tuning_config.ps_high);
+  w.I64(c.tuning_config.min_window_ps);
+  w.I64(c.tuning_config.max_window_ps);
+  w.I64(c.tuning_config.initial_window_ps);
+  w.F64(c.tuning_config.parks_per_round_high);
+  w.U32(c.tuning_config.min_parties);
+  w.U32(c.tuning_config.cpu_limit);
+  w.U32(c.tuning_config.min_rounds);
   PutTcpConfig(w, c.tcp);
   PutQueueConfig(w, c.queue);
 }
@@ -164,6 +180,20 @@ SimConfig GetSimConfig(Reader& r) {
   c.profile_per_lp = r.Bool();
   c.trace = r.Bool();
   c.trace_claim_order = r.Bool();
+  c.tuning = static_cast<TuningMode>(r.U8());
+  c.tuning_config.drift_shrink = r.F64();
+  c.tuning_config.drift_grow = r.F64();
+  c.tuning_config.min_period = r.U32();
+  c.tuning_config.max_period = r.U32();
+  c.tuning_config.ps_low = r.F64();
+  c.tuning_config.ps_high = r.F64();
+  c.tuning_config.min_window_ps = r.I64();
+  c.tuning_config.max_window_ps = r.I64();
+  c.tuning_config.initial_window_ps = r.I64();
+  c.tuning_config.parks_per_round_high = r.F64();
+  c.tuning_config.min_parties = r.U32();
+  c.tuning_config.cpu_limit = r.U32();
+  c.tuning_config.min_rounds = r.U32();
   c.tcp = GetTcpConfig(r);
   c.queue = GetQueueConfig(r);
   return c;
@@ -598,6 +628,15 @@ SessionSnapshot Session::Snapshot() {
 
   w.U64(net.injection_epoch());
 
+  // Live-tuning state: the epoch is explicit so a fork resumes with the
+  // parent's *learned* settings, not the knob values frozen at capture time.
+  const Tunables& tun = net.tunable_store().Get();
+  w.U64(net.tunable_store().epoch());
+  w.U32(tun.sched_period);
+  w.U32(tun.parties);
+  w.U8(static_cast<uint8_t>(tun.affinity));
+  w.I64(tun.max_window_ps);
+
   const Kernel::SessionState session = kernel.session_state();
   w.TimeVal(session.session_now);
   w.TimeVal(session.resume_floor);
@@ -792,6 +831,13 @@ std::unique_ptr<Network> RestoreImpl(const SessionSnapshot& snap,
 
   const uint64_t injection_epoch = r.U64();
 
+  const uint64_t tuning_epoch = r.U64();
+  Tunables tunables;
+  tunables.sched_period = r.U32();
+  tunables.parties = r.U32();
+  tunables.affinity = static_cast<AffinityPolicy>(r.U8());
+  tunables.max_window_ps = r.I64();
+
   Kernel::SessionState session;
   session.session_now = r.TimeVal();
   session.resume_floor = r.TimeVal();
@@ -843,6 +889,10 @@ std::unique_ptr<Network> RestoreImpl(const SessionSnapshot& snap,
   }
   kernel.RestoreSessionState(session);
   net->set_injection_epoch(injection_epoch);
+  // After Finalize seeded the store from the config: reinstall the captured
+  // live values and epoch so the fork's first window runs with the parent's
+  // learned settings (its controller, if any, keeps tuning from there).
+  net->tunable_store().Restore(tunables, tuning_epoch);
 
   for (uint32_t i = 0; i < num_lps; ++i) {
     GetLp(r, net.get(), kernel.lp(i));

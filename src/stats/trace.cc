@@ -90,7 +90,13 @@ std::string RunSummary::ToJson() const {
   out += reason;  // One of the fixed RunReasonName strings; no escaping needed.
   out += "\",\"forked_from\":\"";
   out += forked_from;  // "snap-<hex>@w<n>" or empty; no escapable characters.
-  out += "\"}";
+  out += "\",\"tuning_epoch\":";
+  AppendU64(&out, tuning_epoch);
+  out += ",\"sched_period\":";
+  AppendU64(&out, sched_period);
+  out += ",\"parties\":";
+  AppendU64(&out, parties);
+  out += '}';
   return out;
 }
 
@@ -252,7 +258,7 @@ void AppendTraceBody(std::string* out, const RunSummary& summary,
   *out += ']';
 }
 
-void AppendCsvRows(std::string* out, uint32_t window,
+void AppendCsvRows(std::string* out, uint32_t window, uint64_t tuning_epoch,
                    const std::vector<RoundTraceRecord>& records,
                    const std::vector<std::vector<uint64_t>>& round_p,
                    const std::vector<std::vector<uint64_t>>& round_s,
@@ -279,6 +285,8 @@ void AppendCsvRows(std::string* out, uint32_t window,
     AppendU64(out, r.barrier_ns);
     *out += ',';
     AppendU64(out, r.parked);
+    *out += ',';
+    AppendU64(out, tuning_epoch);
     *out += '\n';
   }
 }
@@ -314,15 +322,16 @@ std::string RunTrace::ToCsv() const {
   std::string out;
   out.reserve(64 + records_.size() * 64);
   out += "window,round,lbts_ps,window_ps,events_before,resorted,p_total_ns,"
-         "s_total_ns,m_total_ns,barrier_ns,parked\n";
+         "s_total_ns,m_total_ns,barrier_ns,parked,tuning_epoch\n";
   if (segments_.empty()) {
     // Export mid-window (EndRun not yet reached): show the live records.
-    AppendCsvRows(&out, 0, records_, round_p_, round_s_, round_m_);
+    AppendCsvRows(&out, 0, summary_.tuning_epoch, records_, round_p_, round_s_,
+                  round_m_);
     return out;
   }
   for (const WindowTraceSegment& seg : segments_) {
-    AppendCsvRows(&out, seg.summary.window_index, seg.records, seg.round_p,
-                  seg.round_s, seg.round_m);
+    AppendCsvRows(&out, seg.summary.window_index, seg.summary.tuning_epoch,
+                  seg.records, seg.round_p, seg.round_s, seg.round_m);
   }
   return out;
 }

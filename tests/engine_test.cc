@@ -118,6 +118,50 @@ TEST(ExecutorPool, SinglePartyRunsInline) {
   EXPECT_EQ(ran, 1);
 }
 
+TEST(ExecutorPool, ApplyPlacementSpawnsNothingAndKeepsWorkersAlive) {
+  ExecutorPool pool;
+  pool.Ensure(3);
+  const uint64_t spawned = pool.threads_spawned();
+  std::vector<std::atomic<int>> hits(3);
+  const auto tick = [&hits](uint32_t id) { hits[id].fetch_add(1); };
+
+  // Changing placement mid-session re-pins the existing workers lazily; it
+  // never respawns them, and every worker still executes every epoch.
+  pool.ApplyPlacement(AffinityPolicy::kCompact);
+  pool.Run(tick);
+  pool.ApplyPlacement(AffinityPolicy::kCompact);  // Same policy: no-op.
+  pool.Run(tick);
+  pool.ApplyPlacement(AffinityPolicy::kScatter);
+  pool.Run(tick);
+  pool.ApplyPlacement(AffinityPolicy::kNone);
+  pool.Run(tick);
+  EXPECT_EQ(pool.threads_spawned(), spawned);
+  for (auto& h : hits) {
+    EXPECT_EQ(h.load(), 4);
+  }
+}
+
+TEST(ExecutorPool, PlacementRoundTripRestoresCallerAffinity) {
+  // kCompact pins the caller (worker 0) to one core; kNone must widen it
+  // back to the full pre-pin mask, which the pool captured before pinning.
+  const size_t before = CpuTopology::Detect().cpus.size();
+  ExecutorPool pool;
+  pool.Ensure(2);
+  pool.ApplyPlacement(AffinityPolicy::kCompact);
+  pool.ApplyPlacement(AffinityPolicy::kNone);
+  pool.Run([](uint32_t) {});  // Let workers observe the placement epoch too.
+  EXPECT_EQ(CpuTopology::Detect().cpus.size(), before);
+}
+
+TEST(ExecutorPool, ApplyPlacementBeforeAnyPinIsANoOp) {
+  ExecutorPool pool;
+  pool.Ensure(2);
+  // kNone with nothing ever pinned must not touch the caller's mask.
+  const size_t before = CpuTopology::Detect().cpus.size();
+  pool.ApplyPlacement(AffinityPolicy::kNone);
+  EXPECT_EQ(CpuTopology::Detect().cpus.size(), before);
+}
+
 // --- CpuTopology ---
 
 TEST(CpuTopology, PlacementOrderIsAPermutationOfAllowedCpus) {

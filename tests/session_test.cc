@@ -468,6 +468,100 @@ TEST(SessionFork, FailLinkAndQueueMutationDivergeDeterministically) {
   EXPECT_NE(shallow_a, baseline);
 }
 
+// --- Live tuning plane ---
+
+class ControllerTransparency : public ::testing::TestWithParam<int> {};
+
+// The controller-transparency matrix: every kernel, tuning off vs an
+// aggressive kAuto controller (react after a single round; treat every
+// window with observable sync time as shrink-worthy), produces bit-identical
+// fingerprints and digests. The controller only ever changes *how fast* the
+// session runs — party counts, re-sort cadence, window slicing — all of
+// which are results-neutral by the session invariants this file pins.
+TEST_P(ControllerTransparency, TunedRunMatchesStaticRun) {
+  const KernelCase kc = AllKernels()[GetParam()];
+  SCOPED_TRACE(kc.name);
+
+  SimConfig off;
+  off.kernel = kc.config;
+  off.partition = kc.partition;
+  RunDigest off_digest;
+  const RunOutcome off_out =
+      RunFatTreeScenarioConfigured(off, 1, 4, 10, 5, &off_digest);
+
+  SimConfig tuned = off;
+  tuned.tuning = TuningMode::kAuto;
+  tuned.tuning_config.min_rounds = 1;
+  tuned.tuning_config.ps_low = 1.0;
+  tuned.tuning_config.min_window_ps = 500'000'000;  // Floor at 0.5 ms.
+  RunDigest tuned_digest;
+  const RunOutcome tuned_out =
+      RunFatTreeScenarioConfigured(tuned, 1, 4, 10, 5, &tuned_digest);
+
+  EXPECT_EQ(tuned_out.fingerprint, off_out.fingerprint);
+  EXPECT_EQ(tuned_out.events, off_out.events);
+  EXPECT_EQ(tuned_out.summary.completed, off_out.summary.completed);
+  EXPECT_EQ(tuned_out.lps, off_out.lps);
+  EXPECT_TRUE(tuned_digest == off_digest);
+}
+
+std::string ControllerCaseName(const ::testing::TestParamInfo<int>& info) {
+  static const char* const names[5] = {"sequential", "barrier", "nullmsg",
+                                       "unison", "hybrid"};
+  return names[info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, ControllerTransparency,
+                         ::testing::Range(0, 5), ControllerCaseName);
+
+// Satellite: a snapshot no longer freezes the knobs. The tunable epoch and
+// values ride in the USNP buffer, a fork resumes with the parent's learned
+// settings, and parent and fork can then tune independently — while both
+// still land bit-identical to the untouched run.
+TEST(SessionFork, TuningStateSurvivesForkAndDivergesIndependently) {
+  KernelConfig k;
+  k.type = KernelType::kUnison;
+  k.threads = 2;
+  const RunOutcome mono = RunFatTreeScenarioStreaming(k, PartitionMode::kAuto);
+
+  FatTreeScenario parent = BuildFatTreeScenarioStreaming(k, PartitionMode::kAuto);
+  parent.net->Run(Time::Milliseconds(1));
+
+  // "Learn" something before the snapshot: one published epoch.
+  Tunables learned = parent.net->tunable_store().Get();
+  learned.sched_period = 3;
+  parent.net->tunable_store().Publish(learned);
+
+  Session session(parent.net.get());
+  const SessionSnapshot snap = session.Snapshot();
+
+  std::unique_ptr<Network> fork = session.Fork(snap);
+  // The fork resumes with the parent's learned settings, not config defaults.
+  EXPECT_EQ(fork->tunable_store().epoch(), 1u);
+  EXPECT_EQ(fork->tunable_store().Get().sched_period, 3u);
+
+  // Post-fork the two stores diverge independently.
+  Tunables parent_next = parent.net->tunable_store().Get();
+  parent_next.sched_period = 7;
+  parent.net->tunable_store().Publish(parent_next);
+  Tunables fork_next = fork->tunable_store().Get();
+  fork_next.sched_period = 2;
+  fork->tunable_store().Publish(fork_next);
+  EXPECT_EQ(parent.net->tunable_store().Get().sched_period, 7u);
+  EXPECT_EQ(fork->tunable_store().Get().sched_period, 2u);
+
+  fork->Run(Time::Milliseconds(5));
+  EXPECT_EQ(fork->kernel().window_tuning().epoch, 2u);
+  EXPECT_EQ(fork->kernel().window_tuning().sched_period, 2u);
+  EXPECT_EQ(fork->flow_monitor().Fingerprint(), mono.fingerprint);
+  EXPECT_EQ(fork->kernel().session_events(), mono.events);
+
+  parent.net->Run(Time::Milliseconds(5));
+  EXPECT_EQ(parent.net->kernel().window_tuning().sched_period, 7u);
+  EXPECT_EQ(parent.net->flow_monitor().Fingerprint(), mono.fingerprint);
+  EXPECT_EQ(parent.net->kernel().session_events(), mono.events);
+}
+
 // Satellite: reading the session clock before Finalize is a configuration
 // error with a diagnostic, not a null-kernel dereference.
 TEST(SessionStateDeathTest, SessionTimeBeforeFinalizeIsFatal) {

@@ -9,6 +9,7 @@
 #include "src/kernel/engine/executor_pool.h"
 #include "src/net/app.h"
 #include "src/net/network.h"
+#include "src/stats/digest.h"
 #include "src/topo/fat_tree.h"
 #include "src/traffic/flow_source.h"
 #include "src/traffic/generator.h"
@@ -106,6 +107,53 @@ inline RunOutcome RunFatTreeScenarioWindowed(
     *spawned_delta = windows > 1
                          ? ExecutorPool::TotalThreadsSpawned() - spawned_before
                          : 0;
+  }
+
+  RunOutcome out;
+  out.events = net.kernel().session_events();
+  out.fingerprint = net.flow_monitor().Fingerprint();
+  out.summary = net.flow_monitor().Summarize();
+  out.rounds = net.kernel().session_rounds();
+  out.lps = net.kernel().num_lps();
+  return out;
+}
+
+// RunFatTreeScenarioWindowed with full SimConfig control: the tuning-plane
+// tests need to set TuningMode/ControllerConfig (and compare against the
+// plain helpers, which leave tuning off). `windows` counts the *caller's*
+// Run() slices; under kAuto the controller may sub-slice further. When
+// `digest` is non-null it receives the end-of-run RunDigest.
+inline RunOutcome RunFatTreeScenarioConfigured(SimConfig cfg, uint32_t windows,
+                                               uint32_t k = 4,
+                                               uint64_t gbps = 10,
+                                               int sim_ms = 5,
+                                               RunDigest* digest = nullptr) {
+  Network net(cfg);
+  FatTreeTopo topo =
+      BuildFatTree(net, k, gbps * 1000000000ULL, Time::Microseconds(3));
+  if (cfg.partition == PartitionMode::kManual) {
+    auto lp = FatTreePodPartition(topo, net.num_nodes());
+    net.SetManualPartition(k, std::move(lp));
+  }
+  net.Finalize();
+
+  GeneratePermutation(net, topo.hosts, 200 * 1024, Time::Zero());
+  TrafficSpec traffic;
+  traffic.hosts = topo.hosts;
+  traffic.bisection_bps = topo.bisection_bps;
+  traffic.load = 0.1;
+  traffic.duration = Time::Milliseconds(sim_ms);
+  GenerateTraffic(net, traffic);
+
+  const int64_t total_ps = Time::Milliseconds(sim_ms).ps();
+  for (uint32_t w = 1; w <= windows; ++w) {
+    const Time stop = w == windows
+                          ? Time::Milliseconds(sim_ms)
+                          : Time::Picoseconds(total_ps * w / windows);
+    net.Run(stop);
+  }
+  if (digest != nullptr) {
+    *digest = DigestOf(net);
   }
 
   RunOutcome out;
