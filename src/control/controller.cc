@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <utility>
+
+#include "src/sched/lpt.h"
 
 namespace unison {
 
@@ -9,6 +12,50 @@ namespace {
 // Horizon cap past which the window bound reverts to unbounded when the
 // config leaves max_window_ps at 0: one second of simulated time.
 constexpr int64_t kDefaultHorizonCapPs = 1'000'000'000'000LL;
+
+// Imbalance of one round's per-executor processing times: the busiest
+// executor's share over the ideal 1/W share, minus one (0 = perfectly
+// balanced). Undefined (false) for rounds without usable rows.
+bool RoundImbalance(const std::vector<std::vector<uint64_t>>& round_p,
+                    uint32_t round, double* out) {
+  if (round >= round_p.size()) {
+    return false;
+  }
+  const std::vector<uint64_t>& row = round_p[round];
+  if (row.size() < 2) {
+    return false;
+  }
+  uint64_t sum = 0;
+  uint64_t max = 0;
+  for (uint64_t v : row) {
+    sum += v;
+    max = std::max(max, v);
+  }
+  if (sum == 0) {
+    return false;
+  }
+  *out = static_cast<double>(max) * static_cast<double>(row.size()) /
+             static_cast<double>(sum) -
+         1.0;
+  return true;
+}
+
+// Hysteresis helper: `signal` observed this window extends the streak (and
+// resets the opposite direction's); returns true — and restarts the streak —
+// once it has held for `patience` consecutive eligible windows.
+bool StreakFire(bool signal, uint32_t patience, uint32_t* streak,
+                uint32_t* opposite) {
+  if (!signal) {
+    *streak = 0;
+    return false;
+  }
+  *opposite = 0;
+  if (++*streak < std::max(1u, patience)) {
+    return false;
+  }
+  *streak = 0;
+  return true;
+}
 }  // namespace
 
 Controller::Controller(const ControllerConfig& config, TunableStore* store)
@@ -23,33 +70,6 @@ Controller::Controller(const ControllerConfig& config, TunableStore* store)
 }
 
 double Controller::ResortDrift(const WindowTraceSegment& segment) {
-  const auto& round_p = segment.round_p;
-  // Imbalance of one round's per-executor processing times: the busiest
-  // executor's share over the ideal 1/W share, minus one (0 = perfectly
-  // balanced). Undefined (false) for rounds without usable rows.
-  const auto imbalance = [&round_p](uint32_t round, double* out) {
-    if (round >= round_p.size()) {
-      return false;
-    }
-    const std::vector<uint64_t>& row = round_p[round];
-    if (row.size() < 2) {
-      return false;
-    }
-    uint64_t sum = 0;
-    uint64_t max = 0;
-    for (uint64_t v : row) {
-      sum += v;
-      max = std::max(max, v);
-    }
-    if (sum == 0) {
-      return false;
-    }
-    *out = static_cast<double>(max) * static_cast<double>(row.size()) /
-               static_cast<double>(sum) -
-           1.0;
-    return true;
-  };
-
   // A stretch is a maximal run of rounds sharing one claim order (from one
   // re-sort to just before the next). Its drift is how much the imbalance
   // grew while the order went stale.
@@ -65,8 +85,8 @@ double Controller::ResortDrift(const WindowTraceSegment& segment) {
     if (j - i >= 2) {
       double first = 0.0;
       double last = 0.0;
-      if (imbalance(records[i].round, &first) &&
-          imbalance(records[j - 1].round, &last)) {
+      if (RoundImbalance(segment.round_p, records[i].round, &first) &&
+          RoundImbalance(segment.round_p, records[j - 1].round, &last)) {
         total += last - first;
         ++stretches;
       }
@@ -76,12 +96,27 @@ double Controller::ResortDrift(const WindowTraceSegment& segment) {
   return stretches == 0 ? 0.0 : total / stretches;
 }
 
-bool Controller::OnWindowEnd(const WindowTraceSegment& segment) {
+double Controller::MeanRoundImbalance(const WindowTraceSegment& segment) {
+  double total = 0.0;
+  uint32_t usable = 0;
+  for (const RoundTraceRecord& rec : segment.records) {
+    double imb = 0.0;
+    if (RoundImbalance(segment.round_p, rec.round, &imb)) {
+      total += imb;
+      ++usable;
+    }
+  }
+  return usable == 0 ? 0.0 : total / usable;
+}
+
+bool Controller::OnWindowEnd(const WindowTraceSegment& segment,
+                             const OwnershipView& view) {
   const RunSummary& sum = segment.summary;
   const uint64_t rounds = segment.records.size();
   if (rounds < std::max(1u, config_.min_rounds)) {
     // Too little signal — and the sequential/null-message kernels, which
-    // have no synchronization rounds at all, land here every window.
+    // have no synchronization rounds at all, land here every window. Thin
+    // windows neither extend nor reset the hysteresis streaks.
     return false;
   }
 
@@ -129,7 +164,8 @@ bool Controller::OnWindowEnd(const WindowTraceSegment& segment) {
   // Rule 2 — re-sort cadence: replace the static ceil(log2 n) of §4.3 with
   // the observed payoff. Fast-growing imbalance between re-sorts means the
   // order goes stale too quickly (shrink the period); flat imbalance means
-  // re-sorting buys nothing (grow it).
+  // re-sorting buys nothing (grow it). Each direction must hold for
+  // `rule_patience` consecutive windows before it publishes.
   bool any_resort = false;
   for (const RoundTraceRecord& rec : segment.records) {
     any_resort = any_resort || rec.resorted;
@@ -137,10 +173,15 @@ bool Controller::OnWindowEnd(const WindowTraceSegment& segment) {
   if (any_resort && executors > 1 && !segment.round_p.empty()) {
     const double drift = ResortDrift(segment);
     const uint32_t period = std::max(1u, sum.sched_period);
-    if (drift > config_.drift_shrink && period > config_.min_period) {
+    if (StreakFire(drift > config_.drift_shrink && period > config_.min_period,
+                   config_.rule_patience, &resort_shrink_streak_,
+                   &resort_grow_streak_)) {
       next.sched_period = std::max(config_.min_period, period / 2);
       fire("resort-shrink");
-    } else if (drift < config_.drift_grow && period < config_.max_period) {
+    }
+    if (StreakFire(drift < config_.drift_grow && period < config_.max_period,
+                   config_.rule_patience, &resort_grow_streak_,
+                   &resort_shrink_streak_)) {
       next.sched_period = std::min(config_.max_period, period * 2);
       fire("resort-grow");
     }
@@ -149,6 +190,7 @@ bool Controller::OnWindowEnd(const WindowTraceSegment& segment) {
   // Rule 3 — window horizon: a sync-bound window (low P/(P+S)) gets a
   // shorter Run() slice so tuning reacts more often; a processing-bound one
   // sheds the slicing overhead again, reverting to unbounded past the cap.
+  // Same hysteresis as rule 2.
   const uint64_t p_ns = sum.processing_ns;
   const uint64_t s_ns = sum.synchronization_ns;
   if (executors > 1 && p_ns + s_ns > 0) {
@@ -156,7 +198,8 @@ bool Controller::OnWindowEnd(const WindowTraceSegment& segment) {
         static_cast<double>(p_ns) / static_cast<double>(p_ns + s_ns);
     const int64_t cap = config_.max_window_ps > 0 ? config_.max_window_ps
                                                   : kDefaultHorizonCapPs;
-    if (ps_ratio < config_.ps_low) {
+    if (StreakFire(ps_ratio < config_.ps_low, config_.rule_patience,
+                   &window_shrink_streak_, &window_grow_streak_)) {
       const int64_t span = sum.window_stop_ps - sum.window_start_ps;
       const int64_t current =
           next.max_window_ps > 0
@@ -167,10 +210,70 @@ bool Controller::OnWindowEnd(const WindowTraceSegment& segment) {
         next.max_window_ps = want;
         fire("window-shrink");
       }
-    } else if (ps_ratio > config_.ps_high && next.max_window_ps > 0) {
+    }
+    if (StreakFire(ps_ratio > config_.ps_high && next.max_window_ps > 0,
+                   config_.rule_patience, &window_grow_streak_,
+                   &window_shrink_streak_)) {
       const int64_t want = next.max_window_ps * 2;
       next.max_window_ps = want > cap ? 0 : want;
       fire("window-grow");
+    }
+  }
+
+  // Rule 4 — rebalance: imbalance that re-sorting keeps failing to fix
+  // means the *assignment* is skewed, not the claim order — no ordering of
+  // the same per-executor LP sets can shed load across the boundary. After
+  // `rebalance_patience` consecutive high-imbalance windows, recompute the
+  // placement outright: LPT over the recorded per-LP window costs, published
+  // as a move set the kernel applies at its next window boundary.
+  double observed_imbalance = 0.0;
+  double predicted_imbalance = 0.0;
+  bool rebalanced = false;
+  const bool rebalance_eligible =
+      view.movable && view.num_executors > 1 && view.owner_of_lp != nullptr &&
+      view.lp_cost_ns != nullptr && any_resort && executors > 1 &&
+      !segment.round_p.empty();
+  if (rebalance_cooldown_left_ > 0) {
+    --rebalance_cooldown_left_;
+    rebalance_streak_ = 0;
+  } else if (rebalance_eligible) {
+    const double imb = MeanRoundImbalance(segment);
+    if (imb > config_.rebalance_imbalance_high) {
+      ++rebalance_streak_;
+    } else {
+      rebalance_streak_ = 0;
+    }
+    if (rebalance_streak_ >= std::max(1u, config_.rebalance_patience)) {
+      const std::vector<uint64_t>& cost = *view.lp_cost_ns;
+      const std::vector<uint32_t>& owner = *view.owner_of_lp;
+      uint64_t total_cost = 0;
+      for (uint64_t c : cost) {
+        total_cost += c;
+      }
+      if (cost.size() == owner.size() && total_cost > 0) {
+        std::vector<uint32_t> assign;
+        const uint64_t makespan = ListScheduleMakespan(
+            cost, SortByCostDescending(cost), view.num_executors, &assign);
+        std::vector<LpMove> moves;
+        for (uint32_t lp = 0; lp < owner.size(); ++lp) {
+          if (assign[lp] != owner[lp]) {
+            moves.push_back(LpMove{lp, assign[lp]});
+          }
+        }
+        if (!moves.empty()) {
+          observed_imbalance = imb;
+          predicted_imbalance = static_cast<double>(makespan) *
+                                    static_cast<double>(view.num_executors) /
+                                    static_cast<double>(total_cost) -
+                                1.0;
+          next.moves = std::move(moves);
+          next.rebalance_seq = store_->Get().rebalance_seq + 1;
+          fire("rebalance");
+          rebalanced = true;
+        }
+      }
+      rebalance_streak_ = 0;
+      rebalance_cooldown_left_ = config_.rebalance_cooldown;
     }
   }
 
@@ -178,8 +281,12 @@ bool Controller::OnWindowEnd(const WindowTraceSegment& segment) {
     return false;
   }
   store_->Publish(next);
-  decisions_.push_back(
-      Decision{store_->epoch(), sum.window_index, std::move(rule), next});
+  Decision d{store_->epoch(), sum.window_index, std::move(rule), next};
+  if (rebalanced) {
+    d.observed_imbalance = observed_imbalance;
+    d.predicted_imbalance = predicted_imbalance;
+  }
+  decisions_.push_back(std::move(d));
   return true;
 }
 

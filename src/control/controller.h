@@ -19,6 +19,16 @@
 //                     | across re-sort stretches         | sched_period
 //   window horizon    | P/(P+S) ratio of the window      | halve/double the
 //                     |                                  | Run() slice bound
+//   rebalance         | mean per-round imbalance stays   | publish an LPT
+//                     | high for K windows despite       | move set; kernels
+//                     | re-sorts                         | migrate LPs at the
+//                     |                                  | next boundary
+//
+// The re-sort and window rules carry hysteresis: each direction must be
+// observed for `rule_patience` consecutive eligible windows before its epoch
+// publishes, so a single noisy window cannot flip a knob and the rebalance
+// rule (which watches the same imbalance signal over a longer horizon) does
+// not oscillate against them.
 //
 // PARSIR's observation (PAPERS.md) is that exploiting the *actual*
 // multiprocessor — not the nominal one — is the whole game; the
@@ -76,6 +86,25 @@ struct ControllerConfig {
   // Windows with fewer rounds than this carry too little signal to act on
   // (and sequential/null-message windows have no round records at all).
   uint32_t min_rounds = 8;
+
+  // Hysteresis for the re-sort cadence and window-horizon rules: how many
+  // consecutive eligible windows must show the same out-of-band signal
+  // before that direction publishes. 1 = act on the first window (the PR 8
+  // behaviour). Thin windows (below min_rounds) neither extend nor reset a
+  // streak.
+  uint32_t rule_patience = 2;
+
+  // Rebalance rule: when the mean per-round processing imbalance (busiest
+  // executor's share over the ideal 1/W share, minus one) stays above
+  // `rebalance_imbalance_high` for `rebalance_patience` consecutive windows
+  // *with re-sorts active* — i.e. reordering the claims could not fix it, so
+  // the assignment itself is skewed — publish an LPT move set computed from
+  // the kernel's per-LP window costs. `rebalance_cooldown` windows must pass
+  // after a publish before the streak may begin again, giving the moved
+  // placement time to show up in the signal.
+  double rebalance_imbalance_high = 0.25;
+  uint32_t rebalance_patience = 3;
+  uint32_t rebalance_cooldown = 4;
 };
 
 class Controller {
@@ -84,8 +113,11 @@ class Controller {
 
   // Consumes one completed window's segment; publishes at most one tunable
   // epoch. Returns true when something was published. Call only between
-  // Run() windows.
-  bool OnWindowEnd(const WindowTraceSegment& segment);
+  // Run() windows. `view` is the kernel's ownership state for the rebalance
+  // rule; the default (empty) view disables that rule, which keeps synthetic
+  // single-segment callers meaningful.
+  bool OnWindowEnd(const WindowTraceSegment& segment,
+                   const OwnershipView& view = {});
 
   // Audit log: one entry per published epoch.
   struct Decision {
@@ -93,9 +125,15 @@ class Controller {
     uint32_t window = 0;
     std::string rule;  // "oversubscribed" | "affinity-fallback" |
                        // "resort-shrink" | "resort-grow" |
-                       // "window-shrink" | "window-grow" (comma-joined when
-                       // several rules fire in one window).
+                       // "window-shrink" | "window-grow" | "rebalance"
+                       // (comma-joined when several rules fire in one
+                       // window).
     Tunables tunables;
+    // Rebalance decisions only: the observed mean round imbalance that
+    // triggered the move set, and the imbalance the LPT assignment predicts
+    // for the post-move placement (makespan * W / total - 1).
+    double observed_imbalance = 0.0;
+    double predicted_imbalance = 0.0;
   };
   const std::vector<Decision>& decisions() const { return decisions_; }
 
@@ -105,10 +143,21 @@ class Controller {
   // re-sort stretches; exposed for tests and the trace tooling.
   static double ResortDrift(const WindowTraceSegment& segment);
 
+  // Mean per-round processing imbalance (max share over the ideal share,
+  // minus one) over the window's usable rounds; the rebalance rule's signal.
+  static double MeanRoundImbalance(const WindowTraceSegment& segment);
+
  private:
   ControllerConfig config_;
   TunableStore* const store_;
   std::vector<Decision> decisions_;
+  // Hysteresis streaks: consecutive eligible windows showing each signal.
+  uint32_t resort_shrink_streak_ = 0;
+  uint32_t resort_grow_streak_ = 0;
+  uint32_t window_shrink_streak_ = 0;
+  uint32_t window_grow_streak_ = 0;
+  uint32_t rebalance_streak_ = 0;
+  uint32_t rebalance_cooldown_left_ = 0;
 };
 
 }  // namespace unison

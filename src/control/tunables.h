@@ -18,8 +18,10 @@
 #define UNISON_SRC_CONTROL_TUNABLES_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "src/kernel/engine/cpu_topology.h"
+#include "src/partition/partition_map.h"
 
 namespace unison {
 
@@ -40,6 +42,14 @@ struct Tunables {
   // picoseconds; 0 = unbounded (the caller's stop time is the horizon).
   // Network::Run slices its stop time by this when a controller is attached.
   int64_t max_window_ps = 0;
+  // LP-ownership move set published by the controller's rebalance rule.
+  // `rebalance_seq` is a monotone generation counter: a kernel applies
+  // `moves` (folded modulo its executor domain) exactly once, at the first
+  // window boundary where the sampled seq exceeds the last generation it
+  // applied — re-sampling the same set across later windows is a no-op.
+  // Results-neutral in deterministic mode, like every other knob here.
+  uint64_t rebalance_seq = 0;
+  std::vector<LpMove> moves;
 };
 
 class TunableStore {

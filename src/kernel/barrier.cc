@@ -9,6 +9,11 @@ namespace unison {
 void BarrierKernel::Setup(const TopoGraph& graph, const Partition& partition) {
   Kernel::Setup(graph, partition);
   const uint32_t ranks = num_lps();
+  // Rank r starts out owning LP r (the classic 1:1 pinning); the rank count
+  // stays structural, but which LPs a rank serves is live — migrations
+  // re-home LPs across the same rank set at window boundaries.
+  pmap_.ResetStrided(ranks, ranks);
+  ownership_movable_ = true;
   barrier_ = std::make_unique<CombiningBarrier>(ranks);
   rank_events_.assign(ranks, 0);
   // A borrowed pool keeps its owner's placement; only the kernel's own pool
@@ -25,6 +30,7 @@ RunResult BarrierKernel::Run(Time stop_time) {
   // The rank count is structural (one per LP), so only placement is live
   // here; re-Ensure covers a borrowed pool resized by its owner's tuning.
   tuning_ = SampleTuning(ranks, /*parties_tunable=*/false);
+  ApplyPendingMigrations();
   if (active_pool_ == &pool_) {
     pool_.ApplyPlacement(tuning_.affinity);
   }
@@ -34,7 +40,7 @@ RunResult BarrierKernel::Run(Time stop_time) {
   const uint64_t run_t0 = Profiler::NowNs();
   rank_events_.assign(ranks, 0);
 
-  active_pool_->Run([this](uint32_t rank) { RankLoop(rank); });
+  active_pool_->Run([this](uint32_t rank) { ExecLoop(rank); });
 
   processed_events_ = 0;
   for (uint64_t n : rank_events_) {
@@ -45,8 +51,11 @@ RunResult BarrierKernel::Run(Time stop_time) {
                    sync_.reason());
 }
 
-void BarrierKernel::RankLoop(uint32_t rank) {
-  Lp* const lp = lps_[rank].get();
+void BarrierKernel::ExecLoop(uint32_t rank) {
+  // The LP set this rank serves for the whole window; ownership only changes
+  // between windows (ApplyPendingMigrations), so the reference stays valid
+  // and no worker ever observes a mid-window move.
+  const std::vector<uint32_t>& owned = pmap_.owned(rank);
   uint64_t events = 0;
   // Rank-local mirror of sync_.round_index(); keys the accountant's
   // executor-private per-round rows (see unison.cc for why that is safe).
@@ -57,11 +66,16 @@ void BarrierKernel::RankLoop(uint32_t rank) {
     // All-reduce (MPI_Allreduce analogue): each rank contributes its next
     // event timestamp, event count, and stop vote to the barrier's fused
     // reduction — one tree pass instead of a CAS fold plus a separate
-    // barrier word.
+    // barrier word. A rank that owns no LPs (everything migrated away)
+    // contributes Max and keeps arriving: the barrier is population-fixed.
     acct.OpenInterval();
+    Time min_next = Time::Max();
+    for (uint32_t id : owned) {
+      min_next = std::min(min_next, lps_[id]->fel().NextTimestamp());
+    }
     const uint64_t barrier_t0 =
         rank == 0 && sync_.tracing() ? Profiler::NowNs() : 0;
-    barrier_->Arrive(rank, lp->fel().NextTimestamp().ps(), events,
+    barrier_->Arrive(rank, min_next.ps(), events,
                      stop_requested() ? CombiningBarrier::kStopFlag : 0);
     if (rank == 0) {
       sync_.Absorb(*barrier_);
@@ -84,15 +98,26 @@ void BarrierKernel::RankLoop(uint32_t rank) {
     acct.BeginRound(round);
     acct.CloseSync();
 
-    // Process this rank's events inside the window.
-    const uint64_t n = lp->ProcessUntil(sync_.window());
-    events += n;
-    const uint64_t p_ns = acct.CloseProcessing();
-    if (acct.timing() && profiler_->per_lp) {
-      profiler_->AddLpRound(rank, LpRoundCost{round, lp->id(),
-                                              static_cast<uint32_t>(n),
-                                              static_cast<uint32_t>(n), p_ns});
+    // Process the owned LPs' events inside the window, in ascending LpId
+    // order (the owned list's construction order — deterministic across any
+    // migration history).
+    for (uint32_t id : owned) {
+      Lp* const lp = lps_[id].get();
+      const uint64_t lp_t0 = acct.timing() ? Profiler::NowNs() : 0;
+      const uint64_t n = lp->ProcessUntil(sync_.window());
+      events += n;
+      if (acct.timing()) {
+        const uint64_t p_ns = Profiler::NowNs() - lp_t0;
+        AddLpWindowCost(id, p_ns);
+        if (profiler_->per_lp) {
+          profiler_->AddLpRound(rank, LpRoundCost{round, lp->id(),
+                                                  static_cast<uint32_t>(n),
+                                                  static_cast<uint32_t>(n),
+                                                  p_ns});
+        }
+      }
     }
+    acct.CloseProcessing();
     rank_events_[rank] = events;  // Published by the barrier for LiveEvents.
 
     // Rank 0 additionally handles global events at the window edge so that
@@ -109,8 +134,10 @@ void BarrierKernel::RankLoop(uint32_t rank) {
     barrier_->Arrive(rank);
     acct.CloseSync();
 
-    // Receive cross-LP events (M).
-    lp->DrainInboxes();
+    // Receive cross-LP events (M) for every owned LP.
+    for (uint32_t id : owned) {
+      lps_[id]->DrainInboxes();
+    }
     acct.CloseMessaging();
     barrier_->Arrive(rank);
     acct.CloseSync();

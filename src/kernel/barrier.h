@@ -1,8 +1,10 @@
 // Barrier-synchronization PDES baseline (§2.3): the default parallel kernel
 // of ns-3, reproduced over threads instead of MPI ranks.
 //
-// The topology is statically partitioned by the user; each LP is pinned to
-// its own executor ("rank"). Every round, ranks all-reduce the minimum
+// The topology is statically partitioned by the user; each LP starts on its
+// own executor ("rank"), though ownership is live — window-boundary
+// migrations may re-home LPs across the rank set. Every round, ranks
+// all-reduce the minimum
 // next-event timestamp to obtain the LBTS (Eq. 1), process events below it,
 // and barrier. Cross-LP events go through a locked per-rank inbox, mimicking
 // MPI message receipt — including its arrival-order indeterminism when the
@@ -28,7 +30,9 @@ class BarrierKernel : public Kernel {
   void Setup(const TopoGraph& graph, const Partition& partition) override;
   RunResult Run(Time stop_time) override;
 
-  // One executor per LP: rank r runs LP r.
+  // One executor rank per LP. The *initial* assignment pins rank r to LP r,
+  // but ownership is live (partition map): the rank count is the ceiling,
+  // not the mapping.
   uint32_t MaxExecutors() const override { return num_lps(); }
 
   ExecutorPool* executor_pool() override { return active_pool_; }
@@ -50,7 +54,8 @@ class BarrierKernel : public Kernel {
   }
 
  private:
-  void RankLoop(uint32_t rank);
+  // One executor rank's window loop over its owned LP set (pmap_.owned).
+  void ExecLoop(uint32_t rank);
 
   ExecutorPool pool_;    // Threads spawned once at Setup, reused across runs.
   // The pool Run() actually uses: the borrowed external pool when one was

@@ -15,22 +15,23 @@ void HybridKernel::Setup(const TopoGraph& graph, const Partition& partition) {
 
   // Coarse host mapping: slice the node-id range into `ranks_` blocks (the
   // static partition the barrier algorithm would use), then place each LP on
-  // the rank owning its first node. Fine-grained LPs never straddle hosts.
-  rank_of_lp_.assign(num_lps(), 0);
+  // the rank owning its first node. Fine-grained LPs never straddle hosts —
+  // initially; the assignment lives in the partition map, so window-boundary
+  // migrations can re-home an LP to another rank when the load says so.
+  std::vector<uint32_t> assignment(num_lps(), 0);
   std::vector<NodeId> first_node(num_lps(), graph.num_nodes);
   for (NodeId n = 0; n < graph.num_nodes; ++n) {
     const LpId lp = partition_.lp_of_node[n];
     first_node[lp] = std::min(first_node[lp], n);
   }
-  rank_lps_.assign(ranks_, {});
   for (LpId lp = 0; lp < num_lps(); ++lp) {
-    const uint32_t rank = static_cast<uint32_t>(
+    assignment[lp] = static_cast<uint32_t>(
         static_cast<uint64_t>(first_node[lp]) * ranks_ / std::max(1u, graph.num_nodes));
-    rank_of_lp_[lp] = rank;
-    rank_lps_[rank].push_back(lp);
   }
+  pmap_.Reset(std::move(assignment), ranks_);
+  ownership_movable_ = true;
+  OnOwnershipChanged();  // Populate the rank mirrors from the map.
 
-  rank_order_ = rank_lps_;
   rank_claim_.clear();
   rank_claim_recv_.clear();
   for (uint32_t r = 0; r < ranks_; ++r) {
@@ -67,6 +68,11 @@ RunResult HybridKernel::Run(Time stop_time) {
   const uint32_t workers = ranks_ * lanes_;
   active_pool_->Ensure(workers);
 
+  // Window-boundary ownership moves (controller rebalance or staged by
+  // tests); OnOwnershipChanged refreshes the rank mirrors when anything
+  // actually moved.
+  ApplyPendingMigrations();
+
   sync_.BeginRun("hybrid", workers, stop_time);
   sync_.SetParkBaseline(barrier_->parks());
   timing_ =
@@ -85,6 +91,15 @@ RunResult HybridKernel::Run(Time stop_time) {
   rounds_ = sync_.round_index();
   return FinishRun("hybrid", workers, Profiler::NowNs() - run_t0, stop_time,
                    sync_.reason());
+}
+
+void HybridKernel::OnOwnershipChanged() {
+  rank_of_lp_ = pmap_.owners();
+  rank_lps_ = pmap_.owned();
+  // Fresh id-ascending claim orders; the next prologue re-sorts them by cost.
+  // Claim order only affects wall time (results-neutral), so resetting it on
+  // a move costs nothing observable.
+  rank_order_ = rank_lps_;
 }
 
 void HybridKernel::Prologue() {
@@ -164,7 +179,9 @@ void HybridKernel::RoundLoop(uint32_t worker) {
       const uint64_t n = lps_[lp_id]->ProcessUntil(window);
       events += n;
       if (acct.timing()) {
-        last_round_ns_[lp_id] = Profiler::NowNs() - lp_t0;
+        const uint64_t lp_ns = Profiler::NowNs() - lp_t0;
+        last_round_ns_[lp_id] = lp_ns;
+        AddLpWindowCost(lp_id, lp_ns);
       }
     }
     acct.CloseProcessing();

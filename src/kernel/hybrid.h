@@ -10,11 +10,14 @@
 // structure).
 //
 // The semantic difference from plain Unison is that load balancing never
-// crosses a rank boundary: a rank's workers only ever claim that rank's LPs,
-// so skew between hosts shows up as synchronization time — which is what the
-// distributed experiments of the paper measure. The prologue, P/S/M
-// accounting, and worker threads come from the shared engine
-// (src/kernel/engine/).
+// crosses a rank boundary *within a window*: a rank's workers only ever
+// claim that rank's LPs, so skew between hosts shows up as synchronization
+// time — which is what the distributed experiments of the paper measure.
+// Between windows, though, ownership is live (partition map): the
+// controller's rebalance rule can re-home LPs across ranks, modeling a
+// deployment that migrates LP state between hosts at a quiescent point. The
+// prologue, P/S/M accounting, and worker threads come from the shared
+// engine (src/kernel/engine/).
 #ifndef UNISON_SRC_KERNEL_HYBRID_H_
 #define UNISON_SRC_KERNEL_HYBRID_H_
 
@@ -56,6 +59,10 @@ class HybridKernel : public Kernel {
     }
     return sum;
   }
+
+  // Rebuilds the rank mirrors (rank_of_lp_/rank_lps_/rank_order_) from the
+  // partition map after a migration batch or snapshot restore.
+  void OnOwnershipChanged() override;
 
  private:
   void Prologue();

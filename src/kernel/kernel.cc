@@ -64,6 +64,13 @@ void Kernel::Setup(const TopoGraph& graph, const Partition& partition) {
   session_rounds_ = 0;
   session_windows_ = 0;
   stop_requested_ = false;
+  // Trivial single-executor ownership; kernels with real executor domains
+  // install theirs right after this base Setup returns.
+  pmap_.ResetStrided(partition_.num_lps, 1);
+  ownership_movable_ = false;
+  applied_rebalance_seq_ = 0;
+  window_migrations_ = 0;
+  lp_window_cost_ns_.assign(partition_.num_lps, 0);
   if (trace_ != nullptr) {
     trace_->BeginSession();
   }
@@ -72,6 +79,24 @@ void Kernel::Setup(const TopoGraph& graph, const Partition& partition) {
 
 void Kernel::BeginWindow() {
   stop_requested_.store(false, std::memory_order_relaxed);
+  lp_window_cost_ns_.assign(num_lps(), 0);
+}
+
+void Kernel::ApplyPendingMigrations() {
+  if (tunables_ != nullptr) {
+    const Tunables& live = tunables_->Get();
+    if (live.rebalance_seq > applied_rebalance_seq_) {
+      pmap_.Stage(live.moves);
+      applied_rebalance_seq_ = live.rebalance_seq;
+    }
+  }
+  window_migrations_ = 0;
+  if (pmap_.has_staged()) {
+    window_migrations_ = pmap_.ApplyStaged();
+    if (window_migrations_ > 0) {
+      OnOwnershipChanged();
+    }
+  }
 }
 
 void Kernel::ScheduleOnNode(NodeId node, Time abs, EventFn fn) {
@@ -204,6 +229,8 @@ RunResult Kernel::FinishRun(const char* kernel_name, uint32_t executors,
   run_summary_.tuning_epoch = tuning_.epoch;
   run_summary_.sched_period = tuning_.sched_period;
   run_summary_.parties = tuning_.parties;
+  run_summary_.migrations = window_migrations_;
+  run_summary_.ownership_epoch = pmap_.epoch();
   if (profiler_ != nullptr && profiler_->enabled) {
     run_summary_.processing_ns = profiler_->TotalProcessingNs();
     run_summary_.synchronization_ns = profiler_->TotalSyncNs();

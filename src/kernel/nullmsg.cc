@@ -10,11 +10,17 @@ namespace unison {
 
 void NullMessageKernel::Setup(const TopoGraph& graph, const Partition& partition) {
   Kernel::Setup(graph, partition);
+  // Executor i starts out serving LP i; migrations re-home LPs across the
+  // same executor set at window boundaries.
+  pmap_.ResetStrided(num_lps(), num_lps());
+  ownership_movable_ = true;
   channels_.clear();
   channel_of_pair_.clear();
+  chans_.clear();
+  chans_.resize(num_lps());
   ctl_.clear();
   for (uint32_t i = 0; i < num_lps(); ++i) {
-    ctl_.push_back(std::make_unique<LpCtl>());
+    ctl_.push_back(std::make_unique<ExecCtl>());
   }
   // One channel per directed cut pair; its lookahead is the minimum delay of
   // the cut links between the pair. The pair map makes wiring O(E) instead of
@@ -29,8 +35,8 @@ void NullMessageKernel::Setup(const TopoGraph& graph, const Partition& partition
         c->from = src;
         c->to = dst;
         c->lookahead = edge.delay;
-        ctl_[src]->out.push_back(c);
-        ctl_[dst]->in.push_back(c);
+        chans_[src].out.push_back(c);
+        chans_[dst].in.push_back(c);
         it->second = c;
       } else {
         it->second->lookahead = std::min(it->second->lookahead, edge.delay);
@@ -84,7 +90,9 @@ void NullMessageKernel::ScheduleRemote(Lp* from, LpId target, Event ev) {
 }
 
 void NullMessageKernel::Signal(LpId target) {
-  LpCtl& ctl = *ctl_[target];
+  // Route to whoever serves the target this window. Ownership only changes
+  // between windows, so a mid-window lookup can never race a move.
+  ExecCtl& ctl = *ctl_[pmap_.owner(target)];
   {
     std::lock_guard<std::mutex> lock(ctl.mu);
     ++ctl.signal;
@@ -108,6 +116,7 @@ RunResult NullMessageKernel::Run(Time stop_time) {
   // The party count is structural (one LP loop per LP), so only placement is
   // live; re-Ensure covers a borrowed pool resized by its owner's tuning.
   tuning_ = SampleTuning(num_lps(), /*parties_tunable=*/false);
+  ApplyPendingMigrations();
   if (active_pool_ == &pool_) {
     pool_.ApplyPlacement(tuning_.affinity);
   }
@@ -117,7 +126,7 @@ RunResult NullMessageKernel::Run(Time stop_time) {
   // per-executor P/S/M only.
   sync_.BeginRun("nullmsg", num_lps(), stop_time);
   const uint64_t run_t0 = Profiler::NowNs();
-  lp_events_.assign(num_lps(), 0);
+  exec_events_.assign(num_lps(), 0);
   // Reset channel promises so consecutive windows start conservative: the
   // previous window's final clocks (often latched at +inf once every FEL
   // drained) would let this window process events below messages still to be
@@ -143,10 +152,10 @@ RunResult NullMessageKernel::Run(Time stop_time) {
     c->nulls = 0;
   }
 
-  active_pool_->Run([this](uint32_t id) { LpLoop(id); });
+  active_pool_->Run([this](uint32_t ex) { ExecLoop(ex); });
 
   processed_events_ = 0;
-  for (uint64_t n : lp_events_) {
+  for (uint64_t n : exec_events_) {
     processed_events_ += n;
   }
   null_messages_ = 0;
@@ -173,18 +182,26 @@ RunResult NullMessageKernel::Run(Time stop_time) {
                    reason);
 }
 
-void NullMessageKernel::LpLoop(LpId id) {
-  Lp* const lp = lps_[id].get();
-  LpCtl& ctl = *ctl_[id];
+void NullMessageKernel::ExecLoop(uint32_t ex) {
+  // The LP set this executor serves for the whole window; ownership only
+  // changes between windows. An executor whose LPs all migrated away returns
+  // immediately — nothing can ever signal it.
+  const std::vector<uint32_t>& owned = pmap_.owned(ex);
+  ExecCtl& ctl = *ctl_[ex];
   const Time stop = sync_.stop();
   uint64_t events = 0;
   uint64_t rounds = 0;
-  // "Rounds" are LP-local iterations here; they still key executor-private
+  // "Rounds" are executor-local sweeps here; they still key executor-private
   // per-round rows so the rows-sum-to-totals invariant holds for this kernel
   // too, even though iteration counts differ per executor.
-  PhaseAccountant acct(id, sync_.profiling(), profiler_);
+  PhaseAccountant acct(ex, sync_.profiling(), profiler_);
 
-  for (;;) {
+  // An LP is done once everything below the stop time has been processed and
+  // its final promises sent; the sweep skips it from then on.
+  std::vector<bool> done(owned.size(), false);
+  size_t remaining = owned.size();
+
+  while (remaining > 0) {
     uint64_t sig;
     {
       std::lock_guard<std::mutex> lock(ctl.mu);
@@ -193,53 +210,74 @@ void NullMessageKernel::LpLoop(LpId id) {
     acct.BeginRound(static_cast<uint32_t>(rounds));
     acct.OpenInterval();
 
-    // Receive: drain input channels, note their clocks.
-    Time safe_in = Time::Max();
-    for (Channel* c : ctl.in) {
-      std::vector<Event> got;
-      {
-        std::lock_guard<std::mutex> lock(c->mu);
-        got.swap(c->events);
-        safe_in = std::min(safe_in, Time::Picoseconds(c->clock_ps));
+    // One sweep over the owned set, ascending LpId. Progress on one owned LP
+    // can unblock another owned LP in the same sweep only via its promises;
+    // those bump our own signal, so the wait below cannot miss it.
+    for (size_t k = 0; k < owned.size(); ++k) {
+      if (done[k]) {
+        continue;
       }
-      for (Event& ev : got) {
-        lp->Insert(std::move(ev));
-      }
-    }
-    acct.CloseMessaging();
+      Lp* const lp = lps_[owned[k]].get();
+      const LpChans& ch = chans_[owned[k]];
 
-    // Process below the conservative bound.
-    const Time bound = std::min(safe_in, stop);
-    events += lp->ProcessUntil(bound);
-    ++rounds;
-    acct.CloseProcessing();
-
-    // Refresh output promises (eager null messages).
-    const Time horizon = std::min(lp->fel().NextTimestamp(), safe_in);
-    for (Channel* c : ctl.out) {
-      const int64_t promise =
-          horizon.IsMax() ? INT64_MAX
-                          : (horizon + c->lookahead).ps();
-      bool raised = false;
-      {
-        std::lock_guard<std::mutex> lock(c->mu);
-        if (promise > c->clock_ps) {
-          c->clock_ps = promise;
-          ++c->nulls;
-          raised = true;
+      // Receive: drain input channels, note their clocks.
+      Time safe_in = Time::Max();
+      for (Channel* c : ch.in) {
+        std::vector<Event> got;
+        {
+          std::lock_guard<std::mutex> lock(c->mu);
+          got.swap(c->events);
+          safe_in = std::min(safe_in, Time::Picoseconds(c->clock_ps));
+        }
+        for (Event& ev : got) {
+          lp->Insert(std::move(ev));
         }
       }
-      if (raised) {
-        Signal(c->to);
+      acct.CloseMessaging();
+
+      // Process below the conservative bound.
+      const Time bound = std::min(safe_in, stop);
+      const uint64_t lp_t0 = acct.timing() ? Profiler::NowNs() : 0;
+      const uint64_t n = lp->ProcessUntil(bound);
+      events += n;
+      if (acct.timing()) {
+        AddLpWindowCost(owned[k], Profiler::NowNs() - lp_t0);
+      }
+      acct.CloseProcessing();
+
+      // Refresh output promises (eager null messages).
+      const Time horizon = std::min(lp->fel().NextTimestamp(), safe_in);
+      for (Channel* c : ch.out) {
+        const int64_t promise =
+            horizon.IsMax() ? INT64_MAX
+                            : (horizon + c->lookahead).ps();
+        bool raised = false;
+        {
+          std::lock_guard<std::mutex> lock(c->mu);
+          if (promise > c->clock_ps) {
+            c->clock_ps = promise;
+            ++c->nulls;
+            raised = true;
+          }
+        }
+        if (raised) {
+          Signal(c->to);
+        }
+      }
+      acct.CloseMessaging();
+
+      if (bound >= stop) {
+        done[k] = true;  // Final promises already sent.
+        --remaining;
       }
     }
-    acct.CloseMessaging();
+    ++rounds;
 
-    if (stop_requested() || bound >= stop) {
-      break;  // Everything below stop is done; final promises already sent.
+    if (remaining == 0 || stop_requested()) {
+      break;
     }
 
-    // Block until some input channel changes.
+    // Block until some input channel of some owned LP changes.
     {
       std::unique_lock<std::mutex> lock(ctl.mu);
       ctl.cv.wait(lock, [&ctl, sig] { return ctl.signal != sig; });
@@ -247,8 +285,8 @@ void NullMessageKernel::LpLoop(LpId id) {
     acct.CloseSync();
   }
 
-  lp_events_[id] = events;
-  if (id == 0) {
+  exec_events_[ex] = events;
+  if (ex == 0) {
     rounds_ = rounds;
   }
   acct.set_events(events);  // Destructor flushes the totals to the profiler.

@@ -8,11 +8,14 @@
 // its output promises to min(N_i, safe_in) + channel lookahead — the eager
 // null-message rule that guarantees deadlock freedom for positive lookahead.
 //
-// One executor per LP, as with the MPI-based implementations the paper
-// profiles; runtime global events are not supported (the paper's §4.2 makes
-// the same observation about existing PDES). There are no shared rounds, so
-// only the engine's ExecutorPool and PhaseAccountant apply; RoundSync is
-// used for its run-level profiler/trace bookkeeping.
+// One executor per LP initially, as with the MPI-based implementations the
+// paper profiles — but ownership is live (partition map): window-boundary
+// migrations may hand several LPs to one executor, whose loop then serves
+// its whole owned set per wake-up. Runtime global events are not supported
+// (the paper's §4.2 makes the same observation about existing PDES). There
+// are no shared rounds, so only the engine's ExecutorPool and
+// PhaseAccountant apply; RoundSync is used for its run-level profiler/trace
+// bookkeeping.
 #ifndef UNISON_SRC_KERNEL_NULLMSG_H_
 #define UNISON_SRC_KERNEL_NULLMSG_H_
 
@@ -34,7 +37,8 @@ class NullMessageKernel : public Kernel {
   void Setup(const TopoGraph& graph, const Partition& partition) override;
   RunResult Run(Time stop_time) override;
 
-  // One executor per LP, as in the barrier baseline.
+  // One executor per LP initially, as in the barrier baseline; the executor
+  // count is the ceiling of the live ownership domain, not the mapping.
   uint32_t MaxExecutors() const override { return num_lps(); }
 
   ExecutorPool* executor_pool() override { return active_pool_; }
@@ -64,12 +68,20 @@ class NullMessageKernel : public Kernel {
     uint64_t nulls = 0;
   };
 
-  struct LpCtl {
+  // Per-LP channel endpoints: fixed wiring, independent of which executor
+  // serves the LP.
+  struct LpChans {
     std::vector<Channel*> in;
     std::vector<Channel*> out;
+  };
+
+  // Per-executor wake-up control: signalled whenever an in-channel of any LP
+  // the executor owns changes. Signals route through the live partition map,
+  // which only changes between windows — no mid-window re-route.
+  struct ExecCtl {
     std::mutex mu;
     std::condition_variable cv;
-    uint64_t signal = 0;  // Bumped under mu whenever an in-channel changes.
+    uint64_t signal = 0;  // Bumped under mu on every channel change.
   };
 
   static uint64_t PairKey(LpId from, LpId to) {
@@ -77,7 +89,7 @@ class NullMessageKernel : public Kernel {
   }
 
   void Signal(LpId target);
-  void LpLoop(LpId id);
+  void ExecLoop(uint32_t ex);
 
   ExecutorPool pool_;    // Threads spawned once at Setup, reused across runs.
   // The pool Run() actually uses: the borrowed external pool when one was
@@ -88,8 +100,9 @@ class NullMessageKernel : public Kernel {
   // Directed pair → channel; built at Setup, reused by ScheduleRemote so the
   // send path is one hash probe instead of a scan over the sender's fan-out.
   std::unordered_map<uint64_t, Channel*> channel_of_pair_;
-  std::vector<std::unique_ptr<LpCtl>> ctl_;
-  std::vector<uint64_t> lp_events_;
+  std::vector<LpChans> chans_;              // Indexed by LpId.
+  std::vector<std::unique_ptr<ExecCtl>> ctl_;  // Indexed by executor.
+  std::vector<uint64_t> exec_events_;
   uint64_t null_messages_ = 0;
 };
 

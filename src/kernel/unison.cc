@@ -12,6 +12,12 @@ namespace unison {
 void UnisonKernel::Setup(const TopoGraph& graph, const Partition& partition) {
   Kernel::Setup(graph, partition);
   num_workers_ = std::max(1u, config_.threads);
+  // Ownership domain = the config thread ceiling (MaxExecutors), not the
+  // live worker count: tuning may shrink workers between windows, and a move
+  // set computed in ceiling units stays meaningful — owner slots fold modulo
+  // the live count when the per-window lists are built.
+  pmap_.ResetStrided(num_lps(), num_workers_);
+  ownership_movable_ = true;
   order_.resize(num_lps());
   std::iota(order_.begin(), order_.end(), 0);
   last_round_ns_.assign(num_lps(), 0);
@@ -42,6 +48,15 @@ RunResult UnisonKernel::Run(Time stop_time) {
   // Re-Ensure every window (no-op when unchanged): a borrowed pool may have
   // been resized by its owner, and tuning resizes ours.
   active_pool_->Ensure(num_workers_);
+
+  // Apply any window-boundary ownership moves, then fold the live map onto
+  // this window's worker count: the map's domain is the config thread
+  // ceiling, so owner slots wrap modulo the (possibly smaller) live count.
+  ApplyPendingMigrations();
+  owned_lists_.assign(num_workers_, {});
+  for (uint32_t lp = 0; lp < num_lps(); ++lp) {
+    owned_lists_[pmap_.owner(lp) % num_workers_].push_back(lp);
+  }
 
   sync_.BeginRun("unison", num_workers_, stop_time);
   sync_.SetParkBaseline(barrier_->parks());
@@ -142,6 +157,7 @@ void UnisonKernel::RoundLoop(uint32_t worker) {
       if (acct.timing()) {
         const uint64_t lp_ns = Profiler::NowNs() - lp_t0;
         last_round_ns_[lp_id] = lp_ns;
+        AddLpWindowCost(lp_id, lp_ns);
         if (record) {
           profiler_->AddLpRound(worker,
                                 LpRoundCost{round, lp_id,
@@ -158,19 +174,16 @@ void UnisonKernel::RoundLoop(uint32_t worker) {
     // next barrier, so direct cross-LP insertion is safe.
     if (worker == 0) {
       events += RunGlobalEvents(sync_.lbts(), sync_.stop());
-      claim_recv_.store(0, std::memory_order_relaxed);
       acct.CloseProcessing();
     }
     barrier_->Arrive(worker);
     acct.CloseSync();
 
-    // Phase 3: receive events from mailboxes.
-    for (;;) {
-      const uint32_t i = claim_recv_.fetch_add(1, std::memory_order_relaxed);
-      if (i >= num) {
-        break;
-      }
-      lps_[i]->DrainInboxes();
+    // Phase 3: receive events from mailboxes — each worker drains the LPs it
+    // owns this window (no shared cursor; the lists partition all LPs, so
+    // every inbox is drained exactly once per round).
+    for (uint32_t id : owned_lists_[worker]) {
+      lps_[id]->DrainInboxes();
     }
     acct.CloseMessaging();
     // Every drain must land before anyone reads FELs for the window update:
@@ -178,14 +191,15 @@ void UnisonKernel::RoundLoop(uint32_t worker) {
     barrier_->Arrive(worker);
     acct.CloseSync();
 
-    // Phase 4: update the window — each worker folds a strided slice of LPs
-    // into a local minimum and contributes it, with its event count and stop
+    // Phase 4: update the window — each worker folds its owned LP list into
+    // a local minimum and contributes it, with its event count and stop
     // vote, to the end-of-round barrier's fused reduction. No shared CAS
-    // line: the tree combine IS the all-reduce.
+    // line: the tree combine IS the all-reduce. The lists partition all LPs,
+    // so the reduced min equals the strided slicing this replaces.
     int64_t local_min_ps = INT64_MAX;
-    for (uint32_t i = worker; i < num; i += num_workers_) {
+    for (uint32_t id : owned_lists_[worker]) {
       local_min_ps =
-          std::min(local_min_ps, lps_[i]->fel().NextTimestamp().ps());
+          std::min(local_min_ps, lps_[id]->fel().NextTimestamp().ps());
     }
     acct.CloseMessaging();
     // End-of-round barrier: releases with the reduced {min, count, flags}

@@ -9,10 +9,11 @@
 //   2. Global events   — worker 0 alone runs public-LP events that fall on
 //                        the window edge; topology changes recompute the
 //                        lookahead here.
-//   3. Receive events  — workers claim LPs again and drain their mailboxes
-//                        into the FELs.
-//   4. Update window   — each worker computes a local min over a strided LP
-//                        slice and contributes it (with its event count and
+//   3. Receive events  — each worker drains the mailboxes of the LPs it
+//                        owns (live partition map, folded onto the window's
+//                        worker count) into their FELs.
+//   4. Update window   — each worker computes a local min over its owned LP
+//                        list and contributes it (with its event count and
 //                        stop vote) to the end-of-round barrier's fused
 //                        reduction; worker 0 absorbs the tree's result and
 //                        derives the next LBTS from Eq. 2 (RoundSync).
@@ -76,8 +77,13 @@ class UnisonKernel : public Kernel {
   RoundSync sync_{this};
   std::unique_ptr<CombiningBarrier> barrier_;
   std::atomic<uint32_t> claim_{0};
-  std::atomic<uint32_t> claim_recv_{0};
 
+  // Per-worker LP lists for the receive and window-update phases, rebuilt at
+  // each window start from the live partition map (owner slot folded modulo
+  // the window's live worker count). Phase 1 keeps claiming dynamically —
+  // ownership here fixes *responsibility* (drain, min), not the
+  // load-adaptive processing order.
+  std::vector<std::vector<uint32_t>> owned_lists_;
   std::vector<uint32_t> order_;          // LP ids, scheduler priority order.
   std::vector<uint64_t> last_round_ns_;  // Per-LP ByLastRoundTime estimates.
   std::vector<uint64_t> cost_buf_;

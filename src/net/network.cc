@@ -223,7 +223,8 @@ RunResult Network::Run(Time stop) {
     total.events += r.events;
     total.rounds += r.rounds;
     if (!run_trace_.segments().empty()) {
-      controller_->OnWindowEnd(run_trace_.segments().back());
+      controller_->OnWindowEnd(run_trace_.segments().back(),
+                               kernel_->ownership_view());
     }
     if (r.reason != RunReason::kWindowReached || r.end >= stop) {
       return total;

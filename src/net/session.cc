@@ -18,13 +18,16 @@
 namespace unison {
 namespace {
 
-// USNP v2: little-endian, field-by-field, no alignment padding. The version
+// USNP v3: little-endian, field-by-field, no alignment padding. The version
 // gates the whole buffer — any layout change bumps it; there is no partial
 // compatibility. v2 added the live-tuning plane: TuningMode + ControllerConfig
 // in the SimConfig block, and the tunable epoch + values next to the session
-// counters, so a fork resumes with its parent's learned settings.
+// counters, so a fork resumes with its parent's learned settings. v3 adds the
+// realized LP-ownership map (partition-map epoch, executor domain, owner
+// array) after the tunables block, so a fork resumes with the parent's
+// migrated placement instead of the setup default.
 constexpr uint8_t kMagic[4] = {'U', 'S', 'N', 'P'};
-constexpr uint32_t kVersion = 2;
+constexpr uint32_t kVersion = 3;
 
 [[noreturn]] void SnapshotFatal(const std::string& message) {
   FatalConfigError("Session: " + message);
@@ -637,6 +640,20 @@ SessionSnapshot Session::Snapshot() {
   w.U8(static_cast<uint8_t>(tun.affinity));
   w.I64(tun.max_window_ps);
 
+  // v3: the realized LP-ownership map, in the capturing kernel's executor
+  // domain; Restore folds the owners modulo the restored kernel's own domain,
+  // so a snapshot taken under one kernel restores meaningfully under another.
+  // The controller's pending move set (rebalance_seq/moves) is deliberately
+  // NOT serialized: the realized map already reflects every applied move, and
+  // a fork's kernel restarts its applied-generation counter at zero.
+  const PartitionMap& pmap = kernel.partition_map();
+  w.U64(pmap.epoch());
+  w.U32(pmap.num_executors());
+  w.U32(pmap.num_lps());
+  for (uint32_t lp = 0; lp < pmap.num_lps(); ++lp) {
+    w.U32(pmap.owner(lp));
+  }
+
   const Kernel::SessionState session = kernel.session_state();
   w.TimeVal(session.session_now);
   w.TimeVal(session.resume_floor);
@@ -838,6 +855,15 @@ std::unique_ptr<Network> RestoreImpl(const SessionSnapshot& snap,
   tunables.affinity = static_cast<AffinityPolicy>(r.U8());
   tunables.max_window_ps = r.I64();
 
+  const uint64_t ownership_epoch = r.U64();
+  const uint32_t ownership_executors = r.U32();
+  (void)ownership_executors;  // Informational: the capturing kernel's domain.
+  const uint32_t ownership_lps = r.U32();
+  std::vector<uint32_t> owners(ownership_lps);
+  for (uint32_t& o : owners) {
+    o = r.U32();
+  }
+
   Kernel::SessionState session;
   session.session_now = r.TimeVal();
   session.resume_floor = r.TimeVal();
@@ -893,6 +919,12 @@ std::unique_ptr<Network> RestoreImpl(const SessionSnapshot& snap,
   // live values and epoch so the fork's first window runs with the parent's
   // learned settings (its controller, if any, keeps tuning from there).
   net->tunable_store().Restore(tunables, tuning_epoch);
+  // Reinstall the parent's realized LP placement (folded modulo this
+  // kernel's own executor domain). Results-neutral either way in
+  // deterministic mode; this preserves the parent's learned balance.
+  if (ownership_lps == kernel.num_lps()) {
+    kernel.RestoreOwnership(std::move(owners), ownership_epoch);
+  }
 
   for (uint32_t i = 0; i < num_lps; ++i) {
     GetLp(r, net.get(), kernel.lp(i));

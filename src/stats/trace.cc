@@ -1,5 +1,6 @@
 #include "src/stats/trace.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <utility>
 
@@ -10,6 +11,12 @@ namespace {
 void AppendU64(std::string* out, uint64_t v) { *out += std::to_string(v); }
 
 void AppendI64(std::string* out, int64_t v) { *out += std::to_string(v); }
+
+void AppendF64(std::string* out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  *out += buf;
+}
 
 void AppendU64Array(std::string* out, const std::vector<uint64_t>& values) {
   *out += '[';
@@ -96,6 +103,12 @@ std::string RunSummary::ToJson() const {
   AppendU64(&out, sched_period);
   out += ",\"parties\":";
   AppendU64(&out, parties);
+  out += ",\"migrations\":";
+  AppendU64(&out, migrations);
+  out += ",\"ownership_epoch\":";
+  AppendU64(&out, ownership_epoch);
+  out += ",\"imbalance\":";
+  AppendF64(&out, imbalance);
   out += '}';
   return out;
 }
@@ -155,6 +168,32 @@ void RunTrace::EndRun(const RunSummary& summary, const Profiler* profiler) {
       round_s_ = profiler->round_sync_ns();
       round_m_ = profiler->round_messaging_ns();
     }
+  }
+  // Mean per-round processing imbalance (busiest executor's share over the
+  // ideal 1/W share, minus one) — the observability half of the rebalance
+  // rule: a post-move window should show this dropping.
+  {
+    double total = 0.0;
+    uint32_t usable = 0;
+    for (const std::vector<uint64_t>& row : round_p_) {
+      if (row.size() < 2) {
+        continue;
+      }
+      uint64_t sum = 0;
+      uint64_t max = 0;
+      for (uint64_t v : row) {
+        sum += v;
+        max = std::max(max, v);
+      }
+      if (sum == 0) {
+        continue;
+      }
+      total += static_cast<double>(max) * static_cast<double>(row.size()) /
+                   static_cast<double>(sum) -
+               1.0;
+      ++usable;
+    }
+    summary_.imbalance = usable == 0 ? 0.0 : total / usable;
   }
   // Archive this window so a later Run() on the same session cannot erase it.
   WindowTraceSegment seg;
@@ -259,6 +298,7 @@ void AppendTraceBody(std::string* out, const RunSummary& summary,
 }
 
 void AppendCsvRows(std::string* out, uint32_t window, uint64_t tuning_epoch,
+                   uint32_t migrations,
                    const std::vector<RoundTraceRecord>& records,
                    const std::vector<std::vector<uint64_t>>& round_p,
                    const std::vector<std::vector<uint64_t>>& round_s,
@@ -287,6 +327,8 @@ void AppendCsvRows(std::string* out, uint32_t window, uint64_t tuning_epoch,
     AppendU64(out, r.parked);
     *out += ',';
     AppendU64(out, tuning_epoch);
+    *out += ',';
+    AppendU64(out, migrations);
     *out += '\n';
   }
 }
@@ -322,16 +364,17 @@ std::string RunTrace::ToCsv() const {
   std::string out;
   out.reserve(64 + records_.size() * 64);
   out += "window,round,lbts_ps,window_ps,events_before,resorted,p_total_ns,"
-         "s_total_ns,m_total_ns,barrier_ns,parked,tuning_epoch\n";
+         "s_total_ns,m_total_ns,barrier_ns,parked,tuning_epoch,migrations\n";
   if (segments_.empty()) {
     // Export mid-window (EndRun not yet reached): show the live records.
-    AppendCsvRows(&out, 0, summary_.tuning_epoch, records_, round_p_, round_s_,
-                  round_m_);
+    AppendCsvRows(&out, 0, summary_.tuning_epoch, summary_.migrations,
+                  records_, round_p_, round_s_, round_m_);
     return out;
   }
   for (const WindowTraceSegment& seg : segments_) {
     AppendCsvRows(&out, seg.summary.window_index, seg.summary.tuning_epoch,
-                  seg.records, seg.round_p, seg.round_s, seg.round_m);
+                  seg.summary.migrations, seg.records, seg.round_p, seg.round_s,
+                  seg.round_m);
   }
   return out;
 }

@@ -57,6 +57,16 @@ struct RunSummary {
   uint64_t tuning_epoch = 0;
   uint32_t sched_period = 0;
   uint32_t parties = 0;
+  // Movable-ownership provenance: how many LPs changed executor at this
+  // window's boundary, and the partition-map epoch the window ran under
+  // (0 = the setup-time placement, never migrated).
+  uint32_t migrations = 0;
+  uint64_t ownership_epoch = 0;
+  // Mean per-round processing imbalance of the window (busiest executor's
+  // share over the ideal 1/W share, minus one); 0 when the profiler recorded
+  // no usable per-round matrices. Filled by RunTrace::EndRun — the post-move
+  // balance observability for the rebalance rule.
+  double imbalance = 0.0;
 
   std::string ToJson() const;
 };

@@ -109,11 +109,14 @@ WindowTraceSegment MakeSegment(const SegmentSpec& spec) {
 }
 
 // A config whose thresholds are the defaults but with the round gate and the
-// machine size pinned, so tests are host-independent.
+// machine size pinned, so tests are host-independent. Patience 1 restores the
+// act-on-first-window behaviour the single-segment rule tests exercise; the
+// hysteresis tests below set their own patience.
 ControllerConfig TestConfig() {
   ControllerConfig cfg;
   cfg.min_rounds = 1;
   cfg.cpu_limit = 64;
+  cfg.rule_patience = 1;
   return cfg;
 }
 
@@ -221,6 +224,125 @@ TEST(Controller, WindowGrowRevertsToUnboundedPastTheCap) {
   EXPECT_EQ(store.Get().max_window_ps, 0);
   ASSERT_EQ(ctl.decisions().size(), 1u);
   EXPECT_EQ(ctl.decisions()[0].rule, "window-grow");
+}
+
+// --- Hysteresis (rule_patience) ---
+
+TEST(Controller, HysteresisDelaysRuleUntilPatienceWindows) {
+  TunableStore store;
+  ControllerConfig cfg = TestConfig();
+  cfg.rule_patience = 2;
+  Controller ctl(cfg, &store);
+  SegmentSpec spec;
+  spec.p_ns = 100;
+  spec.s_ns = 900;  // Window-shrink signal every window.
+  EXPECT_FALSE(ctl.OnWindowEnd(MakeSegment(spec)));  // Streak 1 of 2.
+  EXPECT_EQ(store.epoch(), 0u);
+  EXPECT_TRUE(ctl.OnWindowEnd(MakeSegment(spec)));  // Streak 2: publish.
+  ASSERT_EQ(ctl.decisions().size(), 1u);
+  EXPECT_EQ(ctl.decisions()[0].rule, "window-shrink");
+}
+
+TEST(Controller, HysteresisStreakResetsOnAQuietWindow) {
+  TunableStore store;
+  ControllerConfig cfg = TestConfig();
+  cfg.rule_patience = 2;
+  Controller ctl(cfg, &store);
+  SegmentSpec noisy;
+  noisy.p_ns = 100;
+  noisy.s_ns = 900;
+  SegmentSpec quiet;  // Balanced P/S: no signal.
+  EXPECT_FALSE(ctl.OnWindowEnd(MakeSegment(noisy)));
+  EXPECT_FALSE(ctl.OnWindowEnd(MakeSegment(quiet)));  // Resets the streak.
+  EXPECT_FALSE(ctl.OnWindowEnd(MakeSegment(noisy)));  // Restarts at 1.
+  EXPECT_TRUE(ctl.OnWindowEnd(MakeSegment(noisy)));
+  EXPECT_EQ(store.epoch(), 1u);
+}
+
+// --- Rebalance rule ---
+
+TEST(Controller, MeanRoundImbalanceAveragesUsableRounds) {
+  SegmentSpec spec;
+  spec.imb_first = 0.3;  // Constant 0.3 per round (no ramp without re-sorts).
+  EXPECT_NEAR(Controller::MeanRoundImbalance(MakeSegment(spec)), 0.3, 1e-3);
+}
+
+TEST(Controller, RebalancePublishesLptMovesAfterPatience) {
+  TunableStore store;
+  ControllerConfig cfg = TestConfig();
+  cfg.rebalance_patience = 2;
+  Controller ctl(cfg, &store);
+  SegmentSpec spec;
+  spec.resort_every = 4;
+  spec.imb_first = 0.40;
+  spec.imb_last = 0.55;  // Drift 0.15: rule 2's dead band; mean imb > 0.25.
+  // Executor 0 carries 500 of 700 ns; LPT moves lp 1 over to executor 1.
+  const std::vector<uint32_t> owner = {0, 0, 1, 1};
+  const std::vector<uint64_t> cost = {400, 100, 100, 100};
+  OwnershipView view;
+  view.num_executors = 2;
+  view.movable = true;
+  view.owner_of_lp = &owner;
+  view.lp_cost_ns = &cost;
+
+  EXPECT_FALSE(ctl.OnWindowEnd(MakeSegment(spec), view));  // Streak 1 of 2.
+  EXPECT_TRUE(ctl.OnWindowEnd(MakeSegment(spec), view));   // Fires.
+  EXPECT_EQ(store.epoch(), 1u);
+  EXPECT_EQ(store.Get().rebalance_seq, 1u);
+  ASSERT_EQ(store.Get().moves.size(), 1u);
+  EXPECT_EQ(store.Get().moves[0].lp, 1u);
+  EXPECT_EQ(store.Get().moves[0].to, 1u);
+  ASSERT_EQ(ctl.decisions().size(), 1u);
+  EXPECT_EQ(ctl.decisions()[0].rule, "rebalance");
+  EXPECT_GT(ctl.decisions()[0].observed_imbalance, 0.25);
+  // LPT makespan 400 over an ideal 350: predicted imbalance 1/7.
+  EXPECT_NEAR(ctl.decisions()[0].predicted_imbalance, 400.0 * 2 / 700 - 1,
+              1e-6);
+
+  // Cooldown: the same signal cannot re-fire until it expires...
+  for (uint32_t i = 0; i < cfg.rebalance_cooldown; ++i) {
+    EXPECT_FALSE(ctl.OnWindowEnd(MakeSegment(spec), view));
+  }
+  // ...after which the streak rebuilds from zero and fires again.
+  EXPECT_FALSE(ctl.OnWindowEnd(MakeSegment(spec), view));
+  EXPECT_TRUE(ctl.OnWindowEnd(MakeSegment(spec), view));
+  EXPECT_EQ(store.Get().rebalance_seq, 2u);
+}
+
+TEST(Controller, RebalanceStaysOffWithoutAnOwnershipView) {
+  TunableStore store;
+  ControllerConfig cfg = TestConfig();
+  cfg.rebalance_patience = 1;
+  Controller ctl(cfg, &store);
+  SegmentSpec spec;
+  spec.resort_every = 4;
+  spec.imb_first = 0.40;
+  spec.imb_last = 0.55;  // Strong imbalance — but no view, so no rule 4.
+  EXPECT_FALSE(ctl.OnWindowEnd(MakeSegment(spec)));
+  EXPECT_FALSE(ctl.OnWindowEnd(MakeSegment(spec)));
+  EXPECT_FALSE(ctl.OnWindowEnd(MakeSegment(spec)));
+  EXPECT_EQ(store.epoch(), 0u);
+}
+
+TEST(Controller, RebalanceSkipsBalancedWindows) {
+  TunableStore store;
+  ControllerConfig cfg = TestConfig();
+  cfg.rebalance_patience = 1;
+  Controller ctl(cfg, &store);
+  SegmentSpec spec;
+  spec.resort_every = 4;
+  spec.imb_first = 0.10;
+  spec.imb_last = 0.20;  // Mean ~0.15 < rebalance_imbalance_high 0.25.
+  const std::vector<uint32_t> owner = {0, 1};
+  const std::vector<uint64_t> cost = {100, 100};
+  OwnershipView view;
+  view.num_executors = 2;
+  view.movable = true;
+  view.owner_of_lp = &owner;
+  view.lp_cost_ns = &cost;
+  EXPECT_FALSE(ctl.OnWindowEnd(MakeSegment(spec), view));
+  EXPECT_FALSE(ctl.OnWindowEnd(MakeSegment(spec), view));
+  EXPECT_EQ(store.epoch(), 0u);
 }
 
 TEST(Controller, MinRoundsGateSkipsThinWindows) {

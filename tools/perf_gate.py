@@ -107,33 +107,52 @@ def run_check(doc, check):
 
 
 def run_gate(name, gate, base_dir):
-    """Returns the number of failed checks for this gate."""
-    path = os.path.join(base_dir, gate["artifact"])
+    """Returns the list of failure descriptions for this gate.
+
+    Never raises: a malformed gate definition, unreadable/invalid artifact
+    JSON, or a type-confused comparison is recorded as a failure of *this*
+    gate so every other gate still runs — one broken artifact must not mask
+    regressions elsewhere in the same CI pass.
+    """
+    failures = []
+    artifact = gate.get("artifact")
+    if not isinstance(artifact, str):
+        msg = "gate definition has no 'artifact' string"
+        print(f"[gate] {name}: FAIL — {msg}")
+        return [f"{name}: {msg}"]
+    path = os.path.join(base_dir, artifact)
     if not os.path.exists(path):
         if gate.get("optional", False):
-            print(f"[gate] {name}: SKIP (optional, {gate['artifact']} absent)")
-            return 0
-        print(f"[gate] {name}: FAIL — artifact {gate['artifact']} not found")
-        return 1
-    with open(path) as f:
-        doc = json.load(f)
+            print(f"[gate] {name}: SKIP (optional, {artifact} absent)")
+            return []
+        print(f"[gate] {name}: FAIL — artifact {artifact} not found")
+        return [f"{name}: artifact {artifact} not found"]
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"[gate] {name}: FAIL — artifact {artifact} unreadable: {e}")
+        return [f"{name}: artifact {artifact} unreadable: {e}"]
 
     skip = gate.get("skip_if")
-    if skip is not None:
+    if isinstance(skip, dict) and "metric" in skip:
         val = lookup(doc, skip["metric"])
-        if val == skip["equals"]:
+        if val == skip.get("equals"):
             print(f"[gate] {name}: SKIP ({skip['metric']} == {val!r})")
-            return 0
+            return []
 
-    failed = 0
     for check in gate.get("checks", []):
-        ok, value, desc = run_check(doc, check)
+        try:
+            ok, value, desc = run_check(doc, check)
+        except (TypeError, KeyError, AttributeError) as e:
+            ok, value = False, None
+            desc = f"check {check!r} is malformed ({e})"
         status = "ok  " if ok else "FAIL"
         note = f"  # {check['note']}" if "note" in check and not ok else ""
         print(f"[gate] {name}: {status} {desc} (actual: {value!r}){note}")
         if not ok:
-            failed += 1
-    return failed
+            failures.append(f"{name}: {desc} (actual: {value!r})")
+    return failures
 
 
 def main():
@@ -144,15 +163,30 @@ def main():
                     help="directory holding the BENCH_/TRACE_ artifacts")
     args = ap.parse_args()
 
-    with open(args.envelopes) as f:
-        envelopes = json.load(f)
+    try:
+        with open(args.envelopes) as f:
+            envelopes = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"perf gate: cannot load {args.envelopes}: {e}")
+        return 1
+    if not isinstance(envelopes, dict):
+        print(f"perf gate: {args.envelopes} is not a JSON object of gates")
+        return 1
 
-    total_failed = 0
+    failures = []
     for name, gate in envelopes.items():
-        total_failed += run_gate(name, gate, args.dir)
+        if not isinstance(gate, dict):
+            print(f"[gate] {name}: FAIL — gate definition is not an object")
+            failures.append(f"{name}: gate definition is not an object")
+            continue
+        failures.extend(run_gate(name, gate, args.dir))
 
-    if total_failed:
-        print(f"perf gate: {total_failed} check(s) FAILED")
+    if failures:
+        # End-of-run recap: every failing check across every gate, so one
+        # scrolled-away FAIL line cannot hide the rest.
+        print(f"perf gate: {len(failures)} check(s) FAILED")
+        for f in failures:
+            print(f"  FAIL {f}")
         return 1
     print("perf gate: all checks passed")
     return 0
