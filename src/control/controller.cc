@@ -120,6 +120,24 @@ bool Controller::OnWindowEnd(const WindowTraceSegment& segment,
     return false;
   }
 
+  // Cost smoothing for the rebalance rule: fold this window's per-LP costs
+  // into the EWMA whether or not the rule fires, so the vector it eventually
+  // schedules from reflects the whole high-imbalance stretch, not just the
+  // window that tipped the streak.
+  if (view.lp_cost_ns != nullptr) {
+    const std::vector<uint64_t>& raw = *view.lp_cost_ns;
+    const double alpha = std::clamp(config_.cost_ewma_alpha, 0.0, 1.0);
+    if (ewma_cost_.size() != raw.size()) {
+      // First observation (or the LP domain changed): adopt the raw costs.
+      ewma_cost_.assign(raw.begin(), raw.end());
+    } else {
+      for (size_t i = 0; i < raw.size(); ++i) {
+        ewma_cost_[i] = alpha * static_cast<double>(raw[i]) +
+                        (1.0 - alpha) * ewma_cost_[i];
+      }
+    }
+  }
+
   Tunables next = store_->Get();
   std::string rule;
   const auto fire = [&rule](const char* name) {
@@ -244,7 +262,13 @@ bool Controller::OnWindowEnd(const WindowTraceSegment& segment,
       rebalance_streak_ = 0;
     }
     if (rebalance_streak_ >= std::max(1u, config_.rebalance_patience)) {
-      const std::vector<uint64_t>& cost = *view.lp_cost_ns;
+      // Schedule from the smoothed costs, rounded back to the LPT input
+      // units (ns; well below any value where rounding could flip a
+      // decision).
+      std::vector<uint64_t> cost(ewma_cost_.size());
+      for (size_t i = 0; i < ewma_cost_.size(); ++i) {
+        cost[i] = static_cast<uint64_t>(ewma_cost_[i] + 0.5);
+      }
       const std::vector<uint32_t>& owner = *view.owner_of_lp;
       uint64_t total_cost = 0;
       for (uint64_t c : cost) {
@@ -274,6 +298,34 @@ bool Controller::OnWindowEnd(const WindowTraceSegment& segment,
       }
       rebalance_streak_ = 0;
       rebalance_cooldown_left_ = config_.rebalance_cooldown;
+    }
+  }
+
+  // Rule 5 — speculation horizon: a miss means the whole window ran twice
+  // plus a rollback (pure waste), so a miss streak halves the horizon toward
+  // the floor; a streak of windows that speculated and committed cleanly
+  // means the horizon is leaving free wall-clock on the table — double it
+  // toward the cap. Gated on the knob being live: Finalize seeds it only
+  // under SimConfig::speculation == kAuto, so for every other session the
+  // rule is inert. Results-neutral by the speculation contract.
+  const int64_t horizon = store_->Get().spec_horizon_ps;
+  if (horizon > 0) {
+    if (StreakFire(sum.spec_misses > 0, config_.rule_patience,
+                   &spec_narrow_streak_, &spec_widen_streak_)) {
+      const int64_t want = std::max(config_.spec_horizon_min_ps, horizon / 2);
+      if (want != next.spec_horizon_ps) {
+        next.spec_horizon_ps = want;
+        fire("spec-narrow");
+      }
+    }
+    if (StreakFire(sum.spec_rounds > 0 && sum.spec_misses == 0,
+                   config_.rule_patience, &spec_widen_streak_,
+                   &spec_narrow_streak_)) {
+      const int64_t want = std::min(config_.spec_horizon_max_ps, horizon * 2);
+      if (want != next.spec_horizon_ps) {
+        next.spec_horizon_ps = want;
+        fire("spec-widen");
+      }
     }
   }
 

@@ -23,6 +23,8 @@
 //                     | high for K windows despite       | move set; kernels
 //                     | re-sorts                         | migrate LPs at the
 //                     |                                  | next boundary
+//   spec horizon      | speculation miss / clean-commit  | halve/double the
+//                     | streaks (RunSummary spec stats)  | speculative horizon
 //
 // The re-sort and window rules carry hysteresis: each direction must be
 // observed for `rule_patience` consecutive eligible windows before its epoch
@@ -105,6 +107,25 @@ struct ControllerConfig {
   double rebalance_imbalance_high = 0.25;
   uint32_t rebalance_patience = 3;
   uint32_t rebalance_cooldown = 4;
+
+  // Cost smoothing for the rebalance rule: the per-LP window costs feeding
+  // LPT are an exponential moving average across windows rather than the
+  // last window's raw measurement, so one noisy window cannot trigger a
+  // placement computed from an unrepresentative cost vector. `alpha` is the
+  // weight of the newest window; 1.0 reproduces the raw (PR 9) behaviour.
+  double cost_ewma_alpha = 0.5;
+
+  // Rule 5 — speculation horizon (active only when the live spec_horizon_ps
+  // tunable is nonzero, i.e. SimConfig::speculation == kAuto). A missed
+  // speculative window costs roughly the window twice plus the rollback, so
+  // a miss streak halves the horizon toward the floor; a streak of windows
+  // that speculated cleanly doubles it toward the cap. Both directions carry
+  // the same `rule_patience` hysteresis as rules 2/3. The horizon is
+  // results-neutral by the speculation contract (misses roll back), so this
+  // rule only ever trades wall time.
+  int64_t spec_horizon_initial_ps = 2'000'000;      // Seed: 2 us.
+  int64_t spec_horizon_min_ps = 250'000;            // Floor: 0.25 us.
+  int64_t spec_horizon_max_ps = 1'000'000'000;      // Cap: 1 ms.
 };
 
 class Controller {
@@ -139,6 +160,11 @@ class Controller {
 
   const ControllerConfig& config() const { return config_; }
 
+  // The smoothed per-LP cost vector the rebalance rule schedules from
+  // (empty until a window with ownership costs has been observed). Exposed
+  // for tests asserting the EWMA behaviour.
+  const std::vector<double>& smoothed_costs() const { return ewma_cost_; }
+
   // Mean growth of the per-round processing imbalance across the window's
   // re-sort stretches; exposed for tests and the trace tooling.
   static double ResortDrift(const WindowTraceSegment& segment);
@@ -158,6 +184,10 @@ class Controller {
   uint32_t window_grow_streak_ = 0;
   uint32_t rebalance_streak_ = 0;
   uint32_t rebalance_cooldown_left_ = 0;
+  uint32_t spec_narrow_streak_ = 0;
+  uint32_t spec_widen_streak_ = 0;
+  // EWMA state for the rebalance cost vector, indexed by LP.
+  std::vector<double> ewma_cost_;
 };
 
 }  // namespace unison

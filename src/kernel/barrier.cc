@@ -35,12 +35,28 @@ RunResult BarrierKernel::Run(Time stop_time) {
     pool_.ApplyPlacement(tuning_.affinity);
   }
   active_pool_->Ensure(ranks);
-  sync_.BeginRun("barrier", ranks, stop_time);
-  sync_.SetParkBaseline(barrier_->parks());
   const uint64_t run_t0 = Profiler::NowNs();
-  rank_events_.assign(ranks, 0);
+  // Speculative window execution with checkpoint rollback; see unison.cc.
+  bool speculate = BeginSpeculativeWindow();
+  for (;;) {
+    sync_.BeginRun("barrier", ranks, stop_time);
+    if (speculate) {
+      sync_.EnableSpeculation(tuning_.spec_horizon_ps);
+    }
+    sync_.SetParkBaseline(barrier_->parks());
+    rank_events_.assign(ranks, 0);
 
-  active_pool_->Run([this](uint32_t rank) { ExecLoop(rank); });
+    active_pool_->Run([this](uint32_t rank) { ExecLoop(rank); });
+
+    if (!speculate) {
+      break;
+    }
+    NoteSpecAttempt(sync_.spec_rounds(), sync_.spec_miss());
+    if (!sync_.spec_miss()) {
+      break;
+    }
+    speculate = false;
+  }
 
   processed_events_ = 0;
   for (uint64_t n : rank_events_) {
@@ -69,14 +85,24 @@ void BarrierKernel::ExecLoop(uint32_t rank) {
     // barrier word. A rank that owns no LPs (everything migrated away)
     // contributes Max and keeps arriving: the barrier is population-fixed.
     acct.OpenInterval();
+    // When speculative rounds ran, this fold doubles as the miss check over
+    // the previous round's drains: an inbound arrival at or below an LP's
+    // already-advanced clock is a causality violation.
+    uint32_t flags = stop_requested() ? CombiningBarrier::kStopFlag : 0;
+    const bool check_spec = sync_.spec_active();
     Time min_next = Time::Max();
     for (uint32_t id : owned) {
-      min_next = std::min(min_next, lps_[id]->fel().NextTimestamp());
+      Lp* const lp = lps_[id].get();
+      const Time next = lp->fel().NextTimestamp();
+      min_next = std::min(min_next, next);
+      if (check_spec && !next.IsMax() && next <= lp->now() &&
+          lp->now() > Time::Zero()) {
+        flags |= CombiningBarrier::kSpecMissFlag;
+      }
     }
     const uint64_t barrier_t0 =
         rank == 0 && sync_.tracing() ? Profiler::NowNs() : 0;
-    barrier_->Arrive(rank, min_next.ps(), events,
-                     stop_requested() ? CombiningBarrier::kStopFlag : 0);
+    barrier_->Arrive(rank, min_next.ps(), events, flags);
     if (rank == 0) {
       sync_.Absorb(*barrier_);
       if (sync_.tracing()) {
@@ -127,7 +153,11 @@ void BarrierKernel::ExecLoop(uint32_t rank) {
     barrier_->Arrive(rank);
     acct.CloseSync();
     if (rank == 0) {
-      events += RunGlobalEvents(sync_.lbts(), sync_.stop());
+      // The speculation guard skips stragglers that landed below the covered
+      // bound; the next ComputeWindow latches the miss (see round_sync.h).
+      if (sync_.SpecAllowsGlobals()) {
+        events += RunGlobalEvents(sync_.lbts(), sync_.stop());
+      }
       rank_events_[rank] = events;
       acct.CloseProcessing();
     }

@@ -1,0 +1,21 @@
+#include "src/kernel/engine/spec_checkpoint.h"
+
+namespace unison {
+
+bool SpecCheckpoint::Capture() {
+  valid_ = false;
+  if (!installed()) return false;
+  buf_.clear();  // Keeps capacity: the pool.
+  if (!capture_(&buf_)) return false;
+  ++captures_;
+  valid_ = true;
+  return true;
+}
+
+void SpecCheckpoint::Restore() {
+  if (!valid_) return;
+  restore_(buf_);
+  ++restores_;
+}
+
+}  // namespace unison

@@ -73,16 +73,32 @@ RunResult HybridKernel::Run(Time stop_time) {
   // actually moved.
   ApplyPendingMigrations();
 
-  sync_.BeginRun("hybrid", workers, stop_time);
-  sync_.SetParkBaseline(barrier_->parks());
-  timing_ =
-      sync_.profiling() || config_.metric == SchedulingMetric::kByLastRoundTime;
   const uint64_t run_t0 = Profiler::NowNs();
-  worker_events_.assign(workers, 0);
+  // Speculative window execution with checkpoint rollback; see unison.cc.
+  bool speculate = BeginSpeculativeWindow();
+  for (;;) {
+    sync_.BeginRun("hybrid", workers, stop_time);
+    if (speculate) {
+      sync_.EnableSpeculation(tuning_.spec_horizon_ps);
+    }
+    sync_.SetParkBaseline(barrier_->parks());
+    timing_ = sync_.profiling() ||
+              config_.metric == SchedulingMetric::kByLastRoundTime;
+    worker_events_.assign(workers, 0);
 
-  sync_.SeedMinFromLps();
+    sync_.SeedMinFromLps();
 
-  active_pool_->Run([this](uint32_t worker) { RoundLoop(worker); });
+    active_pool_->Run([this](uint32_t worker) { RoundLoop(worker); });
+
+    if (!speculate) {
+      break;
+    }
+    NoteSpecAttempt(sync_.spec_rounds(), sync_.spec_miss());
+    if (!sync_.spec_miss()) {
+      break;
+    }
+    speculate = false;
+  }
 
   processed_events_ = 0;
   for (uint64_t n : worker_events_) {
@@ -189,9 +205,12 @@ void HybridKernel::RoundLoop(uint32_t worker) {
     barrier_->Arrive(worker);
     acct.CloseSync();
 
-    // Phase 2: globals on the rank-0 main worker.
+    // Phase 2: globals on the rank-0 main worker. The speculation guard
+    // skips stragglers below the covered bound (see round_sync.h).
     if (worker == 0) {
-      events += RunGlobalEvents(sync_.lbts(), sync_.stop());
+      if (sync_.SpecAllowsGlobals()) {
+        events += RunGlobalEvents(sync_.lbts(), sync_.stop());
+      }
       for (uint32_t r = 0; r < ranks_; ++r) {
         rank_claim_recv_[r]->store(0, std::memory_order_relaxed);
       }
@@ -216,17 +235,25 @@ void HybridKernel::RoundLoop(uint32_t worker) {
 
     // Phase 4: all-reduce — each lane folds a strided slice of its rank's
     // LPs into a local minimum and contributes it (plus its event count and
-    // stop vote) to the end-of-round barrier's fused reduction.
+    // stop vote) to the end-of-round barrier's fused reduction. The strided
+    // slices cover every LP, so the fold doubles as the speculation miss
+    // check (arrival at or below an already-advanced LP clock).
+    uint32_t flags = stop_requested() ? CombiningBarrier::kStopFlag : 0;
+    const bool check_spec = sync_.spec_active();
     int64_t local_min_ps = INT64_MAX;
     for (uint32_t i = lane; i < my_lps.size(); i += lanes_) {
-      local_min_ps =
-          std::min(local_min_ps, lps_[my_lps[i]]->fel().NextTimestamp().ps());
+      Lp* const lp = lps_[my_lps[i]].get();
+      const Time next = lp->fel().NextTimestamp();
+      local_min_ps = std::min(local_min_ps, next.ps());
+      if (check_spec && !next.IsMax() && next <= lp->now() &&
+          lp->now() > Time::Zero()) {
+        flags |= CombiningBarrier::kSpecMissFlag;
+      }
     }
     acct.CloseMessaging();
     const uint64_t barrier_t0 =
         worker == 0 && sync_.tracing() ? Profiler::NowNs() : 0;
-    barrier_->Arrive(worker, local_min_ps, events,
-                     stop_requested() ? CombiningBarrier::kStopFlag : 0);
+    barrier_->Arrive(worker, local_min_ps, events, flags);
     if (worker == 0) {
       sync_.Absorb(*barrier_);
       if (sync_.tracing()) {

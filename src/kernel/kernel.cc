@@ -202,7 +202,47 @@ Kernel::WindowTuning Kernel::SampleTuning(uint32_t default_parties,
   t.sched_period = period;
   t.parties = std::max(1u, parties);
   t.affinity = affinity;
+  if (tunables_ != nullptr) {
+    // No config fallback: speculation is live-plane-only (Network::Finalize
+    // seeds the horizon under speculation=auto; the controller revises it).
+    t.spec_horizon_ps = tunables_->Get().spec_horizon_ps;
+  }
   return t;
+}
+
+bool Kernel::BeginSpeculativeWindow() {
+  spec_rounds_win_ = 0;
+  spec_hits_win_ = 0;
+  spec_misses_win_ = 0;
+  rollback_ns_win_ = 0;
+  if (tuning_.spec_horizon_ps <= 0 || !spec_ckpt_.installed()) {
+    return false;
+  }
+  // Speculation re-executes a stretch after a rollback; without deterministic
+  // tie-breaking the re-run could legally diverge, voiding the transparency
+  // contract. Infinite lookahead means windows already extend to the global
+  // horizon (nothing to speculate past); non-positive lookahead would make
+  // the per-LP arrival check ambiguous at t=0 ties.
+  if (!config_.deterministic) {
+    return false;
+  }
+  const Time la = partition_.lookahead;
+  if (la.IsMax() || la <= Time::Zero()) {
+    return false;
+  }
+  return spec_ckpt_.Capture();
+}
+
+void Kernel::NoteSpecAttempt(uint32_t spec_rounds, bool miss) {
+  spec_rounds_win_ += spec_rounds;
+  if (miss) {
+    ++spec_misses_win_;
+    const uint64_t t0 = Profiler::NowNs();
+    spec_ckpt_.Restore();
+    rollback_ns_win_ += Profiler::NowNs() - t0;
+  } else {
+    spec_hits_win_ += spec_rounds;
+  }
 }
 
 RunResult Kernel::FinishRun(const char* kernel_name, uint32_t executors,
@@ -231,6 +271,10 @@ RunResult Kernel::FinishRun(const char* kernel_name, uint32_t executors,
   run_summary_.parties = tuning_.parties;
   run_summary_.migrations = window_migrations_;
   run_summary_.ownership_epoch = pmap_.epoch();
+  run_summary_.spec_rounds = spec_rounds_win_;
+  run_summary_.spec_hits = spec_hits_win_;
+  run_summary_.spec_misses = spec_misses_win_;
+  run_summary_.rollback_ns = rollback_ns_win_;
   if (profiler_ != nullptr && profiler_->enabled) {
     run_summary_.processing_ns = profiler_->TotalProcessingNs();
     run_summary_.synchronization_ns = profiler_->TotalSyncNs();

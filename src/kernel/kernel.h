@@ -21,6 +21,7 @@
 #include "src/core/event.h"
 #include "src/core/time.h"
 #include "src/kernel/engine/cpu_topology.h"
+#include "src/kernel/engine/spec_checkpoint.h"
 #include "src/kernel/lp.h"
 #include "src/partition/graph.h"
 #include "src/partition/partition_map.h"
@@ -75,6 +76,11 @@ struct KernelConfig {
   bool deterministic = true;
   // Hybrid kernel only: number of simulated hosts ("ranks").
   uint32_t ranks = 2;
+  // Automatic crash/preempt resume: every N completed Run() windows,
+  // Network::Run snapshots the session to SimConfig::auto_checkpoint_path
+  // (USNP SaveTo format), so a killed long sim resumes from the last
+  // boundary via LoadFrom + Session::Restore instead of t=0. 0 = off.
+  uint32_t auto_checkpoint_every = 0;
   // Executor placement: pin pool workers to cores per this policy (compact =
   // fill a socket before the next, hybrid ranks socket-major; scatter =
   // round-robin across sockets). kNone leaves placement to the OS. When the
@@ -254,8 +260,23 @@ class Kernel {
     uint32_t sched_period = 0;
     uint32_t parties = 0;  // Kernel-native knob units (see Tunables).
     AffinityPolicy affinity = AffinityPolicy::kNone;
+    int64_t spec_horizon_ps = 0;  // 0 = speculation off this window.
   };
   const WindowTuning& window_tuning() const { return tuning_; }
+
+  // --- Speculative window execution (DESIGN.md §3k) ---
+
+  // Installs the session-level capture/restore hooks the window checkpoint
+  // serializes through. Done by Network::Finalize under speculation=auto;
+  // kernels without hooks never speculate.
+  void set_checkpoint_hooks(SpecCheckpoint::CaptureFn capture,
+                            SpecCheckpoint::RestoreFn restore) {
+    spec_ckpt_.InstallHooks(std::move(capture), std::move(restore));
+  }
+
+  // Pool/counter introspection for tests and benches: how many checkpoints
+  // were captured/restored and whether the pooled buffer is being reused.
+  const SpecCheckpoint& spec_checkpoint() const { return spec_ckpt_; }
 
   // --- Live LP ownership (PR 9) ---
 
@@ -359,6 +380,20 @@ class Kernel {
   // lies below it. Zero for a fresh session or after an early stop.
   Time resume_floor() const { return resume_floor_; }
 
+  // Start-of-window speculation gate, called once per Run() by the opt-in
+  // round kernels after tunables are sampled, migrations are applied, and the
+  // session is quiescent. Resets the window's speculation stats, then decides
+  // eligibility (hooks installed, deterministic mode, finite positive
+  // lookahead, sampled spec_horizon_ps > 0) and captures the checkpoint.
+  // Returns true when this window may run speculative rounds.
+  bool BeginSpeculativeWindow();
+
+  // Accounts one speculation attempt: `spec_rounds` optimistic rounds ran; on
+  // a miss, rolls the session back to the window checkpoint (timed into
+  // rollback_ns); on a hit, the rounds commit. FinishRun stamps the window's
+  // totals into the RunSummary.
+  void NoteSpecAttempt(uint32_t spec_rounds, bool miss);
+
   // Resolves this window's tunables: live store values where published,
   // config defaults otherwise, ceil(log2 n) when the period is still 0
   // (§4.3). `default_parties` is the config-derived knob value and also the
@@ -404,6 +439,14 @@ class Kernel {
   // Per-LP processing cost of the current window, reset by BeginWindow; the
   // rebalance rule's LPT input.
   std::vector<uint64_t> lp_window_cost_ns_;
+  // Speculation: the pooled window checkpoint and the current window's
+  // speculation stats (reset by BeginSpeculativeWindow, stamped by
+  // FinishRun). Kernels without checkpoint hooks leave them all zero.
+  SpecCheckpoint spec_ckpt_;
+  uint32_t spec_rounds_win_ = 0;
+  uint32_t spec_hits_win_ = 0;
+  uint32_t spec_misses_win_ = 0;
+  uint64_t rollback_ns_win_ = 0;
 };
 
 // Constructs the kernel named by `config.type`.

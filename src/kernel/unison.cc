@@ -58,17 +58,38 @@ RunResult UnisonKernel::Run(Time stop_time) {
     owned_lists_[pmap_.owner(lp) % num_workers_].push_back(lp);
   }
 
-  sync_.BeginRun("unison", num_workers_, stop_time);
-  sync_.SetParkBaseline(barrier_->parks());
-  timing_ =
-      sync_.profiling() || config_.metric == SchedulingMetric::kByLastRoundTime;
   const uint64_t run_t0 = Profiler::NowNs();
-  worker_events_.assign(num_workers_, 0);
+  // Speculation (DESIGN.md §3k): capture the window checkpoint while the
+  // session is quiescent; rounds may then extend past the LBTS bound. A
+  // causality miss aborts the attempt without touching the session
+  // accumulators (FinishRun is skipped), rolls back to the checkpoint, and
+  // the loop re-runs the window conservatively — at most one retry, and the
+  // conservative attempt cannot miss.
+  bool speculate = BeginSpeculativeWindow();
+  for (;;) {
+    sync_.BeginRun("unison", num_workers_, stop_time);
+    if (speculate) {
+      sync_.EnableSpeculation(tuning_.spec_horizon_ps);
+    }
+    sync_.SetParkBaseline(barrier_->parks());
+    timing_ = sync_.profiling() ||
+              config_.metric == SchedulingMetric::kByLastRoundTime;
+    worker_events_.assign(num_workers_, 0);
 
-  // Seed the min-reduction for the first prologue.
-  sync_.SeedMinFromLps();
+    // Seed the min-reduction for the first prologue.
+    sync_.SeedMinFromLps();
 
-  active_pool_->Run([this](uint32_t worker) { RoundLoop(worker); });
+    active_pool_->Run([this](uint32_t worker) { RoundLoop(worker); });
+
+    if (!speculate) {
+      break;
+    }
+    NoteSpecAttempt(sync_.spec_rounds(), sync_.spec_miss());
+    if (!sync_.spec_miss()) {
+      break;
+    }
+    speculate = false;
+  }
 
   processed_events_ = 0;
   for (uint64_t n : worker_events_) {
@@ -171,9 +192,13 @@ void UnisonKernel::RoundLoop(uint32_t worker) {
     acct.CloseSync();
 
     // Phase 2: global events, worker 0 only; everyone else is parked at the
-    // next barrier, so direct cross-LP insertion is safe.
+    // next barrier, so direct cross-LP insertion is safe. Under speculation
+    // the guard skips the phase when a straggler global landed below the
+    // covered bound — the next prologue latches the miss.
     if (worker == 0) {
-      events += RunGlobalEvents(sync_.lbts(), sync_.stop());
+      if (sync_.SpecAllowsGlobals()) {
+        events += RunGlobalEvents(sync_.lbts(), sync_.stop());
+      }
       acct.CloseProcessing();
     }
     barrier_->Arrive(worker);
@@ -195,19 +220,28 @@ void UnisonKernel::RoundLoop(uint32_t worker) {
     // a local minimum and contributes it, with its event count and stop
     // vote, to the end-of-round barrier's fused reduction. No shared CAS
     // line: the tree combine IS the all-reduce. The lists partition all LPs,
-    // so the reduced min equals the strided slicing this replaces.
+    // so the reduced min equals the strided slicing this replaces. When
+    // speculative rounds ran, the same fold doubles as the miss check: an
+    // inbound arrival at or below an LP's already-advanced clock is a
+    // causality violation, flagged into the fused reduction.
+    uint32_t flags = stop_requested() ? CombiningBarrier::kStopFlag : 0;
+    const bool check_spec = sync_.spec_active();
     int64_t local_min_ps = INT64_MAX;
     for (uint32_t id : owned_lists_[worker]) {
-      local_min_ps =
-          std::min(local_min_ps, lps_[id]->fel().NextTimestamp().ps());
+      Lp* const lp = lps_[id].get();
+      const Time next = lp->fel().NextTimestamp();
+      local_min_ps = std::min(local_min_ps, next.ps());
+      if (check_spec && !next.IsMax() && next <= lp->now() &&
+          lp->now() > Time::Zero()) {
+        flags |= CombiningBarrier::kSpecMissFlag;
+      }
     }
     acct.CloseMessaging();
     // End-of-round barrier: releases with the reduced {min, count, flags}
     // already published, which worker 0 absorbs for the next prologue.
     const uint64_t barrier_t0 =
         worker == 0 && sync_.tracing() ? Profiler::NowNs() : 0;
-    barrier_->Arrive(worker, local_min_ps, events,
-                     stop_requested() ? CombiningBarrier::kStopFlag : 0);
+    barrier_->Arrive(worker, local_min_ps, events, flags);
     if (worker == 0) {
       sync_.Absorb(*barrier_);
       if (sync_.tracing()) {

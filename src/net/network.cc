@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/net/model_events.h"
+#include "src/net/session.h"
 #include "src/partition/fine_grained.h"
 #include "src/partition/manual.h"
 #include "src/traffic/flow_source.h"
@@ -171,6 +172,13 @@ void Network::Finalize() {
     // caller's stop time, not only at it (slicing is results-neutral).
     seed.max_window_ps = config_.tuning_config.initial_window_ps;
   }
+  if (config_.speculation == SpeculationMode::kAuto) {
+    // Live the horizon from the start; under tuning=kAuto the controller's
+    // spec-horizon rule revises it between windows. A zero horizon is how
+    // every other session stays on the conservative path — the kernels never
+    // even capture a checkpoint then.
+    seed.spec_horizon_ps = config_.tuning_config.spec_horizon_initial_ps;
+  }
   tunable_store_.Seed(seed);
   kernel_->set_tunables(&tunable_store_);
   if (config_.tuning == TuningMode::kAuto) {
@@ -190,6 +198,20 @@ void Network::Finalize() {
   flow_monitor_.ConfigureShards(1 + kernel_->MaxExecutors());
   kernel_->set_window_end_hook([this] { flow_monitor_.MergeWindow(); });
 
+  if (config_.speculation == SpeculationMode::kAuto) {
+    // Checkpoint hooks for speculative window execution. The kernel owns
+    // the policy (when to capture, when to roll back); the session layer
+    // owns the representation. Capture may decline (lambda events, DV
+    // routing) — the kernel then runs that window conservatively.
+    kernel_->set_checkpoint_hooks(
+        [this](std::vector<uint8_t>* out) {
+          return CaptureWindowCheckpoint(*this, out);
+        },
+        [this](const std::vector<uint8_t>& buf) {
+          RestoreWindowCheckpoint(*this, buf);
+        });
+  }
+
   if (use_dv_) {
     dv_routing_ = std::make_unique<DistanceVectorRouting>(this, dv_period_);
     dv_routing_->Install();
@@ -198,10 +220,31 @@ void Network::Finalize() {
   }
 }
 
+void Network::MaybeAutoCheckpoint() {
+  if (config_.kernel.auto_checkpoint_every == 0 ||
+      config_.auto_checkpoint_path.empty()) {
+    return;
+  }
+  if (++windows_since_checkpoint_ < config_.kernel.auto_checkpoint_every) {
+    return;
+  }
+  if (!SessionSerializable(*this)) {
+    // A non-serializable boundary (e.g. a progress ticker pending): leave
+    // the counter saturated so every subsequent boundary retries until one
+    // is clean, instead of silently sliding the whole cadence.
+    --windows_since_checkpoint_;
+    return;
+  }
+  windows_since_checkpoint_ = 0;
+  Session(this).Snapshot().SaveTo(config_.auto_checkpoint_path);
+}
+
 RunResult Network::Run(Time stop) {
   Finalize();
   if (controller_ == nullptr) {
-    return kernel_->Run(stop);
+    const RunResult r = kernel_->Run(stop);
+    MaybeAutoCheckpoint();
+    return r;
   }
   // Closed loop: slice the caller's horizon by the live window bound, feed
   // each completed window's trace segment to the controller, and continue
@@ -226,6 +269,7 @@ RunResult Network::Run(Time stop) {
       controller_->OnWindowEnd(run_trace_.segments().back(),
                                kernel_->ownership_view());
     }
+    MaybeAutoCheckpoint();
     if (r.reason != RunReason::kWindowReached || r.end >= stop) {
       return total;
     }

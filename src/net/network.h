@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/control/controller.h"
@@ -70,6 +71,20 @@ enum class TuningMode : uint8_t {
   kAuto = 1,
 };
 
+// Speculative window execution (DESIGN.md §3k). kOff runs every window at the
+// conservative Eq. 2 bound. kAuto captures a cheap in-memory checkpoint at
+// each window boundary and lets rounds extend up to the live spec-horizon
+// tunable past the bound; a causality miss rolls the session back and re-runs
+// the window conservatively. Results are bit-identical either way — that is
+// the feature's contract, enforced by the transparency matrix in
+// tests/session_test.cc. Opt-in kernels: barrier, unison, hybrid (the
+// sequential kernel has nothing to speculate past; null-message's channel
+// protocol pins its bounds).
+enum class SpeculationMode : uint8_t {
+  kOff = 0,
+  kAuto = 1,
+};
+
 struct SimConfig {
   KernelConfig kernel;
   PartitionMode partition = PartitionMode::kAuto;
@@ -87,6 +102,15 @@ struct SimConfig {
   // when the user asked for a trace themselves.
   TuningMode tuning = TuningMode::kOff;
   ControllerConfig tuning_config;
+  // Speculative window execution; kAuto seeds the live spec-horizon tunable
+  // from tuning_config.spec_horizon_initial_ps and installs the checkpoint
+  // hooks at Finalize. Requires kernel.deterministic (the default).
+  SpeculationMode speculation = SpeculationMode::kOff;
+  // Automatic resume checkpoints: every `kernel.auto_checkpoint_every`
+  // completed windows, Run() saves a full USNP snapshot to this path
+  // (overwritten in place). Empty disables. Boundaries where the session is
+  // not snapshot-serializable (e.g. a progress ticker pending) are skipped.
+  std::string auto_checkpoint_path;
   TcpConfig tcp;
   QueueConfig queue;
 };
@@ -265,6 +289,10 @@ class Network {
 
  private:
   void BuildGraph();
+  // Saves a full USNP resume snapshot to config_.auto_checkpoint_path every
+  // auto_checkpoint_every completed windows (skipping non-serializable
+  // boundaries). Called by Run() after each window.
+  void MaybeAutoCheckpoint();
 
   SimConfig config_;
   std::vector<std::unique_ptr<Node>> nodes_;
@@ -285,6 +313,7 @@ class Network {
   Time dv_period_;
   bool use_dv_ = false;
   uint64_t injection_epoch_ = 0;
+  uint32_t windows_since_checkpoint_ = 0;  // MaybeAutoCheckpoint cadence.
   ExecutorPool* pending_external_pool_ = nullptr;  // Applied at Finalize.
   std::vector<std::shared_ptr<FlowSourceSet>> flow_source_sets_;
   // Closures that must outlive the run (progress tickers etc.).

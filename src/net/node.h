@@ -57,6 +57,13 @@ class Node {
   // Receivers normally instantiate lazily on the first data segment; a fork
   // pre-installs captured ones so their cumulative-ack state carries over.
   TcpReceiver* AddReceiver(uint32_t flow_id, std::unique_ptr<TcpReceiver> receiver);
+  // Drops every TCP endpoint. Used by the speculation rollback, which
+  // re-creates the captured endpoint set in place (endpoints hold no events —
+  // their RTOs live in the FELs, which the rollback restores separately).
+  void ClearTcpEndpoints() {
+    senders_.clear();
+    receivers_.clear();
+  }
 
   // Endpoint maps for snapshot capture. Iteration order is unspecified
   // (unordered_map) — serialization sorts by flow id.

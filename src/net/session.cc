@@ -18,16 +18,19 @@
 namespace unison {
 namespace {
 
-// USNP v3: little-endian, field-by-field, no alignment padding. The version
+// USNP v4: little-endian, field-by-field, no alignment padding. The version
 // gates the whole buffer — any layout change bumps it; there is no partial
 // compatibility. v2 added the live-tuning plane: TuningMode + ControllerConfig
 // in the SimConfig block, and the tunable epoch + values next to the session
 // counters, so a fork resumes with its parent's learned settings. v3 adds the
 // realized LP-ownership map (partition-map epoch, executor domain, owner
 // array) after the tunables block, so a fork resumes with the parent's
-// migrated placement instead of the setup default.
+// migrated placement instead of the setup default. v4 adds the speculation
+// plane: SpeculationMode + auto-checkpoint settings + the rebalance EWMA and
+// spec-horizon controller knobs in the SimConfig block, and the live
+// spec-horizon tunable in the tunables block.
 constexpr uint8_t kMagic[4] = {'U', 'S', 'N', 'P'};
-constexpr uint32_t kVersion = 3;
+constexpr uint32_t kVersion = 4;
 
 [[noreturn]] void SnapshotFatal(const std::string& message) {
   FatalConfigError("Session: " + message);
@@ -35,6 +38,14 @@ constexpr uint32_t kVersion = 3;
 
 class Writer {
  public:
+  Writer() = default;
+  // Pooled-buffer variant: adopts `reuse`'s allocation (cleared, capacity
+  // kept) so a per-window capture into a recycled buffer never reallocates
+  // once the pool has warmed up.
+  explicit Writer(std::vector<uint8_t> reuse) : buf_(std::move(reuse)) {
+    buf_.clear();
+  }
+
   void U8(uint8_t v) { buf_.push_back(v); }
   void Bool(bool v) { U8(v ? 1 : 0); }
   void U16(uint16_t v) { Raw(&v, sizeof v); }
@@ -43,6 +54,10 @@ class Writer {
   void I64(int64_t v) { Raw(&v, sizeof v); }
   void F64(double v) { Raw(&v, sizeof v); }
   void TimeVal(Time t) { I64(t.ps()); }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    Raw(s.data(), s.size());
+  }
 
   std::vector<uint8_t> Take() { return std::move(buf_); }
 
@@ -69,6 +84,13 @@ class Reader {
   int64_t I64() { return Get<int64_t>(); }
   double F64() { return Get<double>(); }
   Time TimeVal() { return Time::Picoseconds(I64()); }
+  std::string Str() {
+    const uint32_t n = U32();
+    Need(n);
+    std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
 
   size_t remaining() const { return buf_.size() - pos_; }
 
@@ -163,6 +185,14 @@ void PutSimConfig(Writer& w, const SimConfig& c) {
   w.U32(c.tuning_config.min_parties);
   w.U32(c.tuning_config.cpu_limit);
   w.U32(c.tuning_config.min_rounds);
+  // v4: speculation + auto-checkpoint plane.
+  w.F64(c.tuning_config.cost_ewma_alpha);
+  w.I64(c.tuning_config.spec_horizon_initial_ps);
+  w.I64(c.tuning_config.spec_horizon_min_ps);
+  w.I64(c.tuning_config.spec_horizon_max_ps);
+  w.U8(static_cast<uint8_t>(c.speculation));
+  w.U32(c.kernel.auto_checkpoint_every);
+  w.Str(c.auto_checkpoint_path);
   PutTcpConfig(w, c.tcp);
   PutQueueConfig(w, c.queue);
 }
@@ -197,6 +227,13 @@ SimConfig GetSimConfig(Reader& r) {
   c.tuning_config.min_parties = r.U32();
   c.tuning_config.cpu_limit = r.U32();
   c.tuning_config.min_rounds = r.U32();
+  c.tuning_config.cost_ewma_alpha = r.F64();
+  c.tuning_config.spec_horizon_initial_ps = r.I64();
+  c.tuning_config.spec_horizon_min_ps = r.I64();
+  c.tuning_config.spec_horizon_max_ps = r.I64();
+  c.speculation = static_cast<SpeculationMode>(r.U8());
+  c.kernel.auto_checkpoint_every = r.U32();
+  c.auto_checkpoint_path = r.Str();
   c.tcp = GetTcpConfig(r);
   c.queue = GetQueueConfig(r);
   return c;
@@ -344,6 +381,22 @@ Event GetEvent(Reader& r, Network* net) {
     }
   }
   SnapshotFatal("unknown event tag in snapshot buffer");
+}
+
+// Non-fatal twin of PutEvent's dispatch: true iff the event is a named model
+// event whose payload the snapshot format can represent. The window
+// checkpoint must *decline*, not crash, when e.g. a progress ticker is
+// pending — the kernel then simply runs the window conservatively — and the
+// auto-checkpoint path uses the same predicate to skip such boundaries.
+bool EventSerializable(Event& ev) {
+  if (auto* e = ev.fn.TryAs<PacketDeliverEvent>()) {
+    return e->pkt.control_data == nullptr;
+  }
+  return ev.fn.TryAs<TransmitCompleteEvent>() != nullptr ||
+         ev.fn.TryAs<TcpRtoEvent>() != nullptr ||
+         ev.fn.TryAs<FlowStartEvent>() != nullptr ||
+         ev.fn.TryAs<FlowArrivalEvent>() != nullptr ||
+         ev.fn.TryAs<LinkUpDownEvent>() != nullptr;
 }
 
 void PutLp(Writer& w, Lp* lp) {
@@ -639,6 +692,7 @@ SessionSnapshot Session::Snapshot() {
   w.U32(tun.parties);
   w.U8(static_cast<uint8_t>(tun.affinity));
   w.I64(tun.max_window_ps);
+  w.I64(tun.spec_horizon_ps);
 
   // v3: the realized LP-ownership map, in the capturing kernel's executor
   // domain; Restore folds the owners modulo the restored kernel's own domain,
@@ -854,6 +908,7 @@ std::unique_ptr<Network> RestoreImpl(const SessionSnapshot& snap,
   tunables.parties = r.U32();
   tunables.affinity = static_cast<AffinityPolicy>(r.U8());
   tunables.max_window_ps = r.I64();
+  tunables.spec_horizon_ps = r.I64();
 
   const uint64_t ownership_epoch = r.U64();
   const uint32_t ownership_executors = r.U32();
@@ -1102,6 +1157,351 @@ std::unique_ptr<Network> Session::Fork(const SessionSnapshot& snap,
 
 std::unique_ptr<Network> Session::Restore(const SessionSnapshot& snap) {
   return RestoreImpl(snap, nullptr, ForkOptions{});
+}
+
+// --- Window checkpoints for speculative execution (DESIGN.md §3k) ---
+//
+// The slim variant reuses the USNP field encoders verbatim but skips
+// everything a single Run() window cannot mutate: magic/version, SimConfig,
+// topology shape, partition, injection epoch, tunables, ownership, CDF
+// specs, and the kernel's session accumulators (FinishRun never runs for an
+// aborted attempt, so they are untouched by construction). What remains is
+// exactly the state speculative rounds can dirty.
+
+namespace {
+
+bool AllFelsSerializable(Kernel& kernel) {
+  bool ok = true;
+  const auto scan = [&ok](Event& ev) { ok = ok && EventSerializable(ev); };
+  for (uint32_t i = 0; i < kernel.num_lps(); ++i) {
+    kernel.lp(i)->fel().ForEach(scan);
+  }
+  kernel.public_lp()->fel().ForEach(scan);
+  return ok;
+}
+
+}  // namespace
+
+bool SessionSerializable(Network& net) {
+  if (!net.finalized() || net.dv_routing() != nullptr) {
+    return false;
+  }
+  Kernel& kernel = net.kernel();
+  // The same transport drain Snapshot() performs (execution-neutral), so the
+  // FEL scan sees the complete event set under the null-message kernel too.
+  kernel.DrainTransportForSnapshot();
+  return AllFelsSerializable(kernel);
+}
+
+bool CaptureWindowCheckpoint(Network& net, std::vector<uint8_t>* out) {
+  if (!net.finalized() || net.dv_routing() != nullptr) {
+    return false;
+  }
+  Kernel& kernel = net.kernel();
+  kernel.DrainTransportForSnapshot();
+  if (!AllFelsSerializable(kernel)) {
+    return false;
+  }
+  // Window-boundary quiescence is the capture's correctness premise (the
+  // checkpoint has no mailbox section); a violation here is a kernel bug.
+  for (uint32_t i = 0; i < kernel.num_lps(); ++i) {
+    CheckQuiescent(kernel.lp(i), "an LP");
+  }
+  CheckQuiescent(kernel.public_lp(), "the public LP");
+
+  Writer w(std::move(*out));
+
+  // Per-link administrative state. A LinkUpDown global below the
+  // conservative bound executes even in a speculative attempt; if a later
+  // round then misses, the flip must be undone — restore re-applies any
+  // changed link, which also recomputes routing and the lookahead.
+  w.U32(static_cast<uint32_t>(net.links().size()));
+  for (const Network::LinkInfo& link : net.links()) {
+    w.Bool(link.up);
+    w.TimeVal(link.delay);
+  }
+
+  // LP clocks, tie-break counters, and FEL contents; the public LP last.
+  w.U32(kernel.num_lps());
+  for (uint32_t i = 0; i < kernel.num_lps(); ++i) {
+    PutLp(w, kernel.lp(i));
+  }
+  PutLp(w, kernel.public_lp());
+
+  // Node, device and queue state — same layout as the full snapshot.
+  const auto kinds = PortQueueKinds(net.num_nodes(), net.links());
+  for (NodeId n = 0; n < net.num_nodes(); ++n) {
+    Node& node = net.node(n);
+    const NodeStats& ns = node.stats();
+    w.U64(ns.forwarded);
+    w.U64(ns.delivered);
+    w.U64(ns.no_route);
+    w.U64(ns.ttl_expired);
+    w.U32(node.num_ports());
+    for (uint32_t p = 0; p < node.num_ports(); ++p) {
+      Device* dev = node.device(p);
+      w.Bool(dev->transmitting());
+      const DeviceStats& ds = dev->stats();
+      w.U64(ds.tx_packets);
+      w.U64(ds.tx_bytes);
+      w.U64(ds.dropped_down);
+      PutQueueStats(w, dev->queue().stats());
+      const std::vector<QueueEntry> entries = dev->queue().Entries();
+      w.U32(static_cast<uint32_t>(entries.size()));
+      for (const QueueEntry& e : entries) {
+        PutPacket(w, e.pkt);
+        w.TimeVal(e.enqueue_time);
+      }
+      const bool red = kinds[n][p] != QueueConfig::Kind::kDropTail;
+      w.Bool(red);
+      if (red) {
+        const RedQueue::MarkerState m =
+            static_cast<RedQueue&>(dev->queue()).marker_state();
+        w.F64(m.avg);
+        w.U64(m.count_since_mark);
+        w.U64(m.rng_state);
+      }
+    }
+  }
+
+  // TCP endpoints, sorted by flow id (same reason as the full snapshot: the
+  // map iteration order is not reproducible).
+  for (NodeId n = 0; n < net.num_nodes(); ++n) {
+    Node& node = net.node(n);
+    std::vector<uint32_t> sender_ids;
+    for (const auto& [id, sender] : node.senders()) {
+      sender_ids.push_back(id);
+    }
+    std::sort(sender_ids.begin(), sender_ids.end());
+    w.U32(static_cast<uint32_t>(sender_ids.size()));
+    for (uint32_t id : sender_ids) {
+      const TcpSender& s = *node.senders().at(id);
+      w.U32(id);
+      w.U32(s.dst());
+      w.U64(s.size());
+      PutTcpConfig(w, s.config());
+      PutSenderImage(w, s.Save());
+    }
+    std::vector<uint32_t> receiver_ids;
+    for (const auto& [id, receiver] : node.receivers()) {
+      receiver_ids.push_back(id);
+    }
+    std::sort(receiver_ids.begin(), receiver_ids.end());
+    w.U32(static_cast<uint32_t>(receiver_ids.size()));
+    for (uint32_t id : receiver_ids) {
+      const TcpReceiver& recv = *node.receivers().at(id);
+      const TcpReceiver::Image im = recv.Save();
+      w.U32(id);
+      w.U32(recv.src());
+      w.U64(im.rcv_nxt);
+      w.U32(static_cast<uint32_t>(im.out_of_order.size()));
+      for (const auto& [start, end] : im.out_of_order) {
+        w.U64(start);
+        w.U64(end);
+      }
+    }
+  }
+
+  // Flow statistics.
+  const FlowMonitor::Image monitor = net.flow_monitor().SaveImage();
+  w.U32(monitor.shards);
+  for (uint32_t s = 0; s < monitor.shards; ++s) {
+    w.U32(static_cast<uint32_t>(monitor.records[s].size()));
+    for (const FlowRecord& rec : monitor.records[s]) {
+      PutFlowRecord(w, rec);
+    }
+    PutFlowCounters(w, monitor.deltas[s]);
+  }
+  PutFlowCounters(w, monitor.merged);
+  w.U32(monitor.windows_merged);
+
+  // Streaming flow sources: stream/pending state only (the specs and their
+  // CDFs are immutable within a window — the registry itself only grows
+  // between windows).
+  w.U32(net.num_flow_source_sets());
+  for (uint32_t i = 0; i < net.num_flow_source_sets(); ++i) {
+    FlowSourceSet* set = net.flow_source_set(i);
+    w.U32(set->num_sources());
+    for (uint32_t src = 0; src < set->num_sources(); ++src) {
+      const FlowSource::Image im = set->source(src).Save();
+      for (uint64_t word : im.stream.rng) {
+        w.U64(word);
+      }
+      w.F64(im.stream.t);
+      w.U32(im.pending.src_index);
+      w.U32(im.pending.dst_index);
+      w.U64(im.pending.bytes);
+      w.TimeVal(im.pending.start);
+      w.Bool(im.pending.install);
+      w.U64(im.installed_flows);
+      w.U64(im.total_bytes);
+    }
+  }
+
+  *out = w.Take();
+  return true;
+}
+
+void RestoreWindowCheckpoint(Network& net, const std::vector<uint8_t>& buf) {
+  Kernel& kernel = net.kernel();
+  Reader r(buf);
+
+  const uint32_t num_links = r.U32();
+  if (num_links != net.links().size()) {
+    SnapshotFatal(
+        "window checkpoint link count diverged from the live topology");
+  }
+  for (uint32_t i = 0; i < num_links; ++i) {
+    const bool up = r.Bool();
+    const Time delay = r.TimeVal();
+    // Re-apply only actual changes: each setter recomputes routing and the
+    // kernel lookahead, which is wasted work for the (typical) no-op case.
+    if (net.links()[i].up != up) {
+      net.SetLinkUp(i, up);
+    }
+    if (net.links()[i].delay != delay) {
+      net.SetLinkDelay(i, delay);
+    }
+  }
+
+  const uint32_t num_lps = r.U32();
+  if (num_lps != kernel.num_lps()) {
+    SnapshotFatal("window checkpoint LP count diverged from the live kernel");
+  }
+  for (uint32_t i = 0; i < num_lps; ++i) {
+    kernel.lp(i)->fel().Clear();
+    GetLp(r, &net, kernel.lp(i));
+  }
+  kernel.public_lp()->fel().Clear();
+  GetLp(r, &net, kernel.public_lp());
+
+  const auto kinds = PortQueueKinds(net.num_nodes(), net.links());
+  for (NodeId n = 0; n < net.num_nodes(); ++n) {
+    Node& node = net.node(n);
+    NodeStats ns;
+    ns.forwarded = r.U64();
+    ns.delivered = r.U64();
+    ns.no_route = r.U64();
+    ns.ttl_expired = r.U64();
+    node.set_stats(ns);
+    const uint32_t ports = r.U32();
+    if (ports != node.num_ports()) {
+      SnapshotFatal("window checkpoint port count diverged from the node");
+    }
+    for (uint32_t p = 0; p < ports; ++p) {
+      Device* dev = node.device(p);
+      dev->set_transmitting(r.Bool());
+      DeviceStats ds;
+      ds.tx_packets = r.U64();
+      ds.tx_bytes = r.U64();
+      ds.dropped_down = r.U64();
+      dev->set_stats(ds);
+      const QueueStats qs = GetQueueStats(r);
+      const uint32_t entries = r.U32();
+      std::vector<QueueEntry> q;
+      q.reserve(entries);
+      for (uint32_t e = 0; e < entries; ++e) {
+        QueueEntry entry;
+        entry.pkt = GetPacket(r);
+        entry.enqueue_time = r.TimeVal();
+        q.push_back(std::move(entry));
+      }
+      dev->queue().RestoreEntries(std::move(q));
+      dev->queue().set_stats(qs);
+      if (r.Bool()) {
+        RedQueue::MarkerState m;
+        m.avg = r.F64();
+        m.count_since_mark = r.U64();
+        m.rng_state = r.U64();
+        static_cast<RedQueue&>(dev->queue()).set_marker_state(m);
+      } else if (kinds[n][p] != QueueConfig::Kind::kDropTail) {
+        SnapshotFatal("window checkpoint lacks RED state for a RED queue");
+      }
+    }
+  }
+
+  // TCP endpoints: drop the live set wholesale and re-create the captured
+  // one (speculative rounds may have created endpoints, completed flows, or
+  // advanced connection state — re-creation covers all three at once, and
+  // endpoint counts per window are small).
+  for (NodeId n = 0; n < net.num_nodes(); ++n) {
+    Node& node = net.node(n);
+    node.ClearTcpEndpoints();
+    const uint32_t senders = r.U32();
+    for (uint32_t i = 0; i < senders; ++i) {
+      const uint32_t flow_id = r.U32();
+      const NodeId dst = r.U32();
+      const uint64_t bytes = r.U64();
+      const TcpConfig tcp = GetTcpConfig(r);
+      TcpSender* sender = node.AddSender(
+          flow_id,
+          std::make_unique<TcpSender>(&net, &node, flow_id, dst, bytes, tcp));
+      sender->Restore(GetSenderImage(r));
+    }
+    const uint32_t receivers = r.U32();
+    for (uint32_t i = 0; i < receivers; ++i) {
+      const uint32_t flow_id = r.U32();
+      const NodeId src = r.U32();
+      TcpReceiver::Image im;
+      im.rcv_nxt = r.U64();
+      const uint32_t ooo = r.U32();
+      for (uint32_t o = 0; o < ooo; ++o) {
+        const uint64_t start = r.U64();
+        im.out_of_order[start] = r.U64();
+      }
+      TcpReceiver* receiver = node.AddReceiver(
+          flow_id, std::make_unique<TcpReceiver>(&net, &node, flow_id, src));
+      receiver->Restore(im);
+    }
+  }
+
+  FlowMonitor::Image monitor;
+  monitor.shards = r.U32();
+  monitor.records.resize(monitor.shards);
+  monitor.deltas.resize(monitor.shards);
+  for (uint32_t s = 0; s < monitor.shards; ++s) {
+    const uint32_t count = r.U32();
+    monitor.records[s].reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      monitor.records[s].push_back(GetFlowRecord(r));
+    }
+    monitor.deltas[s] = GetFlowCounters(r);
+  }
+  monitor.merged = GetFlowCounters(r);
+  monitor.windows_merged = r.U32();
+  net.flow_monitor().RestoreImageInPlace(monitor);
+
+  const uint32_t num_sets = r.U32();
+  if (num_sets != net.num_flow_source_sets()) {
+    SnapshotFatal(
+        "window checkpoint flow-source registry diverged from the session");
+  }
+  for (uint32_t i = 0; i < num_sets; ++i) {
+    FlowSourceSet* set = net.flow_source_set(i);
+    const uint32_t num_sources = r.U32();
+    if (num_sources != set->num_sources()) {
+      SnapshotFatal("window checkpoint flow-source set size diverged");
+    }
+    for (uint32_t src = 0; src < num_sources; ++src) {
+      FlowSource::Image im;
+      for (uint64_t& word : im.stream.rng) {
+        word = r.U64();
+      }
+      im.stream.t = r.F64();
+      im.pending.src_index = r.U32();
+      im.pending.dst_index = r.U32();
+      im.pending.bytes = r.U64();
+      im.pending.start = r.TimeVal();
+      im.pending.install = r.Bool();
+      im.installed_flows = r.U64();
+      im.total_bytes = r.U64();
+      set->source(src).Restore(im);
+    }
+  }
+
+  if (r.remaining() != 0) {
+    SnapshotFatal("trailing bytes after the window checkpoint payload");
+  }
 }
 
 }  // namespace unison

@@ -109,6 +109,37 @@ class Session {
   Network* net_;
 };
 
+// --- Window checkpoints for speculative execution (DESIGN.md §3k) ---
+//
+// A slimmed, no-disk variant of the USNP snapshot, shared-serialization but
+// different contract: it captures only what speculative rounds can mutate
+// within one Run() window — LP clocks/counters/FELs, per-node device, queue,
+// RED and TCP endpoint state, the sharded FlowMonitor, streaming flow-source
+// RNG cursors, and per-link up/delay (a global may flip a link mid-window) —
+// and restores *in place* on the same finalized Network. Everything a full
+// snapshot re-encodes but a window cannot change (topology shape, SimConfig,
+// CDF specs, tunables, ownership, session accumulators) is skipped, which is
+// what makes capture cheap enough to run at every window boundary.
+
+// Serializes the checkpoint into `out` (cleared, capacity kept — the pooled
+// buffer lives in SpecCheckpoint). Returns false, leaving the session
+// untouched, when the state is not representable (lambda events such as
+// progress tickers, control-payload packets, DV routing) — the kernel then
+// runs the window conservatively.
+bool CaptureWindowCheckpoint(Network& net, std::vector<uint8_t>* out);
+
+// Rolls the live session back to the captured state. Requires the same
+// finalized Network the capture ran on, quiescent at a window boundary
+// (which a speculation abort guarantees: misses latch between rounds, after
+// all mailboxes drained).
+void RestoreWindowCheckpoint(Network& net, const std::vector<uint8_t>& buf);
+
+// True when the session's live state fits the USNP snapshot format — the
+// same predicate Snapshot() enforces fatally, as a query. Used by the
+// auto-checkpoint path to skip boundaries where a snapshot would abort
+// (e.g. a progress-report ticker pending in the public FEL).
+bool SessionSerializable(Network& net);
+
 }  // namespace unison
 
 #endif  // UNISON_SRC_NET_SESSION_H_

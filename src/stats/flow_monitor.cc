@@ -218,8 +218,20 @@ void FlowMonitor::RestoreImage(const Image& image) {
       MonitorFatal("RestoreImage into a monitor that already has flows");
     }
   }
+  RestoreImageInPlace(image);
+}
+
+void FlowMonitor::RestoreImageInPlace(const Image& image) {
+  if (image.shards != shards_.size()) {
+    MonitorFatal(
+        "RestoreImageInPlace shard-count mismatch; the image must come from "
+        "this monitor's own configuration");
+  }
   for (uint32_t s = 0; s < shards_.size(); ++s) {
     Shard& shard = *shards_[s];
+    // Slots past the image's count were registered by the rounds being
+    // rolled back; truncating count abandons them (slabs stay allocated —
+    // the re-run re-registers into the same slots).
     const std::vector<FlowRecord>& records = image.records[s];
     for (uint32_t slot = 0; slot < records.size(); ++slot) {
       const uint32_t seg = SegmentOf(slot);

@@ -188,6 +188,13 @@ class FlowMonitor {
   };
   Image SaveImage() const;
   void RestoreImage(const Image& image);
+  // Speculation-rollback variant: restores into a monitor that already holds
+  // flows, overwriting slots and truncating each shard's count back to the
+  // image's. Valid only when the live state is a superset of the image —
+  // which a rollback guarantees: speculative rounds can only have *appended*
+  // records (slots are never reused), so rewinding count + overwriting the
+  // surviving slots reproduces the captured monitor exactly.
+  void RestoreImageInPlace(const Image& image);
 
  private:
   // Records are stored in doubling segments: segment k holds kSegBase << k

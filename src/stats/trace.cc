@@ -109,6 +109,14 @@ std::string RunSummary::ToJson() const {
   AppendU64(&out, ownership_epoch);
   out += ",\"imbalance\":";
   AppendF64(&out, imbalance);
+  out += ",\"spec_rounds\":";
+  AppendU64(&out, spec_rounds);
+  out += ",\"spec_hits\":";
+  AppendU64(&out, spec_hits);
+  out += ",\"spec_misses\":";
+  AppendU64(&out, spec_misses);
+  out += ",\"rollback_ns\":";
+  AppendU64(&out, rollback_ns);
   out += '}';
   return out;
 }
@@ -217,6 +225,10 @@ RunSummary RunTrace::Cumulative() const {
   total.processing_ns = 0;
   total.synchronization_ns = 0;
   total.messaging_ns = 0;
+  total.spec_rounds = 0;
+  total.spec_hits = 0;
+  total.spec_misses = 0;
+  total.rollback_ns = 0;
   for (const WindowTraceSegment& seg : segments_) {
     total.rounds += seg.summary.rounds;
     total.events += seg.summary.events;
@@ -224,6 +236,10 @@ RunSummary RunTrace::Cumulative() const {
     total.processing_ns += seg.summary.processing_ns;
     total.synchronization_ns += seg.summary.synchronization_ns;
     total.messaging_ns += seg.summary.messaging_ns;
+    total.spec_rounds += seg.summary.spec_rounds;
+    total.spec_hits += seg.summary.spec_hits;
+    total.spec_misses += seg.summary.spec_misses;
+    total.rollback_ns += seg.summary.rollback_ns;
   }
   total.window_start_ps = segments_.front().summary.window_start_ps;
   return total;
@@ -297,8 +313,7 @@ void AppendTraceBody(std::string* out, const RunSummary& summary,
   *out += ']';
 }
 
-void AppendCsvRows(std::string* out, uint32_t window, uint64_t tuning_epoch,
-                   uint32_t migrations,
+void AppendCsvRows(std::string* out, uint32_t window, const RunSummary& summary,
                    const std::vector<RoundTraceRecord>& records,
                    const std::vector<std::vector<uint64_t>>& round_p,
                    const std::vector<std::vector<uint64_t>>& round_s,
@@ -326,9 +341,19 @@ void AppendCsvRows(std::string* out, uint32_t window, uint64_t tuning_epoch,
     *out += ',';
     AppendU64(out, r.parked);
     *out += ',';
-    AppendU64(out, tuning_epoch);
+    AppendU64(out, summary.tuning_epoch);
     *out += ',';
-    AppendU64(out, migrations);
+    AppendU64(out, summary.migrations);
+    *out += ',';
+    // Window-level speculation stats, repeated on each of the window's rows
+    // (the flat table has no window-level rows to hang them on).
+    AppendU64(out, summary.spec_rounds);
+    *out += ',';
+    AppendU64(out, summary.spec_hits);
+    *out += ',';
+    AppendU64(out, summary.spec_misses);
+    *out += ',';
+    AppendU64(out, summary.rollback_ns);
     *out += '\n';
   }
 }
@@ -364,17 +389,16 @@ std::string RunTrace::ToCsv() const {
   std::string out;
   out.reserve(64 + records_.size() * 64);
   out += "window,round,lbts_ps,window_ps,events_before,resorted,p_total_ns,"
-         "s_total_ns,m_total_ns,barrier_ns,parked,tuning_epoch,migrations\n";
+         "s_total_ns,m_total_ns,barrier_ns,parked,tuning_epoch,migrations,"
+         "spec_rounds,spec_hits,spec_misses,rollback_ns\n";
   if (segments_.empty()) {
     // Export mid-window (EndRun not yet reached): show the live records.
-    AppendCsvRows(&out, 0, summary_.tuning_epoch, summary_.migrations,
-                  records_, round_p_, round_s_, round_m_);
+    AppendCsvRows(&out, 0, summary_, records_, round_p_, round_s_, round_m_);
     return out;
   }
   for (const WindowTraceSegment& seg : segments_) {
-    AppendCsvRows(&out, seg.summary.window_index, seg.summary.tuning_epoch,
-                  seg.summary.migrations, seg.records, seg.round_p, seg.round_s,
-                  seg.round_m);
+    AppendCsvRows(&out, seg.summary.window_index, seg.summary, seg.records,
+                  seg.round_p, seg.round_s, seg.round_m);
   }
   return out;
 }

@@ -67,6 +67,15 @@ struct RunSummary {
   // no usable per-round matrices. Filled by RunTrace::EndRun — the post-move
   // balance observability for the rebalance rule.
   double imbalance = 0.0;
+  // Speculative window execution (DESIGN.md §3k): rounds this window ran
+  // past the conservative Eq. 2 bound, how many of those committed (hits) or
+  // were discarded by a rollback (misses — at most 1 per window, since a
+  // miss aborts the attempt), and the wall time spent restoring the window
+  // checkpoint. All zero when speculation is off or never extended a round.
+  uint32_t spec_rounds = 0;
+  uint32_t spec_hits = 0;
+  uint32_t spec_misses = 0;
+  uint64_t rollback_ns = 0;
 
   std::string ToJson() const;
 };
@@ -151,7 +160,9 @@ class RunTrace {
   std::string ToJson() const;
   // Flat per-round table across every window of the session:
   // window,round,lbts_ps,window_ps,events_before,resorted,
-  // p_total_ns,s_total_ns,m_total_ns,barrier_ns,parked,tuning_epoch.
+  // p_total_ns,s_total_ns,m_total_ns,barrier_ns,parked,tuning_epoch,
+  // migrations,spec_rounds,spec_hits,spec_misses,rollback_ns (the last five
+  // are window-level, repeated per row).
   std::string ToCsv() const;
   bool WriteJsonFile(const std::string& path) const;
   bool WriteCsvFile(const std::string& path) const;

@@ -345,6 +345,121 @@ TEST(Controller, RebalanceSkipsBalancedWindows) {
   EXPECT_EQ(store.epoch(), 0u);
 }
 
+// --- Cost EWMA (rebalance input smoothing) ---
+
+TEST(Controller, CostEwmaBlendsWindowCosts) {
+  TunableStore store;
+  ControllerConfig cfg = TestConfig();
+  cfg.cost_ewma_alpha = 0.5;
+  Controller ctl(cfg, &store);
+  SegmentSpec spec;  // Quiet: no rule fires, but the estimator still updates.
+  const std::vector<uint32_t> owner = {0, 1};
+  std::vector<uint64_t> cost = {400, 100};
+  OwnershipView view;
+  view.num_executors = 2;
+  view.movable = true;
+  view.owner_of_lp = &owner;
+  view.lp_cost_ns = &cost;
+
+  EXPECT_FALSE(ctl.OnWindowEnd(MakeSegment(spec), view));
+  ASSERT_EQ(ctl.smoothed_costs().size(), 2u);
+  EXPECT_DOUBLE_EQ(ctl.smoothed_costs()[0], 400.0);  // First window: assign.
+  EXPECT_DOUBLE_EQ(ctl.smoothed_costs()[1], 100.0);
+
+  cost = {100, 300};
+  EXPECT_FALSE(ctl.OnWindowEnd(MakeSegment(spec), view));
+  EXPECT_DOUBLE_EQ(ctl.smoothed_costs()[0], 250.0);  // 0.5*100 + 0.5*400.
+  EXPECT_DOUBLE_EQ(ctl.smoothed_costs()[1], 200.0);
+}
+
+TEST(Controller, RebalanceConsumesSmoothedCostsNotRawSpikes) {
+  TunableStore store;
+  ControllerConfig cfg = TestConfig();
+  cfg.rebalance_patience = 1;
+  cfg.cost_ewma_alpha = 0.0;  // Fully history-weighted after the first window.
+  Controller ctl(cfg, &store);
+  SegmentSpec quiet;
+  SegmentSpec hot;
+  hot.resort_every = 4;
+  hot.imb_first = 0.40;
+  hot.imb_last = 0.55;  // Mean imbalance above the rebalance threshold.
+  const std::vector<uint32_t> owner = {0, 0, 1, 1};
+  std::vector<uint64_t> cost = {400, 100, 100, 100};
+  OwnershipView view;
+  view.num_executors = 2;
+  view.movable = true;
+  view.owner_of_lp = &owner;
+  view.lp_cost_ns = &cost;
+
+  // Establish history: lp 0 is the heavy one.
+  EXPECT_FALSE(ctl.OnWindowEnd(MakeSegment(quiet), view));
+  // A one-window spike claims lp 1 is heavy — but with alpha=0 the smoothed
+  // estimate still says lp 0, so LPT keeps lp 0 in place and moves lp 1
+  // (the raw costs alone would have moved lp 0 instead).
+  cost = {100, 400, 100, 100};
+  EXPECT_TRUE(ctl.OnWindowEnd(MakeSegment(hot), view));
+  ASSERT_EQ(store.Get().moves.size(), 1u);
+  EXPECT_EQ(store.Get().moves[0].lp, 1u);
+  EXPECT_EQ(store.Get().moves[0].to, 1u);
+}
+
+// --- Spec-horizon rule (rule 5) ---
+
+WindowTraceSegment SpecWindow(uint32_t spec_rounds, uint32_t spec_misses) {
+  WindowTraceSegment seg = MakeSegment(SegmentSpec{});  // Otherwise quiet.
+  seg.summary.spec_rounds = spec_rounds;
+  seg.summary.spec_misses = spec_misses;
+  return seg;
+}
+
+TEST(Controller, SpecNarrowHalvesHorizonOnMissWindows) {
+  TunableStore store;
+  Tunables seed;
+  seed.spec_horizon_ps = 2'000'000;
+  store.Seed(seed);
+  Controller ctl(TestConfig(), &store);
+
+  EXPECT_TRUE(ctl.OnWindowEnd(SpecWindow(3, 1)));
+  EXPECT_EQ(store.Get().spec_horizon_ps, 1'000'000);
+  ASSERT_EQ(ctl.decisions().size(), 1u);
+  EXPECT_EQ(ctl.decisions()[0].rule, "spec-narrow");
+
+  // Repeated misses saturate at the floor, then stop publishing.
+  EXPECT_TRUE(ctl.OnWindowEnd(SpecWindow(3, 1)));
+  EXPECT_TRUE(ctl.OnWindowEnd(SpecWindow(3, 1)));
+  EXPECT_EQ(store.Get().spec_horizon_ps, ctl.config().spec_horizon_min_ps);
+  EXPECT_FALSE(ctl.OnWindowEnd(SpecWindow(3, 1)));
+}
+
+TEST(Controller, SpecWidenDoublesHorizonOnCleanSpecWindows) {
+  TunableStore store;
+  Tunables seed;
+  seed.spec_horizon_ps = 2'000'000;
+  store.Seed(seed);
+  ControllerConfig cfg = TestConfig();
+  cfg.spec_horizon_max_ps = 4'000'000;
+  Controller ctl(cfg, &store);
+
+  EXPECT_TRUE(ctl.OnWindowEnd(SpecWindow(4, 0)));
+  EXPECT_EQ(store.Get().spec_horizon_ps, 4'000'000);
+  ASSERT_EQ(ctl.decisions().size(), 1u);
+  EXPECT_EQ(ctl.decisions()[0].rule, "spec-widen");
+
+  // At the cap the rule goes quiet; and a window that never speculated is no
+  // signal in either direction.
+  EXPECT_FALSE(ctl.OnWindowEnd(SpecWindow(4, 0)));
+  EXPECT_FALSE(ctl.OnWindowEnd(SpecWindow(0, 0)));
+  EXPECT_EQ(store.Get().spec_horizon_ps, 4'000'000);
+}
+
+TEST(Controller, SpecRuleStaysOffWithoutALiveHorizon) {
+  TunableStore store;  // No seed: horizon 0 = speculation off this session.
+  Controller ctl(TestConfig(), &store);
+  EXPECT_FALSE(ctl.OnWindowEnd(SpecWindow(3, 2)));
+  EXPECT_EQ(store.epoch(), 0u);
+  EXPECT_TRUE(ctl.decisions().empty());
+}
+
 TEST(Controller, MinRoundsGateSkipsThinWindows) {
   TunableStore store;
   ControllerConfig cfg = TestConfig();

@@ -19,8 +19,10 @@
 #include "src/kernel/engine/cpu_topology.h"
 #include "src/kernel/engine/executor_pool.h"
 #include "src/kernel/engine/phase_accountant.h"
+#include "src/kernel/engine/spec_checkpoint.h"
 #include "src/kernel/kernel.h"
 #include "src/partition/manual.h"
+#include "tests/test_util.h"
 
 namespace unison {
 namespace {
@@ -370,6 +372,98 @@ TEST_P(EngineReuseTest, SecondRunReusesPoolThreadsAndStaysDeterministic) {
   EXPECT_EQ(a.events, b.events);
   EXPECT_EQ(a.log[0], b.log[0]);
   EXPECT_EQ(a.log[1], b.log[1]);
+}
+
+// --- SpecCheckpoint ---
+
+TEST(SpecCheckpoint, CaptureRestoreCountersAndDeclines) {
+  SpecCheckpoint ck;
+  EXPECT_FALSE(ck.installed());
+  EXPECT_FALSE(ck.Capture());  // No hooks: refuse, never speculate.
+  EXPECT_FALSE(ck.valid());
+
+  std::vector<uint8_t> restored;
+  bool refuse = false;
+  ck.InstallHooks(
+      [&refuse](std::vector<uint8_t>* out) {
+        if (refuse) {
+          return false;
+        }
+        out->assign(1000, 0xAB);
+        return true;
+      },
+      [&restored](const std::vector<uint8_t>& buf) { restored = buf; });
+  EXPECT_TRUE(ck.installed());
+  ASSERT_TRUE(ck.Capture());
+  EXPECT_TRUE(ck.valid());
+  EXPECT_EQ(ck.captures(), 1u);
+  EXPECT_EQ(ck.buffer_size(), 1000u);
+  const size_t cap = ck.buffer_capacity();
+  EXPECT_GE(cap, 1000u);
+
+  ck.Restore();
+  EXPECT_EQ(ck.restores(), 1u);
+  ASSERT_EQ(restored.size(), 1000u);
+  EXPECT_EQ(restored[0], 0xAB);
+  EXPECT_TRUE(ck.valid());  // A restore keeps the checkpoint.
+
+  // A declined capture invalidates the prior checkpoint, and Restore
+  // without a valid checkpoint is a no-op.
+  refuse = true;
+  EXPECT_FALSE(ck.Capture());
+  EXPECT_FALSE(ck.valid());
+  restored.clear();
+  ck.Restore();
+  EXPECT_EQ(ck.restores(), 1u);
+  EXPECT_TRUE(restored.empty());
+
+  // The pooled buffer keeps its capacity across captures: a smaller window
+  // re-serializes into already-owned storage.
+  refuse = false;
+  ASSERT_TRUE(ck.Capture());
+  EXPECT_EQ(ck.captures(), 2u);
+  EXPECT_EQ(ck.buffer_capacity(), cap);
+}
+
+// A live speculative session: one checkpoint per eligible window, rollbacks
+// on forced misses, the pooled buffer settling at its high-water mark, and —
+// the engine's core reuse promise — zero OS threads spawned across
+// speculative windows and their conservative re-runs.
+TEST(SpecCheckpoint, SpeculativeWindowsReuseBufferAndSpawnNoThreads) {
+  SimConfig cfg;
+  cfg.kernel.type = KernelType::kUnison;
+  cfg.kernel.threads = 2;
+  cfg.speculation = SpeculationMode::kAuto;
+  // Horizon far past the 3 us lookahead: busy windows overshoot and roll
+  // back, so Restore runs on top of Capture.
+  cfg.tuning_config.spec_horizon_initial_ps = Time::Milliseconds(10).ps();
+  Network net(cfg);
+  FatTreeTopo topo =
+      BuildFatTree(net, 4, 10'000'000'000ULL, Time::Microseconds(3));
+  net.Finalize();
+  GeneratePermutation(net, topo.hosts, 200 * 1024, Time::Zero());
+
+  const uint32_t windows = 5;
+  uint64_t spawned_before = 0;
+  size_t cap_mid = 0;
+  for (uint32_t w = 1; w <= windows; ++w) {
+    if (w == 2) {
+      spawned_before = ExecutorPool::TotalThreadsSpawned();
+    }
+    net.Run(Time::Milliseconds(w));
+    if (w == 3) {
+      cap_mid = net.kernel().spec_checkpoint().buffer_capacity();
+    }
+  }
+  EXPECT_EQ(ExecutorPool::TotalThreadsSpawned() - spawned_before, 0u);
+
+  const SpecCheckpoint& ck = net.kernel().spec_checkpoint();
+  EXPECT_EQ(ck.captures(), windows);  // Every boundary captured exactly once.
+  EXPECT_GE(ck.restores(), 1u);       // The overshooting window rolled back.
+  // The permutation drains inside window 1, so the buffer's high-water mark
+  // is set early and later captures reuse it — no regrowth.
+  EXPECT_EQ(ck.buffer_capacity(), cap_mid);
+  EXPECT_LE(ck.buffer_size(), ck.buffer_capacity());
 }
 
 INSTANTIATE_TEST_SUITE_P(AllParallelKernels, EngineReuseTest,

@@ -562,6 +562,158 @@ TEST(SessionFork, TuningStateSurvivesForkAndDivergesIndependently) {
   EXPECT_EQ(parent.net->kernel().session_events(), mono.events);
 }
 
+// --- Speculative window execution ---
+
+// The kernels that opt into speculation (indices into AllKernels()): the
+// round-engine kernels barrier, unison, hybrid. Sequential has no window to
+// speculate past; null-message has no barrier round to extend.
+constexpr int kSpecKernels[3] = {1, 3, 4};
+
+class SpeculationTransparency
+    : public ::testing::TestWithParam<std::tuple<int, uint32_t>> {};
+
+// The speculation-transparency matrix: every opt-in kernel, every window
+// split, speculation=off vs =auto, produces bit-identical FlowMonitor
+// fingerprints and full-state digests. Speculation only ever changes *when*
+// events execute relative to the wall clock — a miss rolls the window back
+// to the boundary checkpoint and re-runs conservatively, a hit commits
+// rounds whose event order the npub cap and deterministic tie-breaking
+// already pinned.
+TEST_P(SpeculationTransparency, SpeculativeRunMatchesConservative) {
+  const KernelCase kc = AllKernels()[kSpecKernels[std::get<0>(GetParam())]];
+  const uint32_t windows = std::get<1>(GetParam());
+  SCOPED_TRACE(std::string(kc.name) + " x " + std::to_string(windows));
+
+  SimConfig off;
+  off.kernel = kc.config;
+  off.partition = kc.partition;
+  RunDigest off_digest;
+  const RunOutcome off_out =
+      RunFatTreeScenarioConfigured(off, windows, 4, 10, 5, &off_digest);
+
+  SimConfig spec = off;
+  spec.speculation = SpeculationMode::kAuto;
+  RunDigest spec_digest;
+  const RunOutcome spec_out =
+      RunFatTreeScenarioConfigured(spec, windows, 4, 10, 5, &spec_digest);
+
+  EXPECT_EQ(spec_out.fingerprint, off_out.fingerprint);
+  EXPECT_EQ(spec_out.events, off_out.events);
+  EXPECT_EQ(spec_out.summary.completed, off_out.summary.completed);
+  EXPECT_EQ(spec_out.lps, off_out.lps);
+  EXPECT_TRUE(spec_digest == off_digest);
+}
+
+std::string SpecCaseName(
+    const ::testing::TestParamInfo<std::tuple<int, uint32_t>>& info) {
+  static const char* const names[3] = {"barrier", "unison", "hybrid"};
+  return std::string(names[std::get<0>(info.param)]) + "_w" +
+         std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OptInKernels, SpeculationTransparency,
+    ::testing::Combine(::testing::Range(0, 3), ::testing::Values(1u, 2u, 5u)),
+    SpecCaseName);
+
+// Forced rollback: a horizon dwarfing the 3 us fat-tree lookahead drives the
+// optimistic rounds far past the safe bound, so cross-LP arrivals land below
+// already-advanced clocks — the window must detect the miss, restore the
+// boundary checkpoint, re-run conservatively, and still land bit-identical
+// to speculation=off.
+TEST(SpeculationRollback, ForcedMissRollsBackAndStaysBitIdentical) {
+  KernelConfig k;
+  k.type = KernelType::kUnison;
+  k.threads = 2;
+  SimConfig off;
+  off.kernel = k;
+  RunDigest off_digest;
+  const RunOutcome off_out =
+      RunFatTreeScenarioConfigured(off, 2, 4, 10, 5, &off_digest);
+
+  SimConfig spec = off;
+  spec.speculation = SpeculationMode::kAuto;
+  spec.trace = true;
+  spec.tuning_config.spec_horizon_initial_ps = Time::Milliseconds(10).ps();
+
+  Network net(spec);
+  FatTreeTopo topo =
+      BuildFatTree(net, 4, 10'000'000'000ULL, Time::Microseconds(3));
+  net.Finalize();
+  GeneratePermutation(net, topo.hosts, 200 * 1024, Time::Zero());
+  TrafficSpec traffic;
+  traffic.hosts = topo.hosts;
+  traffic.bisection_bps = topo.bisection_bps;
+  traffic.load = 0.1;
+  traffic.duration = Time::Milliseconds(5);
+  GenerateTraffic(net, traffic);
+  net.Run(Time::Picoseconds(Time::Milliseconds(5).ps() / 2));
+  net.Run(Time::Milliseconds(5));
+
+  // The windows speculated, missed at least once, and the rollback restored
+  // the boundary checkpoint (all surfaced in the per-window trace and the
+  // kernel's checkpoint counters).
+  const RunSummary total = net.run_trace().Cumulative();
+  EXPECT_GE(total.spec_rounds, 1u);
+  EXPECT_GE(total.spec_misses, 1u);
+  EXPECT_GE(net.kernel().spec_checkpoint().captures(), 1u);
+  EXPECT_GE(net.kernel().spec_checkpoint().restores(), 1u);
+
+  RunDigest spec_digest = DigestOf(net);
+  EXPECT_EQ(net.flow_monitor().Fingerprint(), off_out.fingerprint);
+  EXPECT_EQ(net.kernel().session_events(), off_out.events);
+  EXPECT_TRUE(spec_digest == off_digest);
+}
+
+// --- Automatic resume checkpoints ---
+
+// Satellite: auto_checkpoint_every periodically saves the session to the
+// configured path mid-run; killing the process and resuming from the file
+// (LoadFrom + Session::Restore) converges to the same end state as the
+// uninterrupted run — and the periodic saves never perturb the parent.
+TEST(SessionAutoCheckpoint, PeriodicSnapshotResumesBitIdentical) {
+  KernelConfig k;
+  k.type = KernelType::kUnison;
+  k.threads = 2;
+  const RunOutcome mono = RunFatTreeScenarioStreaming(k, PartitionMode::kAuto, 1);
+
+  const std::string path = ::testing::TempDir() + "unison_auto_ckpt_test.usnp";
+  SimConfig cfg;
+  cfg.kernel = k;
+  cfg.kernel.auto_checkpoint_every = 1;  // Save at every window boundary.
+  cfg.auto_checkpoint_path = path;
+  cfg.seed = 1;
+  Network net(cfg);
+  FatTreeTopo topo =
+      BuildFatTree(net, 4, 10'000'000'000ULL, Time::Microseconds(3));
+  net.Finalize();
+  GeneratePermutation(net, topo.hosts, 200 * 1024, Time::Zero());
+  TrafficSpec traffic;
+  traffic.hosts = topo.hosts;
+  traffic.bisection_bps = topo.bisection_bps;
+  traffic.load = 0.1;
+  traffic.duration = Time::Milliseconds(5);
+  InstallFlowSources(net, traffic);
+
+  net.Run(Time::Milliseconds(1));
+  net.Run(Time::Milliseconds(2));
+
+  // "Crash" here: the latest auto-save holds the 2 ms boundary.
+  const SessionSnapshot snap = SessionSnapshot::LoadFrom(path);
+  std::remove(path.c_str());
+  EXPECT_GT(snap.size_bytes(), 0u);
+  std::unique_ptr<Network> resumed = Session::Restore(snap);
+  resumed->Run(Time::Milliseconds(5));
+  EXPECT_EQ(resumed->flow_monitor().Fingerprint(), mono.fingerprint);
+  EXPECT_EQ(resumed->kernel().session_events(), mono.events);
+
+  // The parent was never perturbed by its own periodic saves.
+  net.Run(Time::Milliseconds(5));
+  std::remove(path.c_str());  // Runs 3..5 saved again; clean up.
+  EXPECT_EQ(net.flow_monitor().Fingerprint(), mono.fingerprint);
+  EXPECT_EQ(net.kernel().session_events(), mono.events);
+}
+
 // Satellite: reading the session clock before Finalize is a configuration
 // error with a diagnostic, not a null-kernel dereference.
 TEST(SessionStateDeathTest, SessionTimeBeforeFinalizeIsFatal) {

@@ -41,6 +41,7 @@ import argparse
 import json
 import os
 import sys
+import time
 
 
 def lookup(doc, dotted):
@@ -174,16 +175,32 @@ def main():
         return 1
 
     failures = []
+    recap = []
     for name, gate in envelopes.items():
         if not isinstance(gate, dict):
             print(f"[gate] {name}: FAIL — gate definition is not an object")
             failures.append(f"{name}: gate definition is not an object")
+            recap.append((name, "-", 0.0, 1))
             continue
-        failures.extend(run_gate(name, gate, args.dir))
+        t0 = time.monotonic()
+        gate_failures = run_gate(name, gate, args.dir)
+        elapsed = time.monotonic() - t0
+        failures.extend(gate_failures)
+        artifact = gate.get("artifact")
+        path = (os.path.join(args.dir, artifact)
+                if isinstance(artifact, str) else "-")
+        recap.append((name, path, elapsed, len(gate_failures)))
 
+    # End-of-run recap: one line per gate with wall time and the artifact it
+    # judged, so a scrolled-away FAIL line cannot hide the rest and slow
+    # gates are visible at a glance.
+    print("perf gate recap:")
+    width = max(len(name) for name, _, _, _ in recap) if recap else 0
+    for name, path, elapsed, nfail in recap:
+        verdict = "ok" if nfail == 0 else f"{nfail} FAIL"
+        print(f"  {name:<{width}}  {elapsed * 1000.0:8.1f} ms  "
+              f"{verdict:<7}  {path}")
     if failures:
-        # End-of-run recap: every failing check across every gate, so one
-        # scrolled-away FAIL line cannot hide the rest.
         print(f"perf gate: {len(failures)} check(s) FAILED")
         for f in failures:
             print(f"  FAIL {f}")
